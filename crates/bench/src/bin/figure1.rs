@@ -1,0 +1,104 @@
+//! **Figure 1 / §2.2**: packet-level simulator performance on leaf-spine
+//! topologies of various size — single thread versus conservative PDES on
+//! 1, 2, and 4 (emulated) machines.
+//!
+//! The paper's claim this harness reproduces: multi-threading helps small
+//! networks, but as the network grows the synchronization forced by tiny
+//! lookahead (every ToR talks to every spine, one propagation delay away)
+//! makes PDES *slower* than a single thread, and spreading over more
+//! machines adds marshalling cost per cross-boundary event.
+//!
+//! Mapping of the paper's "machines": OMNeT++ partitions the module graph
+//! itself, so logical processes scale with the network — we partition one
+//! LP per four racks (minimum two), dealt round-robin over the emulated
+//! machines; events between partitions on different machines are
+//! serialized through a byte buffer with a 64-byte MPI-style envelope.
+//! See DESIGN.md's substitution table. NOTE: in a single-core container
+//! PDES cannot show real parallel wins at any size; the reproducible
+//! claim is the *degradation*: sync + marshalling overhead grows with
+//! network size and machine count.
+//!
+//! Output: sim-seconds per wall-second per (size, engine), printed and
+//! written to `figure1.csv`.
+
+use elephant_bench::{fmt_f, print_table, run_pdes, Args};
+use elephant_net::{ClosParams, NetConfig, RttScope};
+use elephant_trace::{LoadProfile, generate, write_csv, Locality, SizeDist, WorkloadConfig};
+
+fn main() {
+    let args = Args::parse();
+    let horizon = args.horizon(20, 100);
+    let sizes: &[u16] = if args.full { &[4, 8, 16, 32, 64] } else { &[4, 8, 16] };
+    let machines = [1usize, 2, 4];
+    const ENVELOPE: usize = 64;
+
+    println!("Figure 1: leaf-spine performance, horizon {horizon}, seed {}", args.seed);
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for &n in sizes {
+        let params = ClosParams::leaf_spine(n);
+        let wl = WorkloadConfig {
+            load: 0.3,
+            sizes: SizeDist::web_search(),
+            locality: Locality::leaf_spine(),
+            horizon,
+            seed: args.seed,
+            profile: LoadProfile::Constant,
+        };
+        let flows = generate(&params, &wl);
+
+        // Single thread.
+        let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+        let (_, meta) =
+            elephant_core::run_ground_truth(params, cfg, None, &flows, horizon);
+        let single = meta.sim_seconds_per_second();
+
+        // PDES at 1, 2, 4 machines.
+        let mut pdes_rates = Vec::new();
+        for &m in &machines {
+            // LPs scale with the module graph, as OMNeT++'s partitioning
+            // does; more machines spread the same LPs wider.
+            let partitions = ((n as usize / 4).max(2) * m).min(n as usize);
+            let out = run_pdes(params, &flows, horizon, partitions, m, ENVELOPE);
+            pdes_rates.push((m, out.sim_seconds_per_second(horizon), out.report));
+        }
+
+        let row = vec![
+            n.to_string(),
+            format!("{}", meta.events),
+            fmt_f(single),
+            fmt_f(pdes_rates[0].1),
+            fmt_f(pdes_rates[1].1),
+            fmt_f(pdes_rates[2].1),
+        ];
+        eprintln!(
+            "  n={n}: events {} | remote msgs (4m) {} | marshalled {}",
+            meta.events, pdes_rates[2].2.remote_messages, pdes_rates[2].2.marshalled_messages
+        );
+        csv.push(vec![
+            n.to_string(),
+            format!("{single}"),
+            format!("{}", pdes_rates[0].1),
+            format!("{}", pdes_rates[1].1),
+            format!("{}", pdes_rates[2].1),
+        ]);
+        rows.push(row);
+    }
+
+    print_table(
+        "Figure 1: sim-seconds per wall-second (higher is better)",
+        &["tors/spines", "events", "single thread", "1 machine", "2 machines", "4 machines"],
+        &rows,
+    );
+    write_csv(
+        args.out.join("figure1.csv"),
+        &["size", "single_thread", "machines_1", "machines_2", "machines_4"],
+        &csv,
+    )
+    .expect("write figure1.csv");
+    println!("\nwrote {}", args.out.join("figure1.csv").display());
+    println!(
+        "shape target: PDES competitive at small sizes, falling behind the\n\
+         single thread as size grows; more machines = more marshalling cost."
+    );
+}

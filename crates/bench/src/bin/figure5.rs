@@ -1,0 +1,92 @@
+//! **Figure 5 / §6.2**: speedup of the approximate simulation over
+//! full-fidelity simulation as the number of clusters grows.
+//!
+//! For each size, the full run simulates every cluster (four switches +
+//! eight servers each, the paper's shape) under the complete workload; the
+//! approximate run keeps cluster 0 and the core layer at packet fidelity,
+//! serves every other fabric from the learned oracle, and elides traffic
+//! that never touches cluster 0 — the paper's two compounding savings
+//! (§6.2: fabric events removed, remote-only traffic omitted).
+//!
+//! Shape target: speedup grows monotonically with cluster count (paper:
+//! ≈1.2× at 2 clusters to ≈4.5× at 16; ours depends on workload and
+//! machine but must grow).
+
+use elephant_bench::{fmt_f, fmt_secs, print_table, train_default_model, Args};
+use elephant_core::{run_ground_truth, run_hybrid, DropPolicy, LearnedOracle, TrainingOptions};
+use elephant_net::{ClosParams, NetConfig, RttScope};
+use elephant_trace::{filter_touching_cluster, generate, write_csv, WorkloadConfig};
+
+fn main() {
+    let args = Args::parse();
+    let horizon = args.horizon(20, 100);
+    let cluster_counts: &[u16] = if args.full { &[2, 4, 8, 16] } else { &[2, 4, 8] };
+
+    println!("Figure 5: training the reusable cluster model ...");
+    let (model, _, _) = train_default_model(
+        args.horizon(40, 200),
+        args.seed,
+        &TrainingOptions::default(),
+    );
+
+    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for &n in cluster_counts {
+        let params = ClosParams::paper_cluster(n);
+        let flows =
+            generate(&params, &WorkloadConfig::paper_default(horizon, args.seed.wrapping_add(1)));
+
+        let (_, full_meta) = run_ground_truth(params, cfg, None, &flows, horizon);
+
+        let elided = filter_touching_cluster(&flows, 0);
+        let oracle =
+            LearnedOracle::new(model.clone(), params, DropPolicy::Sample, args.seed ^ 0xF1F5);
+        let (hnet, hybrid_meta) = run_hybrid(params, 0, Box::new(oracle), cfg, &elided, horizon);
+
+        let speedup = full_meta.wall.as_secs_f64() / hybrid_meta.wall.as_secs_f64().max(1e-9);
+        let event_ratio = full_meta.events as f64 / hybrid_meta.events.max(1) as f64;
+        rows.push(vec![
+            n.to_string(),
+            flows.len().to_string(),
+            elided.len().to_string(),
+            fmt_secs(full_meta.wall),
+            fmt_secs(hybrid_meta.wall),
+            fmt_f(speedup),
+            fmt_f(event_ratio),
+            hnet.stats.oracle_deliveries.to_string(),
+        ]);
+        csv.push(vec![
+            n.to_string(),
+            format!("{}", full_meta.wall.as_secs_f64()),
+            format!("{}", hybrid_meta.wall.as_secs_f64()),
+            format!("{speedup}"),
+            format!("{}", full_meta.events),
+            format!("{}", hybrid_meta.events),
+        ]);
+        eprintln!("  {n} clusters done (speedup {})", fmt_f(speedup));
+    }
+
+    print_table(
+        "Figure 5: speedup of approximate vs full simulation",
+        &[
+            "clusters",
+            "flows",
+            "elided flows",
+            "full wall",
+            "approx wall",
+            "speedup",
+            "event ratio",
+            "oracle pkts",
+        ],
+        &rows,
+    );
+    write_csv(
+        args.out.join("figure5.csv"),
+        &["clusters", "full_wall_s", "approx_wall_s", "speedup", "full_events", "approx_events"],
+        &csv,
+    )
+    .expect("write figure5.csv");
+    println!("\nwrote {}", args.out.join("figure5.csv").display());
+    println!("shape target: speedup grows with cluster count (paper: 1.2x -> 4.5x over 2 -> 16).");
+}

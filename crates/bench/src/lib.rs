@@ -1,0 +1,261 @@
+//! # elephant-bench — evaluation harnesses
+//!
+//! One binary per figure of the paper's evaluation (see DESIGN.md's
+//! per-experiment index) plus ablations and baselines. This library holds
+//! what they share: argument parsing, table printing, the PDES run
+//! wrapper, and the default train-once-reuse-everywhere model pipeline.
+//!
+//! Every harness prints a human-readable table and writes CSVs under
+//! `--out` (default `results/`), so figures can be re-plotted offline.
+
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use elephant_core::{
+    run_ground_truth, train_cluster_model, ClusterModel, TrainReport, TrainingOptions,
+};
+use elephant_des::{PartitionSim, PdesConfig, PdesReport, PdesRunner, SimDuration, SimTime};
+use elephant_net::{
+    ClosParams, FlowSpec, NetConfig, NetEvent, NetPartition, Network, RttScope, Topology,
+};
+use elephant_trace::{generate, WorkloadConfig};
+
+/// Common command-line switches shared by every harness binary.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Run the paper-scale configuration instead of the quick one.
+    pub full: bool,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Output directory for CSVs.
+    pub out: PathBuf,
+    /// Optional horizon override in milliseconds.
+    pub horizon_ms: Option<u64>,
+}
+
+impl Args {
+    /// Parses `--full`, `--seed N`, `--out DIR`, `--horizon-ms N` from the
+    /// process arguments. Unknown switches abort with usage.
+    pub fn parse() -> Args {
+        let mut args =
+            Args { full: false, seed: 42, out: PathBuf::from("results"), horizon_ms: None };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => args.full = true,
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"))
+                }
+                "--out" => {
+                    args.out =
+                        PathBuf::from(it.next().unwrap_or_else(|| usage("--out needs a path")))
+                }
+                "--horizon-ms" => {
+                    args.horizon_ms = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--horizon-ms needs an integer")),
+                    )
+                }
+                other => usage(&format!("unknown argument {other}")),
+            }
+        }
+        std::fs::create_dir_all(&args.out).expect("create output directory");
+        args
+    }
+
+    /// The effective horizon: the override, or `quick`/`full` defaults.
+    pub fn horizon(&self, quick_ms: u64, full_ms: u64) -> SimTime {
+        let ms = self.horizon_ms.unwrap_or(if self.full { full_ms } else { quick_ms });
+        SimTime::from_millis(ms)
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: <harness> [--full] [--seed N] [--out DIR] [--horizon-ms N]");
+    std::process::exit(2)
+}
+
+/// Prints an aligned table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Outcome of a PDES run plus its wall time.
+#[derive(Clone, Copy, Debug)]
+pub struct PdesOutcome {
+    /// Kernel statistics.
+    pub report: PdesReport,
+    /// Wall-clock duration.
+    pub wall: Duration,
+}
+
+impl PdesOutcome {
+    /// Simulated seconds per wall second (Figure 1's y-axis).
+    pub fn sim_seconds_per_second(&self, horizon: SimTime) -> f64 {
+        horizon.as_secs_f64() / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs the packet simulator under conservative PDES: `partitions`
+/// rack-partitioned logical processes dealt round-robin over `machines`
+/// emulated machines (cross-machine messages marshalled with
+/// `envelope_bytes` of MPI-style envelope).
+pub fn run_pdes(
+    params: ClosParams,
+    flows: &[FlowSpec],
+    horizon: SimTime,
+    partitions: usize,
+    machines: usize,
+    envelope_bytes: usize,
+) -> PdesOutcome {
+    let topo = Arc::new(Topology::clos(params));
+    let map = Arc::new(topo.partition_by_rack(partitions));
+    let lookahead = topo.min_cut_latency(&map).unwrap_or(SimDuration::from_micros(1));
+    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+
+    let mut parts: Vec<PartitionSim<NetPartition>> = (0..partitions)
+        .map(|p| {
+            let mut net = Network::new(Arc::clone(&topo), cfg);
+            net.set_partition(p, Arc::clone(&map));
+            PartitionSim::new(NetPartition { net })
+        })
+        .collect();
+    for f in flows {
+        let owner = map[topo.host_node(f.src).idx()] as usize;
+        parts[owner].scheduler_mut().schedule_at(f.start, NetEvent::FlowStart(*f));
+    }
+
+    let mut runner = PdesRunner::new(
+        parts,
+        PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes),
+    );
+    let t0 = Instant::now();
+    let report = runner.run_until(horizon);
+    PdesOutcome { report, wall: t0.elapsed() }
+}
+
+/// Runs the *hybrid* simulator under PDES, partitioned by cluster: the
+/// full cluster plus the core layer is one logical process, every stub
+/// cluster (its hosts, TCP stacks, and oracle) another — the paper's
+/// §6.2 observation that approximation removes the fabric interdependence
+/// that made PDES unprofitable. Each partition owns its own
+/// [`elephant_core::LearnedOracle`] instance around the shared weights.
+///
+/// Returns the outcome plus the summed oracle deliveries. On a single-core
+/// host this measures coordination overhead only; with real cores the
+/// partitions execute concurrently.
+#[allow(clippy::too_many_arguments)] // an experiment spec, not an API surface
+pub fn run_hybrid_pdes(
+    params: ClosParams,
+    full_cluster: u16,
+    model: &elephant_core::ClusterModel,
+    flows: &[FlowSpec],
+    horizon: SimTime,
+    machines: usize,
+    envelope_bytes: usize,
+    seed: u64,
+) -> (PdesOutcome, u64) {
+    use elephant_core::{DropPolicy, LearnedOracle};
+    let stubs: Vec<u16> = (0..params.clusters).filter(|&c| c != full_cluster).collect();
+    let topo = Arc::new(Topology::clos_with_stubs(params, &stubs));
+    let (map, partitions) = topo.partition_by_cluster();
+    let map = Arc::new(map);
+    let lookahead = topo.min_cut_latency(&map).expect("multi-cluster hybrid has cut links");
+    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+
+    let mut parts: Vec<PartitionSim<NetPartition>> = (0..partitions)
+        .map(|p| {
+            let mut net = Network::new(Arc::clone(&topo), cfg);
+            net.set_partition(p, Arc::clone(&map));
+            net.set_oracle(Box::new(LearnedOracle::new(
+                model.clone(),
+                params,
+                DropPolicy::Sample,
+                seed.wrapping_add(p as u64),
+            )));
+            PartitionSim::new(NetPartition { net })
+        })
+        .collect();
+    for f in flows {
+        let owner = map[topo.host_node(f.src).idx()] as usize;
+        parts[owner].scheduler_mut().schedule_at(f.start, NetEvent::FlowStart(*f));
+    }
+
+    let mut runner = PdesRunner::new(
+        parts,
+        PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes),
+    );
+    let t0 = Instant::now();
+    let report = runner.run_until(horizon);
+    let wall = t0.elapsed();
+    let oracle_total: u64 = runner
+        .partitions()
+        .iter()
+        .map(|p| p.world().net.stats.oracle_deliveries)
+        .sum();
+    (PdesOutcome { report, wall }, oracle_total)
+}
+
+/// The standard "train once" step used by Figures 4–5 and the ablations:
+/// a two-cluster ground-truth run with capture around cluster 1, then the
+/// §3 training pipeline. Returns the records too, so ablations can retrain
+/// from the same capture.
+pub fn train_default_model(
+    horizon: SimTime,
+    seed: u64,
+    opts: &TrainingOptions,
+) -> (ClusterModel, TrainReport, Vec<elephant_net::BoundaryRecord>) {
+    let params = ClosParams::paper_cluster(2);
+    let flows = generate(&params, &WorkloadConfig::paper_default(horizon, seed));
+    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+    let (net, _) = run_ground_truth(params, cfg, Some(1), &flows, horizon);
+    let records = net.into_capture().expect("capture enabled").into_records();
+    let (model, report) = train_cluster_model(&records, &params, opts);
+    (model, report, records)
+}
+
+/// Formats a float with engineering-friendly precision.
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else if v.abs() >= 0.001 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+/// Formats a duration in seconds with millisecond precision.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}

@@ -1,0 +1,186 @@
+//! Experiment runners: the paper's §3 workflow as three functions.
+//!
+//! 1. [`run_ground_truth`] — full-fidelity simulation with boundary
+//!    capture around the cluster to be learned;
+//! 2. [`train_cluster_model`](crate::train_cluster_model) — fit the macro
+//!    + micro models from the capture (in `train`);
+//! 3. [`run_hybrid`] — assemble the large simulation in which every
+//!    cluster but one is replaced by the learned oracle (Figure 3) and
+//!    only traffic touching the full cluster is scheduled (§6.2's
+//!    elision).
+//!
+//! Each runner reports wall-clock time, events executed, and simulated
+//! seconds, the currencies of Figures 1 and 5.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use elephant_des::{SimTime, Simulator};
+use elephant_net::{
+    schedule_flows, ClosParams, ClusterOracle, FlowSpec, NetConfig, Network, RttScope, Topology,
+};
+
+/// Performance facts about one run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunMeta {
+    /// Wall-clock time spent simulating.
+    pub wall: Duration,
+    /// Events the kernel executed.
+    pub events: u64,
+    /// Simulated horizon reached, in seconds.
+    pub sim_seconds: f64,
+}
+
+impl RunMeta {
+    /// The paper's Figure-1 y-axis: simulated seconds per wall second.
+    pub fn sim_seconds_per_second(&self) -> f64 {
+        self.sim_seconds / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs a fully simulated network over `flows` until `horizon`.
+///
+/// Set `capture_cluster` to harvest training records; set
+/// `cfg.rtt_scope` to restrict accuracy measurements (Figure 4 restricts
+/// both runs to the observed cluster).
+pub fn run_ground_truth(
+    params: ClosParams,
+    mut cfg: NetConfig,
+    capture_cluster: Option<u16>,
+    flows: &[FlowSpec],
+    horizon: SimTime,
+) -> (Network, RunMeta) {
+    cfg.capture_cluster = capture_cluster;
+    let topo = Arc::new(Topology::clos(params));
+    let mut sim = Simulator::new(Network::new(topo, cfg));
+    schedule_flows(&mut sim, flows);
+    finish(sim, horizon)
+}
+
+/// Runs the hybrid simulation: `full_cluster` plus the core layer at
+/// packet fidelity, every other cluster's fabric served by `oracle`.
+///
+/// `flows` should already be elided to traffic touching `full_cluster`
+/// (see `elephant_trace::filter_touching_cluster`); the engine tolerates
+/// other traffic but the paper's speedups assume the elision.
+pub fn run_hybrid(
+    params: ClosParams,
+    full_cluster: u16,
+    oracle: Box<dyn ClusterOracle + Send>,
+    mut cfg: NetConfig,
+    flows: &[FlowSpec],
+    horizon: SimTime,
+) -> (Network, RunMeta) {
+    assert!(params.clusters >= 2, "hybrid simulation needs clusters to approximate");
+    let stubs: Vec<u16> =
+        (0..params.clusters).filter(|&c| c != full_cluster).collect();
+    cfg.capture_cluster = None;
+    // Accuracy is only drawn from the full-fidelity region (§3: "a portion
+    // of the network can be left un-approximated so that we can continue
+    // to draw full-fidelity statistics").
+    cfg.rtt_scope = RttScope::Cluster(full_cluster);
+    let topo = Arc::new(Topology::clos_with_stubs(params, &stubs));
+    let mut net = Network::new(topo, cfg);
+    net.set_oracle(oracle);
+    let mut sim = Simulator::new(net);
+    schedule_flows(&mut sim, flows);
+    finish(sim, horizon)
+}
+
+fn finish(mut sim: Simulator<Network>, horizon: SimTime) -> (Network, RunMeta) {
+    let start = Instant::now();
+    sim.run_until(horizon);
+    let wall = start.elapsed();
+    let events = sim.scheduler().executed_total();
+    let meta = RunMeta { wall, events, sim_seconds: horizon.as_secs_f64() };
+    (sim.into_world(), meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learned::{DropPolicy, LearnedOracle};
+    use crate::train::{train_cluster_model, TrainingOptions};
+    use elephant_net::IdealOracle;
+    use elephant_nn::TrainConfig;
+    use elephant_trace::{filter_touching_cluster, generate, WorkloadConfig};
+
+    /// The complete §3 workflow, end to end, at miniature scale: simulate
+    /// two clusters fully, train on the capture, deploy the learned model
+    /// in a four-cluster hybrid, and check the books balance.
+    #[test]
+    fn full_workflow_smoke() {
+        let params = ClosParams::paper_cluster(2);
+        let horizon = SimTime::from_millis(30);
+        let wl = WorkloadConfig::paper_default(horizon, 7);
+        let flows = generate(&params, &wl);
+        assert!(!flows.is_empty());
+
+        // Step 1: ground truth with capture around cluster 1.
+        let (net, meta) = run_ground_truth(
+            params,
+            NetConfig::default(),
+            Some(1),
+            &flows,
+            horizon,
+        );
+        assert!(meta.events > 1000, "events {}", meta.events);
+        let records = net.into_capture().expect("capture enabled").into_records();
+        assert!(records.len() > 100, "records {}", records.len());
+
+        // Step 2: train (tiny settings; this is a smoke test).
+        let opts = TrainingOptions {
+            hidden: 8,
+            layers: 1,
+            epochs: 2,
+            window: 16,
+            train: TrainConfig { lr: 0.1, momentum: 0.9, batch: 8, clip: 5.0 },
+            ..Default::default()
+        };
+        let (model, report) = train_cluster_model(&records, &params, &opts);
+        assert!(report.up.train_samples + report.down.train_samples > 0);
+
+        // Step 3: hybrid at 4 clusters with elided traffic.
+        let big = ClosParams::paper_cluster(4);
+        let big_flows = filter_touching_cluster(&generate(&big, &wl), 0);
+        assert!(!big_flows.is_empty());
+        let oracle = LearnedOracle::new(model, big, DropPolicy::Sample, 3);
+        let (hnet, hmeta) =
+            run_hybrid(big, 0, Box::new(oracle), NetConfig::default(), &big_flows, horizon);
+        assert!(hnet.stats.oracle_deliveries > 0, "oracle was exercised");
+        assert!(hnet.stats.flows_completed > 0, "hybrid completes flows");
+        assert!(hmeta.events > 0);
+    }
+
+    #[test]
+    fn hybrid_executes_fewer_events_than_full() {
+        let params = ClosParams::paper_cluster(4);
+        let horizon = SimTime::from_millis(20);
+        let wl = WorkloadConfig::paper_default(horizon, 11);
+        let flows = generate(&params, &wl);
+
+        let (_, full_meta) =
+            run_ground_truth(params, NetConfig::default(), None, &flows, horizon);
+        let elided = filter_touching_cluster(&flows, 0);
+        let (_, hybrid_meta) = run_hybrid(
+            params,
+            0,
+            Box::new(IdealOracle),
+            NetConfig::default(),
+            &elided,
+            horizon,
+        );
+        assert!(
+            hybrid_meta.events * 2 < full_meta.events,
+            "hybrid {} vs full {} events",
+            hybrid_meta.events,
+            full_meta.events
+        );
+    }
+
+    #[test]
+    fn meta_math() {
+        let m = RunMeta { wall: Duration::from_millis(500), events: 10, sim_seconds: 2.0 };
+        assert!((m.sim_seconds_per_second() - 4.0).abs() < 1e-9);
+    }
+}

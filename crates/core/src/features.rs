@@ -1,0 +1,263 @@
+//! Per-packet feature extraction (paper §4.2).
+//!
+//! "The features used for training are crucial to the success of both
+//! models. For each packet, these include: the origin and destination
+//! servers; the ToR, Cluster, and Core switches that the packet would pass
+//! through in the cluster replaced by approximation; the time since the
+//! last packet arrived at the model; a moving average of these times; and
+//! finally, the current macro state of the cluster. … all of the input
+//! features can be calculated directly from the packet header information,
+//! simulation time, and knowledge of routing strategy."
+//!
+//! The extractor is *stateful* (inter-arrival gap and its moving average)
+//! and must therefore be replayed identically at training and inference;
+//! both paths share this one implementation.
+
+use elephant_des::{Ewma, SimDuration, SimTime};
+use elephant_net::{ClosParams, Direction, FabricPath, HostAddr};
+use serde::{Deserialize, Serialize};
+
+use crate::macro_model::MacroState;
+
+/// Width of the feature vector produced by [`FeatureExtractor::extract`]:
+/// 4 endpoint coordinates + 3 path switches + packet size + 2 timing
+/// features + 4 one-hot macro states.
+pub const FEATURE_DIM: usize = 14;
+
+/// Log-scale codec between physical latencies and the `[0,1]`-ish target
+/// the latency head regresses.
+///
+/// Fabric latencies span five decades (microseconds uncongested, close to
+/// a second under collapse); regressing raw nanoseconds would let the
+/// elephants drown the mice. `ln`-space squashes that range.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LatencyCodec {
+    /// Latency mapped to 0.0 (seconds).
+    pub lo: f64,
+    /// Latency mapped to 1.0 (seconds).
+    pub hi: f64,
+}
+
+impl Default for LatencyCodec {
+    fn default() -> Self {
+        LatencyCodec { lo: 1e-6, hi: 1.0 }
+    }
+}
+
+impl LatencyCodec {
+    /// Encodes a latency as a regression target.
+    pub fn encode(&self, latency: SimDuration) -> f32 {
+        let secs = latency.as_secs_f64().clamp(self.lo, self.hi);
+        ((secs / self.lo).ln() / (self.hi / self.lo).ln()) as f32
+    }
+
+    /// Decodes a regression output back to a latency (clamped to the
+    /// codec's physical range).
+    pub fn decode(&self, target: f32) -> SimDuration {
+        let t = (target as f64).clamp(0.0, 1.0);
+        let secs = self.lo * (self.hi / self.lo).powf(t);
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+/// Stateful feature extractor for one (cluster, direction) stream.
+#[derive(Clone, Debug)]
+pub struct FeatureExtractor {
+    racks: f32,
+    hosts: f32,
+    aggs: f32,
+    cores_per_group: f32,
+    last_arrival: Option<SimTime>,
+    gap_ewma: Ewma,
+}
+
+impl FeatureExtractor {
+    /// Builds an extractor for networks shaped by `params`.
+    pub fn new(params: &ClosParams) -> Self {
+        FeatureExtractor {
+            racks: params.racks_per_cluster.max(1) as f32,
+            hosts: params.hosts_per_rack.max(1) as f32,
+            aggs: params.aggs_per_cluster.max(1) as f32,
+            cores_per_group: params.cores_per_group.max(1) as f32,
+            last_arrival: None,
+            gap_ewma: Ewma::new(0.1),
+        }
+    }
+
+    /// Extracts the feature vector for one boundary crossing and advances
+    /// the inter-arrival state.
+    #[allow(clippy::too_many_arguments)] // §4.2's feature list, verbatim
+    pub fn extract(
+        &mut self,
+        src: HostAddr,
+        dst: HostAddr,
+        size_bytes: u32,
+        direction: Direction,
+        path: &FabricPath,
+        now: SimTime,
+        state: MacroState,
+    ) -> Vec<f32> {
+        let gap = match self.last_arrival {
+            None => SimDuration::ZERO,
+            Some(prev) => now.saturating_since(prev),
+        };
+        self.last_arrival = Some(now);
+        let gap_n = normalize_gap(gap);
+        let gap_avg = self.gap_ewma.record(gap_n as f64) as f32;
+
+        // "The ToR, Cluster, and Core switches that the packet would pass
+        // through in the cluster replaced by approximation": the relevant
+        // half of the path depends on direction.
+        let (tor, agg) = match direction {
+            Direction::Up => (path.src_tor, path.src_agg),
+            Direction::Down => (path.dst_tor, path.dst_agg),
+        };
+        let core = path.core.map(|c| (c + 1) as f32 / (self.cores_per_group + 1.0)).unwrap_or(0.0);
+
+        let mut f = Vec::with_capacity(FEATURE_DIM);
+        // Origin and destination servers (rack/host coordinates).
+        f.push(src.rack as f32 / self.racks);
+        f.push(src.host as f32 / self.hosts);
+        f.push(dst.rack as f32 / self.racks);
+        f.push(dst.host as f32 / self.hosts);
+        // Path through the approximated fabric.
+        f.push(tor as f32 / self.racks);
+        f.push(agg as f32 / self.aggs);
+        f.push(core);
+        // Packet size relative to MTU.
+        f.push(size_bytes as f32 / 1500.0);
+        // Inter-arrival gap and its moving average.
+        f.push(gap_n);
+        f.push(gap_avg);
+        // Macro state one-hot.
+        let mut onehot = [0.0f32; 4];
+        onehot[state.index()] = 1.0;
+        f.extend_from_slice(&onehot);
+        debug_assert_eq!(f.len(), FEATURE_DIM);
+        f
+    }
+}
+
+/// Maps an inter-arrival gap to roughly `[0, 1]`: `ln(1+ns)` scaled so one
+/// second saturates the feature.
+fn normalize_gap(gap: SimDuration) -> f32 {
+    ((1.0 + gap.as_nanos() as f64).ln() / (1.0 + 1e9f64).ln()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ClosParams {
+        ClosParams::paper_cluster(4)
+    }
+
+    fn path() -> FabricPath {
+        FabricPath { src_tor: 1, src_agg: 0, core: Some(1), dst_agg: 0, dst_tor: 0 }
+    }
+
+    #[test]
+    fn feature_vector_has_declared_width_and_range() {
+        let mut fx = FeatureExtractor::new(&params());
+        let f = fx.extract(
+            HostAddr::new(1, 1, 3),
+            HostAddr::new(0, 0, 2),
+            1500,
+            Direction::Up,
+            &path(),
+            SimTime::from_micros(10),
+            MacroState::Increasing,
+        );
+        assert_eq!(f.len(), FEATURE_DIM);
+        assert!(f.iter().all(|v| v.is_finite() && (-0.01..=1.01).contains(v)), "{f:?}");
+        // One-hot sums to one.
+        let onehot: f32 = f[FEATURE_DIM - 4..].iter().sum();
+        assert_eq!(onehot, 1.0);
+        assert_eq!(f[FEATURE_DIM - 3], 1.0, "Increasing at index 1");
+    }
+
+    #[test]
+    fn gap_state_advances() {
+        let mut fx = FeatureExtractor::new(&params());
+        let f1 = fx.extract(
+            HostAddr::new(1, 0, 0),
+            HostAddr::new(0, 0, 0),
+            1500,
+            Direction::Up,
+            &path(),
+            SimTime::from_micros(100),
+            MacroState::Minimal,
+        );
+        assert_eq!(f1[8], 0.0, "first packet has zero gap");
+        let f2 = fx.extract(
+            HostAddr::new(1, 0, 0),
+            HostAddr::new(0, 0, 0),
+            1500,
+            Direction::Up,
+            &path(),
+            SimTime::from_micros(300),
+            MacroState::Minimal,
+        );
+        assert!(f2[8] > 0.0, "second packet sees a 200us gap");
+        assert!(f2[9] > 0.0, "moving average reacts");
+    }
+
+    #[test]
+    fn direction_selects_path_half() {
+        let mut fx = FeatureExtractor::new(&params());
+        let p = FabricPath { src_tor: 1, src_agg: 1, core: Some(0), dst_agg: 1, dst_tor: 0 };
+        let up = fx.extract(
+            HostAddr::new(1, 1, 0),
+            HostAddr::new(2, 0, 0),
+            100,
+            Direction::Up,
+            &p,
+            SimTime::from_micros(1),
+            MacroState::Minimal,
+        );
+        let down = fx.extract(
+            HostAddr::new(1, 1, 0),
+            HostAddr::new(2, 0, 0),
+            100,
+            Direction::Down,
+            &p,
+            SimTime::from_micros(2),
+            MacroState::Minimal,
+        );
+        assert_eq!(up[4], 0.5, "Up uses src ToR (1 of 2 racks)");
+        assert_eq!(down[4], 0.0, "Down uses dst ToR (0 of 2 racks)");
+    }
+
+    #[test]
+    fn latency_codec_round_trips_within_tolerance() {
+        let codec = LatencyCodec::default();
+        for us in [1u64, 10, 100, 1000, 10_000, 100_000, 999_999] {
+            let lat = SimDuration::from_micros(us);
+            let enc = codec.encode(lat);
+            assert!((0.0..=1.0).contains(&enc));
+            let dec = codec.decode(enc);
+            let rel = (dec.as_secs_f64() - lat.as_secs_f64()).abs() / lat.as_secs_f64();
+            assert!(rel < 0.01, "{us}us round-trips to {dec} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn latency_codec_clamps() {
+        let codec = LatencyCodec::default();
+        assert_eq!(codec.encode(SimDuration::from_nanos(1)), 0.0);
+        assert_eq!(codec.encode(SimDuration::from_secs(100)), 1.0);
+        assert_eq!(codec.decode(-5.0), SimDuration::from_secs_f64(1e-6));
+        assert_eq!(codec.decode(7.0), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn gap_normalization_is_monotone_and_bounded() {
+        let mut prev = -1.0f32;
+        for ns in [0u64, 10, 1_000, 100_000, 10_000_000, 1_000_000_000, 100_000_000_000] {
+            let v = normalize_gap(SimDuration::from_nanos(ns));
+            assert!(v >= prev);
+            prev = v;
+        }
+        assert!(normalize_gap(SimDuration::from_secs(1)) <= 1.01);
+    }
+}

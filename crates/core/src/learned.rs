@@ -1,0 +1,307 @@
+//! The learned cluster oracle: macro classifier + micro LSTMs, deployed
+//! behind the engine's [`ClusterOracle`] seam.
+//!
+//! One [`ClusterModel`] holds the trained artifacts — separate ingress and
+//! egress micro models ("we train one model for packets entering the
+//! approximated cluster and one for packets leaving because the
+//! distribution of flows in either direction can differ significantly",
+//! §4.2), the calibrated macro thresholds, and the latency codec. A
+//! [`LearnedOracle`] instantiates per-cluster runtime state around it, so
+//! the same weights serve all 63-of-64 approximated clusters, exactly as
+//! Figure 3 sketches ("we can then reuse the trained cluster model in
+//! large-scale simulations").
+
+use std::collections::HashMap;
+
+use elephant_des::SimTime;
+use elephant_net::{
+    ClosParams, ClusterOracle, Direction, OracleCtx, OracleVerdict, Packet,
+};
+use elephant_nn::{MicroNet, MicroNetState};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::features::{FeatureExtractor, LatencyCodec};
+use crate::macro_model::{MacroConfig, MacroModel, MacroState};
+
+/// Everything learned from one training run, serializable as JSON.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterModel {
+    /// Micro model for host → core traversals (the paper's "leaving").
+    pub up: MicroNet,
+    /// Micro model for core → host traversals (the paper's "entering").
+    pub down: MicroNet,
+    /// Calibrated macro-classifier thresholds.
+    pub macro_cfg: MacroConfig,
+    /// Latency target codec.
+    pub codec: LatencyCodec,
+}
+
+impl ClusterModel {
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serializes")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// How a drop probability becomes a binary decision.
+#[derive(Clone, Copy, Debug)]
+pub enum DropPolicy {
+    /// Bernoulli sample with the predicted probability (default: keeps
+    /// aggregate drop rates calibrated).
+    Sample,
+    /// Drop iff probability ≥ the threshold (deterministic).
+    Threshold(f32),
+}
+
+/// Per-oracle counters for diagnostics and the evaluation harnesses.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OracleStats {
+    /// Verdicts issued.
+    pub classified: u64,
+    /// Drop verdicts.
+    pub drops: u64,
+    /// Verdicts issued in each macro state (by index).
+    pub per_state: [u64; 4],
+}
+
+struct ClusterRuntime {
+    macro_model: MacroModel,
+    up_fx: FeatureExtractor,
+    down_fx: FeatureExtractor,
+    up_state: MicroNetState,
+    down_state: MicroNetState,
+}
+
+/// A [`ClusterOracle`] that serves [`ClusterModel`] predictions.
+pub struct LearnedOracle {
+    model: ClusterModel,
+    params: ClosParams,
+    policy: DropPolicy,
+    rng: SmallRng,
+    clusters: HashMap<u16, ClusterRuntime>,
+    stats: OracleStats,
+}
+
+impl LearnedOracle {
+    /// Wraps a trained model for deployment on networks shaped by
+    /// `params`. `seed` drives the (deterministic) drop sampling.
+    pub fn new(model: ClusterModel, params: ClosParams, policy: DropPolicy, seed: u64) -> Self {
+        LearnedOracle {
+            model,
+            params,
+            policy,
+            rng: SmallRng::seed_from_u64(seed),
+            clusters: HashMap::new(),
+            stats: OracleStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &OracleStats {
+        &self.stats
+    }
+
+    /// The macro state currently attributed to `cluster` (Minimal if the
+    /// cluster has seen no traffic yet).
+    pub fn macro_state(&self, cluster: u16) -> MacroState {
+        self.clusters
+            .get(&cluster)
+            .map(|c| c.macro_model.state())
+            .unwrap_or(MacroState::Minimal)
+    }
+
+}
+
+/// Fetches (or lazily creates) the runtime for `cluster`. A free function
+/// so the caller keeps disjoint borrows of the model and the runtime map.
+fn runtime<'a>(
+    clusters: &'a mut HashMap<u16, ClusterRuntime>,
+    model: &ClusterModel,
+    params: &ClosParams,
+    cluster: u16,
+) -> &'a mut ClusterRuntime {
+    clusters.entry(cluster).or_insert_with(|| ClusterRuntime {
+        macro_model: MacroModel::new(model.macro_cfg),
+        up_fx: FeatureExtractor::new(params),
+        down_fx: FeatureExtractor::new(params),
+        up_state: model.up.init_state(),
+        down_state: model.down.init_state(),
+    })
+}
+
+impl ClusterOracle for LearnedOracle {
+    fn classify(&mut self, ctx: &OracleCtx<'_>, pkt: &Packet, now: SimTime) -> OracleVerdict {
+        let LearnedOracle { model, params, policy, rng, clusters, stats } = self;
+        stats.classified += 1;
+        let rt = runtime(clusters, model, params, ctx.cluster);
+        let state = rt.macro_model.state();
+        stats.per_state[state.index()] += 1;
+
+        let (net, fx, net_state): (&MicroNet, _, _) = match ctx.direction {
+            Direction::Up => (&model.up, &mut rt.up_fx, &mut rt.up_state),
+            Direction::Down => (&model.down, &mut rt.down_fx, &mut rt.down_state),
+        };
+        let features = fx.extract(
+            pkt.src,
+            pkt.dst,
+            pkt.wire_bytes(),
+            ctx.direction,
+            &ctx.path,
+            now,
+            state,
+        );
+        let pred = net.predict(&features, net_state);
+
+        let drop = match *policy {
+            DropPolicy::Sample => rng.gen::<f32>() < pred.drop_prob,
+            DropPolicy::Threshold(t) => pred.drop_prob >= t,
+        };
+        if drop {
+            stats.drops += 1;
+            rt.macro_model.observe(None, true);
+            return OracleVerdict::Drop;
+        }
+        let latency = model.codec.decode(pred.latency);
+        // Auto-regression: the macro model advances on the oracle's own
+        // output, since ground truth does not exist at simulation time.
+        rt.macro_model.observe(Some(latency.as_secs_f64()), false);
+        OracleVerdict::Deliver { latency }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FEATURE_DIM;
+    use elephant_des::SimDuration;
+    use elephant_net::{Ecn, FlowId, HostAddr, TcpFlags, TcpSegment, Topology};
+    use elephant_nn::MicroNetConfig;
+
+    fn tiny_model() -> ClusterModel {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cfg = MicroNetConfig {
+            input: FEATURE_DIM,
+            hidden: 8,
+            layers: 1,
+            alpha: 0.5,
+            rnn: elephant_nn::RnnKind::Lstm,
+        };
+        ClusterModel {
+            up: MicroNet::new(cfg, &mut rng),
+            down: MicroNet::new(cfg, &mut rng),
+            macro_cfg: MacroConfig::default(),
+            codec: LatencyCodec::default(),
+        }
+    }
+
+    fn pkt(src: HostAddr, dst: HostAddr) -> Packet {
+        Packet {
+            id: 1,
+            flow: FlowId(7),
+            src,
+            dst,
+            seg: TcpSegment {
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::default(),
+                payload_len: 1460,
+                ece: false,
+                cwr: false,
+            },
+            ecn: Ecn::NotCapable,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn verdicts_are_physical_and_counted() {
+        let params = ClosParams::paper_cluster(4);
+        let topo = Topology::clos_with_stubs(params, &[1, 2, 3]);
+        let mut oracle =
+            LearnedOracle::new(tiny_model(), params, DropPolicy::Sample, 9);
+        let src = HostAddr::new(1, 0, 0);
+        let dst = HostAddr::new(0, 0, 0);
+        let path = topo.fabric_path(src, dst, FlowId(7));
+        let p = pkt(src, dst);
+        let mut delivered = 0;
+        for i in 0..200 {
+            let ctx = OracleCtx { topo: &topo, cluster: 1, direction: Direction::Up, path };
+            match oracle.classify(&ctx, &p, SimTime::from_micros(i * 10)) {
+                OracleVerdict::Deliver { latency } => {
+                    delivered += 1;
+                    assert!(latency >= SimDuration::from_secs_f64(1e-6));
+                    assert!(latency <= SimDuration::from_secs(1));
+                }
+                OracleVerdict::Drop => {}
+            }
+        }
+        assert_eq!(oracle.stats().classified, 200);
+        assert_eq!(
+            oracle.stats().drops + delivered,
+            200,
+            "every verdict is a drop or a delivery"
+        );
+        assert_eq!(oracle.stats().per_state.iter().sum::<u64>(), 200);
+    }
+
+    #[test]
+    fn threshold_policy_is_deterministic() {
+        let params = ClosParams::paper_cluster(2);
+        let topo = Topology::clos_with_stubs(params, &[1]);
+        let run = || {
+            let mut oracle =
+                LearnedOracle::new(tiny_model(), params, DropPolicy::Threshold(0.5), 1);
+            let src = HostAddr::new(1, 0, 0);
+            let dst = HostAddr::new(0, 0, 0);
+            let path = topo.fabric_path(src, dst, FlowId(7));
+            let p = pkt(src, dst);
+            (0..50)
+                .map(|i| {
+                    let ctx =
+                        OracleCtx { topo: &topo, cluster: 1, direction: Direction::Up, path };
+                    match oracle.classify(&ctx, &p, SimTime::from_micros(i * 5)) {
+                        OracleVerdict::Drop => -1.0,
+                        OracleVerdict::Deliver { latency } => latency.as_secs_f64(),
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn per_cluster_state_is_independent() {
+        let params = ClosParams::paper_cluster(4);
+        let topo = Topology::clos_with_stubs(params, &[1, 2, 3]);
+        let mut oracle = LearnedOracle::new(tiny_model(), params, DropPolicy::Threshold(1.1), 2);
+        let src = HostAddr::new(1, 0, 0);
+        let dst = HostAddr::new(0, 0, 0);
+        let path = topo.fabric_path(src, dst, FlowId(7));
+        let p = pkt(src, dst);
+        // Hammer cluster 1 only; cluster 2's state must stay fresh.
+        for i in 0..100 {
+            let ctx = OracleCtx { topo: &topo, cluster: 1, direction: Direction::Up, path };
+            oracle.classify(&ctx, &p, SimTime::from_micros(i));
+        }
+        assert_eq!(oracle.macro_state(2), MacroState::Minimal);
+        assert_eq!(oracle.clusters.len(), 1, "cluster 2 never materialized");
+    }
+
+    #[test]
+    fn model_json_round_trip() {
+        let m = tiny_model();
+        let back = ClusterModel::from_json(&m.to_json()).unwrap();
+        let x = vec![0.1f32; FEATURE_DIM];
+        let a = m.up.predict(&x, &mut m.up.init_state());
+        let b = back.up.predict(&x, &mut back.up.init_state());
+        assert_eq!(a.drop_prob, b.drop_prob);
+        assert_eq!(a.latency, b.latency);
+    }
+}

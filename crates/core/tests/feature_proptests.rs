@@ -1,0 +1,92 @@
+//! Property tests for the feature pipeline: whatever packet stream the
+//! simulator produces, features must stay finite and bounded, the latency
+//! codec must be a monotone quasi-inverse pair, and the macro classifier
+//! must never panic or leave its state space.
+
+use elephant_core::{FeatureExtractor, LatencyCodec, MacroConfig, MacroModel, MacroState, FEATURE_DIM};
+use elephant_des::{SimDuration, SimTime};
+use elephant_net::{ClosParams, Direction, FabricPath, HostAddr};
+use proptest::prelude::*;
+
+fn arb_addr(params: ClosParams) -> impl Strategy<Value = HostAddr> {
+    (
+        0..params.clusters,
+        0..params.racks_per_cluster,
+        0..params.hosts_per_rack,
+    )
+        .prop_map(|(c, r, h)| HostAddr::new(c, r, h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Features are always FEATURE_DIM wide, finite, and in a sane range,
+    /// for any addresses/paths/times/sizes the topology can produce.
+    #[test]
+    fn features_bounded(
+        src_i in 0u16..64,
+        dst_i in 0u16..64,
+        tor in 0u16..2,
+        agg in 0u16..2,
+        core in 0u16..2,
+        size in 64u32..1500,
+        times in proptest::collection::vec(0u64..1_000_000_000, 1..64),
+        state_ix in 0usize..4,
+        up in any::<bool>(),
+    ) {
+        let params = ClosParams::paper_cluster(8);
+        let mut fx = FeatureExtractor::new(&params);
+        let src = HostAddr::new(src_i % 8, (src_i / 8) % 2, (src_i / 16) % 4);
+        let dst = HostAddr::new(dst_i % 8, (dst_i / 8) % 2, (dst_i / 16) % 4);
+        let path = FabricPath { src_tor: tor, src_agg: agg, core: Some(core), dst_agg: agg, dst_tor: tor };
+        let state = MacroState::ALL[state_ix];
+        let dir = if up { Direction::Up } else { Direction::Down };
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        for t in sorted {
+            let f = fx.extract(src, dst, size, dir, &path, SimTime::from_nanos(t), state);
+            prop_assert_eq!(f.len(), FEATURE_DIM);
+            for (i, v) in f.iter().enumerate() {
+                prop_assert!(v.is_finite(), "feature {i} not finite");
+                prop_assert!((-0.01..=1.5).contains(v), "feature {i} out of range: {v}");
+            }
+        }
+    }
+
+    /// decode(encode(x)) ≈ x within the codec's support, and encode is
+    /// monotone.
+    #[test]
+    fn latency_codec_quasi_inverse(us1 in 1u64..1_000_000, us2 in 1u64..1_000_000) {
+        let codec = LatencyCodec::default();
+        let (lo, hi) = (us1.min(us2), us1.max(us2));
+        let e_lo = codec.encode(SimDuration::from_micros(lo));
+        let e_hi = codec.encode(SimDuration::from_micros(hi));
+        prop_assert!(e_lo <= e_hi, "monotone encode");
+        let d = codec.decode(e_lo);
+        let rel = (d.as_secs_f64() - lo as f64 * 1e-6).abs() / (lo as f64 * 1e-6);
+        prop_assert!(rel < 0.02, "round-trip error {rel}");
+    }
+
+    /// The macro model accepts any observation stream without panicking
+    /// and always reports a legal state; all-calm streams end Minimal.
+    #[test]
+    fn macro_model_total(
+        obs in proptest::collection::vec((0u64..1_000_000, any::<bool>()), 1..500),
+    ) {
+        let mut m = MacroModel::new(MacroConfig::default());
+        for (lat_ns, dropped) in obs {
+            let s = if dropped {
+                m.observe(None, true)
+            } else {
+                m.observe(Some(lat_ns as f64 * 1e-9), false)
+            };
+            prop_assert!(s.index() < 4);
+            prop_assert!((0.0..=1.0).contains(&m.drop_rate()));
+        }
+        // Flood with calm: must return to Minimal.
+        for _ in 0..2000 {
+            m.observe(Some(1e-6), false);
+        }
+        prop_assert_eq!(m.state(), MacroState::Minimal);
+    }
+}

@@ -1,0 +1,570 @@
+//! Conservative parallel discrete-event simulation (PDES).
+//!
+//! This engine reproduces the *kind* of parallelism OMNeT++'s MPI-based
+//! PDES offers, which the paper's Figure 1 evaluates: the model is split
+//! into partitions (logical processes), each with its own future event list,
+//! and partitions may only exchange events whose delivery delay is at least
+//! the **lookahead** `L` — in a network model, the minimum latency of any
+//! cross-partition link.
+//!
+//! Synchronization is barrier-synchronous ("synchronous conservative"):
+//! simulated time advances in epochs of length `L`. Within an epoch every
+//! partition processes its local events independently; at the epoch barrier,
+//! cross-partition events are exchanged and the next epoch begins at the
+//! earliest pending event anywhere (so idle stretches are skipped in one
+//! jump). Correctness follows from the lookahead guarantee: an event sent
+//! at local time `s ∈ [T, T+L)` arrives at `s + delay ≥ T + L`, i.e. never
+//! inside the epoch that produced it.
+//!
+//! ## Emulating multi-machine deployments
+//!
+//! The paper runs PDES across 1–4 physical machines over MPI. We emulate a
+//! machine boundary faithfully at the transport level: partitions are
+//! assigned to machines, and every event crossing a machine boundary is
+//! marshalled through a byte buffer ([`Transportable`]), prepended with a
+//! configurable envelope (modeling MPI headers and kernel copies), checksummed
+//! (forcing the copies to actually happen), and unmarshalled on the far
+//! side. Same-machine exchanges move the event by pointer. This gives the
+//! distinctive Figure-1 behaviour — more machines means more per-message
+//! overhead — without requiring actual remote hosts.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
+
+use crate::sched::Scheduler;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a partition (logical process) in a PDES run.
+pub type PartitionId = usize;
+
+/// Events that can cross a (simulated) machine boundary.
+///
+/// `encode`/`decode` must round-trip exactly; the engine asserts nothing
+/// about the wire format beyond that.
+pub trait Transportable: Sized {
+    /// Serializes `self` onto `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Deserializes one value, consuming its bytes. Returns `None` on a
+    /// malformed buffer (treated as a fatal model error by the engine).
+    fn decode(buf: &mut Bytes) -> Option<Self>;
+}
+
+/// A partitioned simulation model.
+///
+/// Like [`crate::World`], but the handler may also emit events destined for
+/// other partitions through the [`RemoteSink`].
+pub trait PartitionWorld: Send {
+    /// The event alphabet, shared by all partitions of the model.
+    type Event: Transportable + Send;
+
+    /// Handles one local event. Remote events must respect the lookahead:
+    /// their delivery time must be at least the end of the current epoch
+    /// (the sink enforces this with an assertion).
+    fn handle(
+        &mut self,
+        event: Self::Event,
+        sched: &mut Scheduler<Self::Event>,
+        remote: &mut RemoteSink<Self::Event>,
+    );
+}
+
+/// Collects events addressed to other partitions during an epoch.
+pub struct RemoteSink<E> {
+    epoch_end: SimTime,
+    out: Vec<(PartitionId, SimTime, E)>,
+}
+
+impl<E> RemoteSink<E> {
+    fn new() -> Self {
+        RemoteSink { epoch_end: SimTime::ZERO, out: Vec::new() }
+    }
+
+    /// Sends `event` to `partition`, to be delivered at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` violates the lookahead guarantee (falls inside the
+    /// current epoch); that is a causality bug in the model, not a
+    /// recoverable condition.
+    pub fn send(&mut self, partition: PartitionId, at: SimTime, event: E) {
+        assert!(
+            at >= self.epoch_end,
+            "lookahead violation: remote event at {at} inside epoch ending {}",
+            self.epoch_end
+        );
+        self.out.push((partition, at, event));
+    }
+}
+
+/// One partition: its world plus its private future event list.
+pub struct PartitionSim<W: PartitionWorld> {
+    world: W,
+    sched: Scheduler<W::Event>,
+}
+
+impl<W: PartitionWorld> PartitionSim<W> {
+    /// Wraps a world with an empty scheduler.
+    pub fn new(world: W) -> Self {
+        PartitionSim { world, sched: Scheduler::new() }
+    }
+
+    /// Access the scheduler, e.g. to seed initial events.
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler<W::Event> {
+        &mut self.sched
+    }
+
+    /// Immutable access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+}
+
+/// Static configuration of a PDES run.
+#[derive(Clone, Debug)]
+pub struct PdesConfig {
+    /// The lookahead `L`: minimum cross-partition delivery delay. Must be
+    /// positive; the model must never send a remote event sooner than `L`
+    /// after the moment it is sent.
+    pub lookahead: SimDuration,
+    /// Machine assignment, one entry per partition. Events between
+    /// partitions on different machines pay the marshalling cost.
+    pub machine_of: Vec<usize>,
+    /// Envelope bytes prepended to every cross-machine message, modeling
+    /// MPI headers plus kernel copy overhead. 0 disables the envelope but
+    /// marshalling still occurs.
+    pub envelope_bytes: usize,
+}
+
+impl PdesConfig {
+    /// All partitions on a single machine.
+    pub fn single_machine(partitions: usize, lookahead: SimDuration) -> Self {
+        PdesConfig { lookahead, machine_of: vec![0; partitions], envelope_bytes: 0 }
+    }
+
+    /// Partitions dealt round-robin across `machines` machines with the
+    /// given envelope size.
+    pub fn round_robin(
+        partitions: usize,
+        machines: usize,
+        lookahead: SimDuration,
+        envelope_bytes: usize,
+    ) -> Self {
+        assert!(machines >= 1);
+        PdesConfig {
+            lookahead,
+            machine_of: (0..partitions).map(|p| p % machines).collect(),
+            envelope_bytes,
+        }
+    }
+}
+
+/// Aggregate statistics from a PDES run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PdesReport {
+    /// Number of epoch barriers executed.
+    pub epochs: u64,
+    /// Total events executed across all partitions.
+    pub events_executed: u64,
+    /// Cross-partition messages delivered (marshalled or not).
+    pub remote_messages: u64,
+    /// Cross-machine messages, i.e. the subset that was marshalled.
+    pub marshalled_messages: u64,
+    /// Total bytes pushed through the marshalling path (payload + envelope).
+    pub bytes_marshalled: u64,
+}
+
+/// Drives a set of [`PartitionSim`]s in parallel, one OS thread each.
+pub struct PdesRunner<W: PartitionWorld> {
+    partitions: Vec<PartitionSim<W>>,
+    config: PdesConfig,
+}
+
+/// Epoch decision computed by thread 0 at each barrier.
+#[derive(Clone, Copy)]
+struct EpochPlan {
+    end: SimTime,
+    terminate: bool,
+}
+
+struct Shared<E> {
+    barrier: Barrier,
+    /// Earliest pending event time per partition (`None` = drained).
+    next_times: Mutex<Vec<Option<SimTime>>>,
+    plan: Mutex<EpochPlan>,
+    /// Inbound mailboxes, one per partition.
+    mailboxes: Vec<Mutex<Vec<(SimTime, E)>>>,
+    epochs: AtomicU64,
+    events: AtomicU64,
+    remote_msgs: AtomicU64,
+    marshalled_msgs: AtomicU64,
+    marshalled_bytes: AtomicU64,
+    poisoned: AtomicBool,
+}
+
+impl<W: PartitionWorld> PdesRunner<W> {
+    /// Builds a runner. `config.machine_of` must have one entry per
+    /// partition and `lookahead` must be positive.
+    pub fn new(partitions: Vec<PartitionSim<W>>, config: PdesConfig) -> Self {
+        assert!(!partitions.is_empty(), "need at least one partition");
+        assert_eq!(
+            config.machine_of.len(),
+            partitions.len(),
+            "machine_of must list every partition"
+        );
+        assert!(config.lookahead > SimDuration::ZERO, "lookahead must be positive");
+        PdesRunner { partitions, config }
+    }
+
+    /// Runs all partitions until every event with time ≤ `horizon` has been
+    /// executed (or the model drains). Returns aggregate statistics.
+    pub fn run_until(&mut self, horizon: SimTime) -> PdesReport {
+        let n = self.partitions.len();
+        let shared: Shared<W::Event> = Shared {
+            barrier: Barrier::new(n),
+            next_times: Mutex::new(vec![None; n]),
+            plan: Mutex::new(EpochPlan { end: SimTime::ZERO, terminate: false }),
+            mailboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            epochs: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            remote_msgs: AtomicU64::new(0),
+            marshalled_msgs: AtomicU64::new(0),
+            marshalled_bytes: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+        };
+        let config = &self.config;
+
+        std::thread::scope(|scope| {
+            for (id, part) in self.partitions.iter_mut().enumerate() {
+                let shared = &shared;
+                scope.spawn(move || {
+                    partition_main(id, part, shared, config, horizon);
+                });
+            }
+        });
+
+        assert!(
+            !shared.poisoned.load(Ordering::SeqCst),
+            "a PDES partition thread panicked"
+        );
+        PdesReport {
+            epochs: shared.epochs.load(Ordering::Relaxed),
+            events_executed: shared.events.load(Ordering::Relaxed),
+            remote_messages: shared.remote_msgs.load(Ordering::Relaxed),
+            marshalled_messages: shared.marshalled_msgs.load(Ordering::Relaxed),
+            bytes_marshalled: shared.marshalled_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Consumes the runner, returning the partitions for inspection.
+    pub fn into_partitions(self) -> Vec<PartitionSim<W>> {
+        self.partitions
+    }
+
+    /// Immutable view of the partitions.
+    pub fn partitions(&self) -> &[PartitionSim<W>] {
+        &self.partitions
+    }
+}
+
+/// Body of each partition thread: the epoch loop described in the module
+/// docs. All threads execute this in lockstep, separated by barriers.
+fn partition_main<W: PartitionWorld>(
+    id: PartitionId,
+    part: &mut PartitionSim<W>,
+    shared: &Shared<W::Event>,
+    config: &PdesConfig,
+    horizon: SimTime,
+) {
+    // Poison-on-panic guard so that one panicking thread does not leave the
+    // others parked on a barrier forever in tests: we mark poisoned and the
+    // panic unwinds through `scope`, which propagates it after joining.
+    struct Guard<'a>(&'a AtomicBool);
+    impl Drop for Guard<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+    let _guard = Guard(&shared.poisoned);
+
+    let mut remote = RemoteSink::new();
+    let my_machine = config.machine_of[id];
+
+    loop {
+        // Phase 1: deliver inbound mail into the local FEL.
+        {
+            let mut mail = shared.mailboxes[id].lock();
+            for (at, ev) in mail.drain(..) {
+                part.sched.schedule_at(at, ev);
+            }
+        }
+
+        // Phase 2: publish my earliest pending time.
+        {
+            let mut slots = shared.next_times.lock();
+            slots[id] = part.sched.peek_time();
+        }
+        shared.barrier.wait();
+
+        // Phase 3: thread 0 plans the epoch.
+        if id == 0 {
+            let slots = shared.next_times.lock();
+            let global_min = slots.iter().flatten().min().copied();
+            let mut plan = shared.plan.lock();
+            *plan = match global_min {
+                Some(start) if start <= horizon => EpochPlan {
+                    end: start.saturating_add(config.lookahead),
+                    terminate: false,
+                },
+                _ => EpochPlan { end: horizon, terminate: true },
+            };
+            if !plan.terminate {
+                shared.epochs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shared.barrier.wait();
+
+        let plan = *shared.plan.lock();
+        if plan.terminate {
+            break;
+        }
+
+        // Phase 4: execute local events in [start, end), capped by horizon.
+        remote.epoch_end = plan.end;
+        let mut executed = 0u64;
+        while let Some(t) = part.sched.peek_time() {
+            if t >= plan.end || t > horizon {
+                break;
+            }
+            let (_, ev) = part.sched.pop().expect("peeked event vanished");
+            part.world.handle(ev, &mut part.sched, &mut remote);
+            executed += 1;
+        }
+        if executed > 0 {
+            shared.events.fetch_add(executed, Ordering::Relaxed);
+        }
+
+        // Phase 5: post outbound remote events, marshalling across machines.
+        if !remote.out.is_empty() {
+            let mut marshalled = 0u64;
+            let mut bytes_total = 0u64;
+            let count = remote.out.len() as u64;
+            for (dst, at, ev) in remote.out.drain(..) {
+                assert!(dst < config.machine_of.len(), "remote event to unknown partition {dst}");
+                let ev = if config.machine_of[dst] != my_machine {
+                    let (ev, nbytes) = marshal_round_trip(ev, config.envelope_bytes);
+                    marshalled += 1;
+                    bytes_total += nbytes;
+                    ev
+                } else {
+                    ev
+                };
+                shared.mailboxes[dst].lock().push((at, ev));
+            }
+            shared.remote_msgs.fetch_add(count, Ordering::Relaxed);
+            if marshalled > 0 {
+                shared.marshalled_msgs.fetch_add(marshalled, Ordering::Relaxed);
+                shared.marshalled_bytes.fetch_add(bytes_total, Ordering::Relaxed);
+            }
+        }
+
+        // Phase 6: barrier ending the epoch; guarantees all mail is posted
+        // before anyone starts phase 1 of the next epoch.
+        shared.barrier.wait();
+    }
+}
+
+/// Pushes an event through the simulated machine boundary: encode, wrap in
+/// an envelope, checksum (so the optimizer cannot elide the copies), decode.
+/// Returns the reconstructed event and the number of bytes moved.
+fn marshal_round_trip<E: Transportable>(ev: E, envelope_bytes: usize) -> (E, u64) {
+    let mut buf = BytesMut::with_capacity(64 + envelope_bytes);
+    buf.put_bytes(0xA5, envelope_bytes); // MPI-style envelope / copy cost
+    ev.encode(&mut buf);
+    let frozen = buf.freeze();
+    // Touch every byte, as a real transport would while copying to a socket.
+    let checksum: u64 = frozen.iter().fold(0u64, |acc, &b| acc.wrapping_mul(31).wrapping_add(b as u64));
+    std::hint::black_box(checksum);
+    let nbytes = frozen.len() as u64;
+    let mut rd = frozen;
+    rd.advance(envelope_bytes);
+    let ev = E::decode(&mut rd).expect("Transportable round-trip failed");
+    (ev, nbytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A token that hops between partitions `hops` times, incrementing a
+    /// counter on each arrival. Cross-partition delay = LOOKAHEAD.
+    const LOOKAHEAD: SimDuration = SimDuration::from_micros(1);
+
+    #[derive(Debug, PartialEq)]
+    struct Token {
+        hops_left: u32,
+        value: u64,
+    }
+
+    impl Transportable for Token {
+        fn encode(&self, buf: &mut BytesMut) {
+            buf.put_u32(self.hops_left);
+            buf.put_u64(self.value);
+        }
+        fn decode(buf: &mut Bytes) -> Option<Self> {
+            if buf.remaining() < 12 {
+                return None;
+            }
+            Some(Token { hops_left: buf.get_u32(), value: buf.get_u64() })
+        }
+    }
+
+    struct Ring {
+        id: PartitionId,
+        n: usize,
+        arrivals: u64,
+        last_value: u64,
+    }
+
+    impl PartitionWorld for Ring {
+        type Event = Token;
+        fn handle(
+            &mut self,
+            ev: Token,
+            sched: &mut Scheduler<Token>,
+            remote: &mut RemoteSink<Token>,
+        ) {
+            self.arrivals += 1;
+            self.last_value = ev.value;
+            if ev.hops_left == 0 {
+                return;
+            }
+            let next = Token { hops_left: ev.hops_left - 1, value: ev.value + 1 };
+            let at = sched.now() + LOOKAHEAD;
+            let dst = (self.id + 1) % self.n;
+            if dst == self.id {
+                sched.schedule_at(at, next);
+            } else {
+                remote.send(dst, at, next);
+            }
+        }
+    }
+
+    fn ring_run(n: usize, hops: u32, machines: usize, envelope: usize) -> (Vec<Ring>, PdesReport) {
+        let mut parts: Vec<PartitionSim<Ring>> = (0..n)
+            .map(|id| PartitionSim::new(Ring { id, n, arrivals: 0, last_value: 0 }))
+            .collect();
+        parts[0]
+            .scheduler_mut()
+            .schedule_at(SimTime::ZERO, Token { hops_left: hops, value: 0 });
+        let config = PdesConfig::round_robin(n, machines, LOOKAHEAD, envelope);
+        let mut runner = PdesRunner::new(parts, config);
+        let report = runner.run_until(SimTime::from_secs(10));
+        let worlds = runner
+            .into_partitions()
+            .into_iter()
+            .map(|p| {
+                let PartitionSim { world, .. } = p;
+                world
+            })
+            .collect();
+        (worlds, report)
+    }
+
+    #[test]
+    fn token_ring_single_machine() {
+        let (worlds, report) = ring_run(4, 99, 1, 0);
+        let total: u64 = worlds.iter().map(|w| w.arrivals).sum();
+        assert_eq!(total, 100); // initial arrival + 99 hops
+        assert_eq!(report.events_executed, 100);
+        assert_eq!(report.remote_messages, 99);
+        assert_eq!(report.marshalled_messages, 0, "same machine, no marshalling");
+        // The token's value counts hops; last arrival carries 99.
+        let max_value = worlds.iter().map(|w| w.last_value).max().unwrap();
+        assert_eq!(max_value, 99);
+    }
+
+    #[test]
+    fn token_ring_cross_machine_marshals() {
+        let (worlds, report) = ring_run(4, 99, 2, 32);
+        let total: u64 = worlds.iter().map(|w| w.arrivals).sum();
+        assert_eq!(total, 100);
+        // Round-robin over 2 machines: every hop crosses machines
+        // (0->1, 1->2, 2->3, 3->0 all change parity).
+        assert_eq!(report.marshalled_messages, 99);
+        assert_eq!(report.bytes_marshalled, 99 * (32 + 12));
+    }
+
+    #[test]
+    fn pdes_matches_sequential_semantics() {
+        // The same ring run sequentially: arrivals land at times 0, L, 2L, …
+        // PDES must deliver identical per-partition arrival counts.
+        let (worlds, _) = ring_run(3, 10, 1, 0);
+        // Partition 0 sees arrivals at hop 0, 3, 6, 9 => 4 arrivals.
+        assert_eq!(worlds[0].arrivals, 4);
+        assert_eq!(worlds[1].arrivals, 4); // hops 1, 4, 7, 10
+        assert_eq!(worlds[2].arrivals, 3); // hops 2, 5, 8
+    }
+
+    #[test]
+    fn horizon_truncates() {
+        // 99 hops of 1us each; horizon 10us lets hops 0..=10 land.
+        let mut parts: Vec<PartitionSim<Ring>> = (0..2)
+            .map(|id| PartitionSim::new(Ring { id, n: 2, arrivals: 0, last_value: 0 }))
+            .collect();
+        parts[0]
+            .scheduler_mut()
+            .schedule_at(SimTime::ZERO, Token { hops_left: 99, value: 0 });
+        let mut runner =
+            PdesRunner::new(parts, PdesConfig::single_machine(2, LOOKAHEAD));
+        let report = runner.run_until(SimTime::from_micros(10));
+        assert_eq!(report.events_executed, 11);
+    }
+
+    #[test]
+    fn single_partition_degenerates_to_sequential() {
+        let (worlds, report) = ring_run(1, 50, 1, 0);
+        assert_eq!(worlds[0].arrivals, 51);
+        assert_eq!(report.remote_messages, 0);
+    }
+
+    #[test]
+    fn empty_model_terminates_immediately() {
+        let parts: Vec<PartitionSim<Ring>> = (0..3)
+            .map(|id| PartitionSim::new(Ring { id, n: 3, arrivals: 0, last_value: 0 }))
+            .collect();
+        let mut runner =
+            PdesRunner::new(parts, PdesConfig::single_machine(3, LOOKAHEAD));
+        let report = runner.run_until(SimTime::from_secs(1));
+        assert_eq!(report.events_executed, 0);
+        assert_eq!(report.epochs, 0);
+    }
+
+    #[test]
+    fn idle_gaps_are_skipped_in_one_epoch() {
+        // Two events 1 second apart with 1us lookahead: the next-event jump
+        // must not grind through a million empty epochs.
+        struct Sparse;
+        impl PartitionWorld for Sparse {
+            type Event = Token;
+            fn handle(&mut self, _: Token, _: &mut Scheduler<Token>, _: &mut RemoteSink<Token>) {}
+        }
+        let mut part = PartitionSim::new(Sparse);
+        part.scheduler_mut().schedule_at(SimTime::ZERO, Token { hops_left: 0, value: 0 });
+        part.scheduler_mut()
+            .schedule_at(SimTime::from_secs(1), Token { hops_left: 0, value: 0 });
+        let mut runner =
+            PdesRunner::new(vec![part], PdesConfig::single_machine(1, LOOKAHEAD));
+        let report = runner.run_until(SimTime::from_secs(2));
+        assert_eq!(report.events_executed, 2);
+        assert!(report.epochs <= 3, "expected a jump, got {} epochs", report.epochs);
+    }
+}

@@ -1,0 +1,98 @@
+//! Deterministic random-number streams.
+//!
+//! Every stochastic element of a simulation (each traffic source, each ECMP
+//! hash salt, each model initializer) draws from its own named stream derived
+//! from one experiment seed. Streams are independent of the order in which
+//! they are created, so adding instrumentation or reordering setup code never
+//! perturbs results — a property the reproduction harness relies on.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Derives per-component RNGs from a single experiment seed.
+#[derive(Clone, Copy, Debug)]
+pub struct RngFactory {
+    seed: u64,
+}
+
+impl RngFactory {
+    /// Creates a factory for the given experiment seed.
+    pub fn new(seed: u64) -> Self {
+        RngFactory { seed }
+    }
+
+    /// The experiment seed this factory was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Returns the RNG for the stream named by `label` and `index`.
+    ///
+    /// The same `(seed, label, index)` triple always yields the same stream;
+    /// distinct triples yield streams that are statistically independent
+    /// (mixed through SplitMix64, the standard seed-expansion finalizer).
+    pub fn stream(&self, label: &str, index: u64) -> SmallRng {
+        let mut h = self.seed;
+        for &b in label.as_bytes() {
+            h = splitmix64(h ^ b as u64);
+        }
+        h = splitmix64(h ^ index);
+        // Guard against the all-zero degenerate state some generators dislike.
+        SmallRng::seed_from_u64(splitmix64(h) | 1)
+    }
+}
+
+/// SplitMix64 finalizer: a bijective 64-bit mixer with full avalanche.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn draws(rng: &mut SmallRng, n: usize) -> Vec<u64> {
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn same_triple_same_stream() {
+        let f = RngFactory::new(42);
+        let a = draws(&mut f.stream("tcp", 3), 16);
+        let b = draws(&mut f.stream("tcp", 3), 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let f = RngFactory::new(42);
+        assert_ne!(draws(&mut f.stream("tcp", 0), 16), draws(&mut f.stream("ecmp", 0), 16));
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let f = RngFactory::new(42);
+        assert_ne!(draws(&mut f.stream("tcp", 0), 16), draws(&mut f.stream("tcp", 1), 16));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = draws(&mut RngFactory::new(1).stream("x", 0), 16);
+        let b = draws(&mut RngFactory::new(2).stream("x", 0), 16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn splitmix_avalanches() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let base = splitmix64(0x1234_5678);
+        let flipped = splitmix64(0x1234_5679);
+        let differing = (base ^ flipped).count_ones();
+        assert!((16..=48).contains(&differing), "weak avalanche: {differing} bits");
+    }
+}

@@ -1,0 +1,316 @@
+//! The future event list and scheduling interface.
+//!
+//! [`Scheduler`] owns the pending-event heap and the simulation clock. Event
+//! handlers receive `&mut Scheduler<E>` and use it to post future events,
+//! cancel timers, and read the current time.
+//!
+//! Ordering is total and deterministic: events fire in `(time, sequence)`
+//! order, where `sequence` is the order in which they were scheduled. Two
+//! events posted for the same instant therefore fire in posting order, which
+//! makes single-threaded runs bit-reproducible.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Opaque handle identifying a scheduled event, used for cancellation.
+///
+/// Keys are unique for the lifetime of a [`Scheduler`]; they are never
+/// reused, so a stale key held after its event fired is harmless (cancelling
+/// it is a no-op).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventKey(u64);
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Ordering for the max-heap wrapped in `Reverse`: earliest (time, seq) pops
+// first. Only `time` and `seq` participate; the payload is irrelevant.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The future event list: a priority queue of `(time, event)` pairs plus the
+/// simulation clock.
+///
+/// Cancellation uses lazy deletion: cancelled keys go into a tombstone set
+/// and the event is discarded when it reaches the top of the heap. This keeps
+/// `cancel` O(1) while the heap stays a plain binary heap.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    next_seq: u64,
+    /// Seqs scheduled but neither fired nor cancelled yet.
+    pending_keys: HashSet<u64>,
+    cancelled: HashSet<u64>,
+    scheduled_total: u64,
+    executed_total: u64,
+    cancelled_total: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending_keys: HashSet::new(),
+            cancelled: HashSet::new(),
+            scheduled_total: 0,
+            executed_total: 0,
+            cancelled_total: 0,
+        }
+    }
+
+    /// The current simulated time (the timestamp of the event being handled,
+    /// or zero before the first event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past: causality violations are programming
+    /// errors, never recoverable conditions.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventKey {
+        assert!(
+            at >= self.now,
+            "attempted to schedule an event in the past ({at} < now {})",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.pending_keys.insert(seq);
+        self.heap.push(Reverse(Scheduled { time: at, seq, event }));
+        EventKey(seq)
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventKey {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Schedules `event` to fire at the current instant, after all events
+    /// already scheduled for this instant.
+    #[inline]
+    pub fn schedule_now(&mut self, event: E) -> EventKey {
+        self.schedule_at(self.now, event)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending, `false` if it already fired or was already cancelled.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if !self.pending_keys.remove(&key.0) {
+            return false; // already fired, already cancelled, or never issued
+        }
+        self.cancelled.insert(key.0);
+        self.cancelled_total += 1;
+        true
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim_cancelled();
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+
+    /// Removes and returns the earliest pending event, advancing the clock
+    /// to its timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            let Reverse(s) = self.heap.pop()?;
+            if self.cancelled.remove(&s.seq) {
+                continue; // tombstoned
+            }
+            debug_assert!(s.time >= self.now, "heap yielded an event from the past");
+            self.pending_keys.remove(&s.seq);
+            self.now = s.time;
+            self.executed_total += 1;
+            return Some((s.time, s.event));
+        }
+    }
+
+    /// Drops tombstoned entries sitting at the top of the heap so that
+    /// `peek_time` reflects a live event.
+    fn skim_cancelled(&mut self) {
+        while let Some(Reverse(s)) = self.heap.peek() {
+            if self.cancelled.contains(&s.seq) {
+                let Reverse(s) = self.heap.pop().expect("peeked entry vanished");
+                self.cancelled.remove(&s.seq);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of events currently pending (excluding tombstones at the top
+    /// of the heap; interior tombstones are counted until they surface —
+    /// treat this as an upper bound).
+    pub fn pending(&self) -> usize {
+        self.heap.len().saturating_sub(self.cancelled.len())
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.skim_cancelled();
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total events executed (popped and not tombstoned).
+    pub fn executed_total(&self) -> u64 {
+        self.executed_total
+    }
+
+    /// Total events cancelled before firing.
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled_total
+    }
+
+    /// Forces the clock forward to `t` without executing anything.
+    ///
+    /// Used by the PDES engine at epoch barriers; panics if a pending event
+    /// would be skipped or if `t` is in the past.
+    pub fn advance_clock(&mut self, t: SimTime) {
+        assert!(t >= self.now, "clock may not move backwards");
+        if let Some(head) = self.peek_time() {
+            assert!(head >= t, "advance_clock({t}) would skip an event at {head}");
+        }
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(30), "c");
+        s.schedule_at(SimTime::from_nanos(10), "a");
+        s.schedule_at(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(s.now(), SimTime::from_nanos(30));
+    }
+
+    #[test]
+    fn ties_fire_in_posting_order() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            s.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_suppresses_event() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        let k = s.schedule_at(SimTime::from_nanos(10), "dead");
+        s.schedule_at(SimTime::from_nanos(20), "alive");
+        assert!(s.cancel(k));
+        assert!(!s.cancel(k), "double-cancel reports false");
+        let (_, e) = s.pop().unwrap();
+        assert_eq!(e, "alive");
+        assert!(s.pop().is_none());
+        assert_eq!(s.cancelled_total(), 1);
+        assert_eq!(s.executed_total(), 1);
+    }
+
+    #[test]
+    fn cancel_after_fire_reports_false() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        let k = s.schedule_at(SimTime::from_nanos(10), "fired");
+        s.pop();
+        assert!(!s.cancel(k), "cancelling a fired event is a no-op");
+        assert_eq!(s.cancelled_total(), 0);
+        assert_eq!(s.scheduled_total(), s.executed_total() + s.cancelled_total());
+    }
+
+    #[test]
+    fn cancel_unknown_key_is_noop() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        assert!(!s.cancel(EventKey(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        let k = s.schedule_at(SimTime::from_nanos(10), "dead");
+        s.schedule_at(SimTime::from_nanos(20), "alive");
+        s.cancel(k);
+        assert_eq!(s.peek_time(), Some(SimTime::from_nanos(20)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_in_past_panics() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(10), ());
+        s.pop();
+        s.schedule_at(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn schedule_now_runs_after_current_instant_peers() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(10), "first");
+        let (_, e) = s.pop().unwrap();
+        assert_eq!(e, "first");
+        s.schedule_now("second");
+        let (t, e) = s.pop().unwrap();
+        assert_eq!((t, e), (SimTime::from_nanos(10), "second"));
+    }
+
+    #[test]
+    fn advance_clock_moves_time_when_safe() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.advance_clock(SimTime::from_nanos(100));
+        assert_eq!(s.now(), SimTime::from_nanos(100));
+    }
+
+    #[test]
+    #[should_panic]
+    fn advance_clock_refuses_to_skip_events() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(50), ());
+        s.advance_clock(SimTime::from_nanos(100));
+    }
+}

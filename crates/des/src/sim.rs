@@ -1,0 +1,203 @@
+//! The sequential simulation engine.
+//!
+//! A simulation is a [`World`] (all model state plus an event-handling
+//! function) driven by a [`Simulator`], which owns the world and its
+//! [`Scheduler`] and runs the classic DES loop: pop the earliest event,
+//! advance the clock, dispatch to the world, repeat.
+
+use crate::sched::Scheduler;
+use crate::time::SimTime;
+
+/// A simulation model: the state of every simulated component plus the
+/// event dispatch function.
+///
+/// Implementations define a closed event enum as `Self::Event`; the engine
+/// never inspects events, it only orders them.
+pub trait World {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Handles one event at the scheduler's current time. The handler may
+    /// schedule any number of future events.
+    fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Why a call to [`Simulator::run`] (or a relative) returned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// The future event list drained completely.
+    Exhausted,
+    /// The configured time horizon was reached.
+    HorizonReached,
+    /// The configured event budget was spent.
+    BudgetSpent,
+}
+
+/// Drives a [`World`] through simulated time.
+#[derive(Debug)]
+pub struct Simulator<W: World> {
+    world: W,
+    sched: Scheduler<W::Event>,
+}
+
+impl<W: World> Simulator<W> {
+    /// Wraps a world with a fresh scheduler at time zero.
+    pub fn new(world: W) -> Self {
+        Simulator { world, sched: Scheduler::new() }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Immutable access to the model.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the model (e.g. to read out statistics or inject
+    /// configuration between runs).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Mutable access to the scheduler, for seeding initial events.
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler<W::Event> {
+        &mut self.sched
+    }
+
+    /// Immutable access to the scheduler (event counters etc.).
+    pub fn scheduler(&self) -> &Scheduler<W::Event> {
+        &self.sched
+    }
+
+    /// Executes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.sched.pop() {
+            Some((_, ev)) => {
+                self.world.handle(ev, &mut self.sched);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event list drains.
+    pub fn run(&mut self) -> StopReason {
+        while self.step() {}
+        StopReason::Exhausted
+    }
+
+    /// Runs until the event list drains or the clock passes `horizon`.
+    ///
+    /// Events stamped exactly at `horizon` still execute; the first event
+    /// strictly after it stays queued and the clock is left parked at
+    /// `horizon` so a subsequent call can resume seamlessly.
+    pub fn run_until(&mut self, horizon: SimTime) -> StopReason {
+        loop {
+            match self.sched.peek_time() {
+                None => return StopReason::Exhausted,
+                Some(t) if t > horizon => {
+                    self.sched.advance_clock(horizon.max(self.sched.now()));
+                    return StopReason::HorizonReached;
+                }
+                Some(_) => {
+                    let (_, ev) = self.sched.pop().expect("peeked event vanished");
+                    self.world.handle(ev, &mut self.sched);
+                }
+            }
+        }
+    }
+
+    /// Runs until the event list drains or `budget` events have executed,
+    /// whichever comes first. Useful for watchdogs around possibly-livelocked
+    /// models.
+    pub fn run_events(&mut self, budget: u64) -> StopReason {
+        for _ in 0..budget {
+            if !self.step() {
+                return StopReason::Exhausted;
+            }
+        }
+        StopReason::BudgetSpent
+    }
+
+    /// Consumes the simulator and returns the world, e.g. to extract final
+    /// statistics.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A world that counts down: each Tick schedules the next until zero.
+    struct Countdown {
+        remaining: u32,
+        fired_at: Vec<SimTime>,
+    }
+
+    struct Tick;
+
+    impl World for Countdown {
+        type Event = Tick;
+        fn handle(&mut self, _ev: Tick, sched: &mut Scheduler<Tick>) {
+            self.fired_at.push(sched.now());
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                sched.schedule_in(SimDuration::from_nanos(10), Tick);
+            }
+        }
+    }
+
+    fn countdown(n: u32) -> Simulator<Countdown> {
+        let mut sim = Simulator::new(Countdown { remaining: n, fired_at: vec![] });
+        sim.scheduler_mut().schedule_at(SimTime::ZERO, Tick);
+        sim
+    }
+
+    #[test]
+    fn run_drains_queue() {
+        let mut sim = countdown(4);
+        assert_eq!(sim.run(), StopReason::Exhausted);
+        assert_eq!(sim.world().fired_at.len(), 5);
+        assert_eq!(sim.now(), SimTime::from_nanos(40));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon_inclusive() {
+        let mut sim = countdown(100);
+        let r = sim.run_until(SimTime::from_nanos(30));
+        assert_eq!(r, StopReason::HorizonReached);
+        // Ticks at 0,10,20,30 have fired; the one at 40 is pending.
+        assert_eq!(sim.world().fired_at.len(), 4);
+        assert_eq!(sim.now(), SimTime::from_nanos(30));
+        // Resuming picks up where we left off.
+        let r = sim.run_until(SimTime::from_nanos(50));
+        assert_eq!(r, StopReason::HorizonReached);
+        assert_eq!(sim.world().fired_at.len(), 6);
+    }
+
+    #[test]
+    fn run_until_reports_exhaustion() {
+        let mut sim = countdown(2);
+        assert_eq!(sim.run_until(SimTime::from_secs(1)), StopReason::Exhausted);
+    }
+
+    #[test]
+    fn run_events_respects_budget() {
+        let mut sim = countdown(100);
+        assert_eq!(sim.run_events(10), StopReason::BudgetSpent);
+        assert_eq!(sim.world().fired_at.len(), 10);
+        assert_eq!(sim.scheduler().executed_total(), 10);
+    }
+
+    #[test]
+    fn empty_horizon_run_parks_clock() {
+        let mut sim = Simulator::new(Countdown { remaining: 0, fired_at: vec![] });
+        assert_eq!(sim.run_until(SimTime::from_secs(1)), StopReason::Exhausted);
+    }
+}

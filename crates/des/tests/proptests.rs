@@ -1,0 +1,174 @@
+//! Property-based tests of the kernel's ordering, cancellation, and
+//! statistics invariants.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use elephant_des::{EmpiricalCdf, Scheduler, SimDuration, SimTime, Summary};
+use proptest::prelude::*;
+
+/// A random scheduler workload: interleaved schedules (with arbitrary
+/// future offsets) and cancellations.
+#[derive(Clone, Debug)]
+enum Op {
+    Schedule(u64),
+    CancelNth(usize),
+    Pop,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..10_000).prop_map(Op::Schedule),
+            (0usize..64).prop_map(Op::CancelNth),
+            Just(Op::Pop),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    /// The scheduler agrees with a reference model (a sorted multiset of
+    /// (time, seq) pairs with tombstones) on every pop.
+    #[test]
+    fn scheduler_matches_reference_model(ops in arb_ops()) {
+        let mut sched: Scheduler<u64> = Scheduler::new();
+        let mut model: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+        let mut issued = Vec::new(); // (key, time, seq, payload)
+        let mut cancelled = std::collections::HashSet::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut payload = 1000u64;
+
+        for op in ops {
+            match op {
+                Op::Schedule(offset) => {
+                    let t = now + offset;
+                    payload += 1;
+                    let key = sched.schedule_at(SimTime::from_nanos(t), payload);
+                    model.push(Reverse((t, seq, payload)));
+                    issued.push((key, t, seq, payload));
+                    seq += 1;
+                }
+                Op::CancelNth(n) => {
+                    if let Some(&(key, t, s, p)) = issued.get(n % issued.len().max(1)) {
+                        // Cancel both in the scheduler and the model (only
+                        // meaningful if not already popped/cancelled).
+                        if sched.cancel(key) {
+                            cancelled.insert((t, s, p));
+                        }
+                    }
+                }
+                Op::Pop => {
+                    // Pop the reference model's earliest non-cancelled.
+                    let expected = loop {
+                        match model.pop() {
+                            None => break None,
+                            Some(Reverse((t, s, p))) => {
+                                if !cancelled.contains(&(t, s, p)) {
+                                    break Some((t, p));
+                                }
+                            }
+                        }
+                    };
+                    let got = sched.pop().map(|(t, p)| (t.as_nanos(), p));
+                    prop_assert_eq!(got, expected);
+                    if let Some((t, _)) = got {
+                        now = t;
+                    }
+                }
+            }
+        }
+        // Drain both and compare the tails.
+        loop {
+            let expected = loop {
+                match model.pop() {
+                    None => break None,
+                    Some(Reverse((t, s, p))) => {
+                        if !cancelled.contains(&(t, s, p)) {
+                            break Some((t, p));
+                        }
+                    }
+                }
+            };
+            let got = sched.pop().map(|(t, p)| (t.as_nanos(), p));
+            prop_assert_eq!(got, expected);
+            if got.is_none() {
+                break;
+            }
+        }
+        // Conservation: scheduled = executed + cancelled + pending(0).
+        prop_assert_eq!(
+            sched.scheduled_total(),
+            sched.executed_total() + sched.cancelled_total()
+        );
+    }
+
+    /// Pops are globally time-ordered regardless of insertion order.
+    #[test]
+    fn pops_are_monotone(times in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut s: Scheduler<()> = Scheduler::new();
+        for &t in &times {
+            s.schedule_at(SimTime::from_nanos(t), ());
+        }
+        let mut prev = SimTime::ZERO;
+        while let Some((t, _)) = s.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    /// Summary::merge is associative-enough: merging in any split point
+    /// yields the same moments as one pass.
+    #[test]
+    fn summary_split_invariance(
+        data in proptest::collection::vec(-1e6f64..1e6, 2..100),
+        split in 1usize..99,
+    ) {
+        let split = split % (data.len() - 1) + 1;
+        let mut whole = Summary::new();
+        data.iter().for_each(|&x| whole.record(x));
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        data[..split].iter().for_each(|&x| a.record(x));
+        data[split..].iter().for_each(|&x| b.record(x));
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (a.variance() - whole.variance()).abs()
+                <= 1e-6 * (1.0 + whole.variance().abs())
+        );
+    }
+
+    /// KS distance never exceeds the fraction of differing mass: adding
+    /// the same samples to both sides cannot increase it.
+    #[test]
+    fn ks_shrinks_with_shared_mass(
+        shared in proptest::collection::vec(0.0f64..100.0, 1..50),
+        extra in proptest::collection::vec(0.0f64..100.0, 1..50),
+    ) {
+        let a = EmpiricalCdf::from_samples(&extra);
+        let mut both = shared.clone();
+        both.extend_from_slice(&extra);
+        let b = EmpiricalCdf::from_samples(&both);
+        let mut shared_only = shared.clone();
+        shared_only.extend_from_slice(&extra);
+        let c = EmpiricalCdf::from_samples(&shared_only);
+        // b and c are identical multisets: distance 0.
+        prop_assert!(b.ks_distance(&c) < 1e-12);
+        // Distance to the pure-extra distribution is bounded by 1.
+        prop_assert!(a.ks_distance(&b) <= 1.0);
+    }
+
+    /// Durations built from link math always round up, never to zero for
+    /// positive byte counts.
+    #[test]
+    fn serialization_time_positive(bytes in 1u64..1_000_000, gbps in 1.0f64..400.0) {
+        let d = SimDuration::from_bytes_at_gbps(bytes, gbps);
+        prop_assert!(d >= SimDuration::from_nanos(1));
+        // And scales monotonically in size.
+        let d2 = SimDuration::from_bytes_at_gbps(bytes * 2, gbps);
+        prop_assert!(d2 >= d);
+    }
+}

@@ -1,0 +1,1142 @@
+//! The packet-level network engine: a [`World`] whose events are packets,
+//! port transmissions, TCP timers, and flow arrivals.
+//!
+//! One [`Network`] owns the runtime state of every node in a
+//! [`Topology`]: port queues for switches and NICs, TCP connections for
+//! hosts, measurement state, and — in hybrid mode — the cluster oracle that
+//! stands in for approximated fabrics.
+//!
+//! The same engine runs in three configurations:
+//!
+//! 1. **Full fidelity**: every switch simulated, no stubs, no oracle.
+//! 2. **Hybrid** (the paper's contribution): stub clusters route boundary
+//!    crossings through a [`ClusterOracle`].
+//! 3. **Partitioned**: wrapped in [`NetPartition`] and driven by the PDES
+//!    engine; cross-partition packet deliveries travel through
+//!    [`elephant_des::RemoteSink`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use elephant_des::{
+    EventKey, PartitionId, PartitionWorld, RemoteSink, Scheduler, SimDuration, SimTime, Simulator,
+    Transportable, World,
+};
+
+use crate::capture::CaptureState;
+use crate::metrics::{FctRecord, NetStats, RttScope};
+use crate::oracle::{ClusterOracle, OracleCtx, OracleVerdict};
+use crate::packet::{Ecn, Packet};
+use crate::port::{PortCounters, PortState, TxAction};
+use crate::tcp::{TcpConfig, TcpConn, TcpOutput, TimerCmd};
+use crate::topology::Topology;
+use crate::trace_log::{TraceEntry, TraceKind, TraceLog};
+use crate::types::{Direction, FlowId, HostAddr, NodeId, NodeKind, PortId};
+
+/// One application transfer to simulate.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowSpec {
+    /// Canonical flow id (must be unique, direction bit clear).
+    pub id: FlowId,
+    /// Sending host.
+    pub src: HostAddr,
+    /// Receiving host.
+    pub dst: HostAddr,
+    /// Application bytes to transfer.
+    pub bytes: u64,
+    /// When the sender opens the connection.
+    pub start: SimTime,
+}
+
+/// Which of a connection's two timers fired.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TimerKind {
+    /// Retransmission timeout.
+    Rto,
+    /// Delayed-ACK timeout.
+    DelAck,
+}
+
+/// The event alphabet of the network world.
+#[derive(Clone, Debug)]
+pub enum NetEvent {
+    /// A flow begins at its source host.
+    FlowStart(FlowSpec),
+    /// A packet finished its link traversal and is at `node`.
+    Arrive {
+        /// Where the packet now is.
+        node: NodeId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A port finished serializing; it may start on its queue head.
+    PortFree {
+        /// The node owning the port.
+        node: NodeId,
+        /// The port.
+        port: PortId,
+    },
+    /// A TCP timer fired at a host.
+    Timer {
+        /// The host.
+        node: NodeId,
+        /// Canonical flow id of the connection.
+        flow: FlowId,
+        /// Which timer.
+        kind: TimerKind,
+    },
+}
+
+/// Static configuration of a network run.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// TCP parameters used by every connection.
+    pub tcp: TcpConfig,
+    /// Which hosts contribute RTT samples.
+    pub rtt_scope: RttScope,
+    /// Cap on exact RTT samples retained for KS statistics.
+    pub raw_rtt_limit: usize,
+    /// Record ground-truth boundary traversals of this cluster.
+    pub capture_cluster: Option<u16>,
+    /// Minimum latency any oracle verdict may report. Keeps predictions
+    /// physical and — when the hybrid simulator runs under PDES — supplies
+    /// the lookahead floor for oracle deliveries.
+    pub oracle_latency_floor: SimDuration,
+    /// Track exact time-weighted queue occupancy per port (small constant
+    /// cost per enqueue/dequeue; read back via
+    /// [`Network::queue_depth_by_layer`]).
+    pub track_queues: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            tcp: TcpConfig::default(),
+            rtt_scope: RttScope::All,
+            raw_rtt_limit: 1_000_000,
+            capture_cluster: None,
+            oracle_latency_floor: SimDuration::from_micros(2),
+            track_queues: false,
+        }
+    }
+}
+
+struct Conn {
+    tcp: TcpConn,
+    peer: HostAddr,
+    opener: bool,
+    rto_key: Option<EventKey>,
+    delack_key: Option<EventKey>,
+}
+
+struct HostState {
+    addr: HostAddr,
+    conns: HashMap<FlowId, Conn>,
+}
+
+struct FlowMeta {
+    src: HostAddr,
+    dst: HostAddr,
+    bytes: u64,
+    started: SimTime,
+}
+
+struct PartitionCtx {
+    my: PartitionId,
+    node_part: Arc<Vec<u32>>,
+}
+
+/// The packet-level simulator state (see module docs).
+pub struct Network {
+    topo: Arc<Topology>,
+    cfg: NetConfig,
+    ports: Vec<Vec<PortState>>,
+    hosts: Vec<Option<HostState>>,
+    flow_meta: HashMap<FlowId, FlowMeta>,
+    /// Measurement state, public for read-out after a run.
+    pub stats: NetStats,
+    capture: Option<CaptureState>,
+    oracle: Option<Box<dyn ClusterOracle + Send>>,
+    /// Last scheduled oracle delivery per destination, for the paper's
+    /// conflict rule: "the one processed first is given priority, with the
+    /// conflicting packet sent at the next possible time" (§4.2).
+    boundary_gate: HashMap<NodeId, SimTime>,
+    next_pkt_id: u64,
+    scratch: TcpOutput,
+    partition: Option<PartitionCtx>,
+    outbox: Vec<(PartitionId, SimTime, NetEvent)>,
+    trace: Option<TraceLog>,
+}
+
+impl Network {
+    /// Builds runtime state over `topo`.
+    pub fn new(topo: Arc<Topology>, cfg: NetConfig) -> Self {
+        let mut ports = Vec::with_capacity(topo.len());
+        let mut hosts = Vec::with_capacity(topo.len());
+        for node in topo.nodes() {
+            ports.push(
+                node.ports
+                    .iter()
+                    .map(|p| PortState::with_tracking(*p, cfg.track_queues))
+                    .collect(),
+            );
+            hosts.push(match node.kind {
+                NodeKind::Host { addr } => {
+                    Some(HostState { addr, conns: HashMap::new() })
+                }
+                _ => None,
+            });
+        }
+        let capture = cfg.capture_cluster.map(|c| {
+            assert!(!topo.is_stub(c), "cannot capture a stub cluster's fabric");
+            CaptureState::new(c)
+        });
+        Network {
+            stats: NetStats::new(cfg.rtt_scope, cfg.raw_rtt_limit),
+            capture,
+            oracle: None,
+            boundary_gate: HashMap::new(),
+            next_pkt_id: 0,
+            scratch: TcpOutput::default(),
+            partition: None,
+            outbox: Vec::new(),
+            trace: None,
+            ports,
+            hosts,
+            flow_meta: HashMap::new(),
+            topo,
+            cfg,
+        }
+    }
+
+    /// Installs the oracle serving every stub cluster. Required before any
+    /// packet reaches a boundary.
+    pub fn set_oracle(&mut self, oracle: Box<dyn ClusterOracle + Send>) {
+        self.oracle = Some(oracle);
+    }
+
+    /// Enables raw event tracing (§2.1's "print raw packet/event traces"),
+    /// retaining the first `limit` entries.
+    pub fn enable_trace(&mut self, limit: usize) {
+        self.trace = Some(TraceLog::new(limit));
+    }
+
+    /// The event trace, if enabled.
+    pub fn trace(&self) -> Option<&TraceLog> {
+        self.trace.as_ref()
+    }
+
+    #[inline]
+    fn trace_event(&mut self, time: SimTime, kind: TraceKind, node: NodeId, pkt: &Packet) {
+        if let Some(t) = &mut self.trace {
+            t.record(TraceEntry {
+                time,
+                kind,
+                node,
+                packet: pkt.id,
+                flow: pkt.flow,
+                seq: pkt.seg.seq,
+            });
+        }
+    }
+
+    /// Marks this instance as partition `my` of a PDES run; events for
+    /// nodes owned by other partitions are routed through the outbox.
+    pub fn set_partition(&mut self, my: PartitionId, node_part: Arc<Vec<u32>>) {
+        assert_eq!(node_part.len(), self.topo.len(), "partition map must cover every node");
+        self.partition = Some(PartitionCtx { my, node_part });
+    }
+
+    /// The topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Boundary-capture records (empty unless capture was configured).
+    pub fn capture(&self) -> Option<&CaptureState> {
+        self.capture.as_ref()
+    }
+
+    /// Consumes the network, returning capture records.
+    pub fn into_capture(self) -> Option<CaptureState> {
+        self.capture
+    }
+
+    /// Folds the TCP counters of every still-open connection into
+    /// `stats` and drops those connections. Call once, after the run, so
+    /// retransmission totals include flows cut off by the horizon.
+    pub fn absorb_live_connections(&mut self) {
+        for host in self.hosts.iter_mut().flatten() {
+            for (_, conn) in host.conns.drain() {
+                self.stats.absorb_conn(conn.tcp.stats());
+            }
+        }
+    }
+
+    /// Mean and peak queue occupancy (bytes) per layer, measured exactly
+    /// (time-weighted) up to `now`. Requires `cfg.track_queues`; returns
+    /// `None` otherwise. Layers: host NICs, ToR, Agg, Core.
+    pub fn queue_depth_by_layer(&self, now: SimTime) -> Option<[(f64, f64); 4]> {
+        if !self.cfg.track_queues {
+            return None;
+        }
+        let mut acc = [(0.0f64, 0.0f64, 0u32); 4]; // (sum of means, peak, ports)
+        for (i, node) in self.ports.iter().enumerate() {
+            let layer = match self.topo.node(NodeId(i as u32)).kind {
+                NodeKind::Host { .. } => 0,
+                NodeKind::Tor { .. } => 1,
+                NodeKind::Agg { .. } => 2,
+                NodeKind::Core { .. } => 3,
+                NodeKind::Boundary { .. } => continue,
+            };
+            for p in node {
+                let d = p.depth().expect("tracking enabled");
+                acc[layer].0 += d.mean(now);
+                acc[layer].1 = acc[layer].1.max(d.peak());
+                acc[layer].2 += 1;
+            }
+        }
+        Some(acc.map(|(sum, peak, n)| (if n > 0 { sum / n as f64 } else { 0.0 }, peak)))
+    }
+
+    /// Iterates every port's counters with its owning node and port id —
+    /// the raw material for custom link-level analyses.
+    pub fn port_counters(&self) -> impl Iterator<Item = (NodeId, PortId, &PortCounters)> {
+        self.ports.iter().enumerate().flat_map(|(n, ports)| {
+            ports
+                .iter()
+                .enumerate()
+                .map(move |(p, ps)| (NodeId(n as u32), PortId(p as u16), ps.counters()))
+        })
+    }
+
+    /// Mean link utilization per layer over `[0, horizon]`: transmitted
+    /// bits divided by capacity. Layers: host NICs, ToR, Agg, Core.
+    pub fn utilization_by_layer(&self, horizon: SimTime) -> [f64; 4] {
+        let secs = horizon.as_secs_f64().max(1e-12);
+        let mut acc = [(0.0f64, 0u32); 4];
+        for (i, node) in self.ports.iter().enumerate() {
+            let layer = match self.topo.node(NodeId(i as u32)).kind {
+                NodeKind::Host { .. } => 0,
+                NodeKind::Tor { .. } => 1,
+                NodeKind::Agg { .. } => 2,
+                NodeKind::Core { .. } => 3,
+                NodeKind::Boundary { .. } => continue,
+            };
+            for p in node {
+                let cap_bits = p.spec().link.rate_gbps * 1e9 * secs;
+                acc[layer].0 += p.counters().tx_bytes as f64 * 8.0 / cap_bits;
+                acc[layer].1 += 1;
+            }
+        }
+        acc.map(|(sum, n)| if n > 0 { sum / n as f64 } else { 0.0 })
+    }
+
+    /// Aggregated port counters: `(ecn_marks, tx_bytes)` over all ports.
+    pub fn port_totals(&self) -> (u64, u64) {
+        let mut marks = 0;
+        let mut bytes = 0;
+        for node in &self.ports {
+            for p in node {
+                marks += p.counters().ecn_marks;
+                bytes += p.counters().tx_bytes;
+            }
+        }
+        (marks, bytes)
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, ev: NetEvent, sched: &mut Scheduler<NetEvent>) {
+        match ev {
+            NetEvent::FlowStart(spec) => self.flow_start(spec, sched),
+            NetEvent::Arrive { node, pkt } => match self.topo.node(node).kind {
+                NodeKind::Host { addr } => self.host_arrive(node, addr, pkt, sched),
+                NodeKind::Boundary { cluster } => self.boundary_arrive(cluster, pkt, sched),
+                _ => self.switch_arrive(node, pkt, sched),
+            },
+            NetEvent::PortFree { node, port } => self.port_free(node, port, sched),
+            NetEvent::Timer { node, flow, kind } => self.timer_fired(node, flow, kind, sched),
+        }
+    }
+
+    fn flow_start(&mut self, spec: FlowSpec, sched: &mut Scheduler<NetEvent>) {
+        assert!(!spec.id.is_reverse(), "flow specs use canonical ids");
+        let now = sched.now();
+        self.stats.flows_started += 1;
+        self.flow_meta.insert(
+            spec.id,
+            FlowMeta { src: spec.src, dst: spec.dst, bytes: spec.bytes, started: now },
+        );
+        let node = self.topo.host_node(spec.src);
+        let host = self.hosts[node.idx()].as_mut().expect("flow source is a host");
+        let prev = host.conns.insert(
+            spec.id,
+            Conn {
+                tcp: TcpConn::sender(self.cfg.tcp, spec.bytes),
+                peer: spec.dst,
+                opener: true,
+                rto_key: None,
+                delack_key: None,
+            },
+        );
+        assert!(prev.is_none(), "duplicate flow id {:?}", spec.id);
+        self.with_conn(node, spec.id, sched, |conn, now, out| conn.tcp.open(now, out));
+    }
+
+    fn switch_arrive(&mut self, node: NodeId, pkt: Packet, sched: &mut Scheduler<NetEvent>) {
+        let now = sched.now();
+        self.trace_event(now, TraceKind::Arrive, node, &pkt);
+        // Boundary-capture hooks (ground-truth training data).
+        if let Some(cap) = &mut self.capture {
+            let c = cap.cluster();
+            match self.topo.node(node).kind {
+                NodeKind::Tor { cluster, rack }
+                    if cluster == c
+                        && pkt.src.cluster == c
+                        && pkt.src.rack == rack
+                        && pkt.dst.cluster != c =>
+                {
+                    let path = self.topo.fabric_path(pkt.src, pkt.dst, pkt.flow);
+                    cap.begin(&pkt, Direction::Up, path, now);
+                }
+                NodeKind::Agg { cluster, .. }
+                    if cluster == c && pkt.dst.cluster == c && pkt.src.cluster != c =>
+                {
+                    let path = self.topo.fabric_path(pkt.src, pkt.dst, pkt.flow);
+                    cap.begin(&pkt, Direction::Down, path, now);
+                }
+                NodeKind::Core { .. } => cap.end(pkt.id, now),
+                _ => {}
+            }
+        }
+        let port = self.topo.route(node, pkt.dst, pkt.flow);
+        self.send_out(node, port, pkt, sched);
+    }
+
+    fn host_arrive(
+        &mut self,
+        node: NodeId,
+        addr: HostAddr,
+        pkt: Packet,
+        sched: &mut Scheduler<NetEvent>,
+    ) {
+        let now = sched.now();
+        debug_assert_eq!(pkt.dst, addr, "packet delivered to the wrong host");
+        self.trace_event(now, TraceKind::Arrive, node, &pkt);
+        if let Some(cap) = &mut self.capture {
+            cap.end(pkt.id, now);
+        }
+        if pkt.seg.payload_len > 0 {
+            self.stats.delivered_packets += 1;
+        }
+        let canonical = pkt.flow.canonical();
+        let host = self.hosts[node.idx()].as_mut().expect("host node");
+        if let std::collections::hash_map::Entry::Vacant(e) = host.conns.entry(canonical) {
+            if pkt.seg.flags.syn && !pkt.seg.flags.ack {
+                e.insert(Conn {
+                        tcp: TcpConn::receiver(self.cfg.tcp),
+                        peer: pkt.src,
+                        opener: false,
+                        rto_key: None,
+                        delack_key: None,
+                    });
+            } else {
+                return; // stray segment for a closed/unknown connection
+            }
+        }
+        let ce = pkt.ecn == Ecn::CongestionExperienced;
+        self.with_conn(node, canonical, sched, |conn, now, out| {
+            conn.tcp.on_segment(&pkt.seg, ce, now, out)
+        });
+    }
+
+    fn boundary_arrive(&mut self, cluster: u16, pkt: Packet, sched: &mut Scheduler<NetEvent>) {
+        let now = sched.now();
+        let direction =
+            if pkt.dst.cluster == cluster { Direction::Down } else { Direction::Up };
+        let path = self.topo.fabric_path(pkt.src, pkt.dst, pkt.flow);
+        let topo = Arc::clone(&self.topo);
+        let ctx = OracleCtx { topo: &topo, cluster, direction, path };
+        let oracle = self
+            .oracle
+            .as_mut()
+            .expect("topology has stub clusters but no oracle was installed");
+        let boundary = self.topo.boundary_node(cluster).expect("stub cluster");
+        match oracle.classify(&ctx, &pkt, now) {
+            OracleVerdict::Drop => {
+                self.stats.drops.oracle += 1;
+                self.trace_event(now, TraceKind::OracleDrop, boundary, &pkt);
+            }
+            OracleVerdict::Deliver { latency } => {
+                let latency = latency.max(self.cfg.oracle_latency_floor);
+                let dest = match direction {
+                    Direction::Down => self.topo.host_node(pkt.dst),
+                    Direction::Up => {
+                        let core = path.core.expect("Up traversal crosses the core layer");
+                        self.topo.core_node(path.src_agg, core)
+                    }
+                };
+                // Conflict rule (§4.2): no two oracle deliveries to the
+                // same destination at the same instant; later predictions
+                // are pushed to "the next possible time" — one wire
+                // serialization later.
+                let mut at = now + latency;
+                let rate = match direction {
+                    Direction::Down => self.topo.params().host_link.rate_gbps,
+                    Direction::Up => self.topo.params().core_link.rate_gbps,
+                };
+                let gap = SimDuration::from_bytes_at_gbps(pkt.wire_bytes() as u64, rate);
+                if let Some(&last) = self.boundary_gate.get(&dest) {
+                    if at <= last {
+                        at = last + gap;
+                    }
+                }
+                self.boundary_gate.insert(dest, at);
+                self.stats.oracle_deliveries += 1;
+                self.trace_event(now, TraceKind::OracleDeliver, boundary, &pkt);
+                self.deliver(dest, at, pkt, sched);
+            }
+        }
+    }
+
+    fn port_free(&mut self, node: NodeId, port: PortId, sched: &mut Scheduler<NetEvent>) {
+        let now = sched.now();
+        let (next, spec) = {
+            let ps = &mut self.ports[node.idx()][port.idx()];
+            (ps.transmit_next(now), *ps.spec())
+        };
+        if let Some((pkt, serialize)) = next {
+            self.trace_event(now, TraceKind::TxStart, node, &pkt);
+            sched.schedule_at(now + serialize, NetEvent::PortFree { node, port });
+            self.deliver(spec.peer_node, now + serialize + spec.link.prop_delay, pkt, sched);
+        }
+    }
+
+    fn timer_fired(
+        &mut self,
+        node: NodeId,
+        flow: FlowId,
+        kind: TimerKind,
+        sched: &mut Scheduler<NetEvent>,
+    ) {
+        // The fired key is spent; clear it so Set stores a fresh one.
+        if let Some(host) = self.hosts[node.idx()].as_mut() {
+            if let Some(conn) = host.conns.get_mut(&flow) {
+                match kind {
+                    TimerKind::Rto => conn.rto_key = None,
+                    TimerKind::DelAck => conn.delack_key = None,
+                }
+            } else {
+                return; // connection already closed
+            }
+        } else {
+            return;
+        }
+        self.with_conn(node, flow, sched, |conn, now, out| match kind {
+            TimerKind::Rto => conn.tcp.on_rto(now, out),
+            TimerKind::DelAck => conn.tcp.on_delack(now, out),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Plumbing
+    // ------------------------------------------------------------------
+
+    /// Runs `f` against a connection's TCP machine, then turns the
+    /// resulting [`TcpOutput`] into packets, timers, and statistics.
+    fn with_conn(
+        &mut self,
+        node: NodeId,
+        flow: FlowId,
+        sched: &mut Scheduler<NetEvent>,
+        f: impl FnOnce(&mut Conn, SimTime, &mut TcpOutput),
+    ) {
+        let now = sched.now();
+        let mut out = std::mem::take(&mut self.scratch);
+        out.clear();
+
+        let (addr, peer, opener, ecn_capable, closed) = {
+            let host = self.hosts[node.idx()].as_mut().expect("host node");
+            let addr = host.addr;
+            let conn = host.conns.get_mut(&flow).expect("live connection");
+            f(conn, now, &mut out);
+
+            // Timer commands need the scheduler, which we cannot borrow
+            // here; stash the info and apply below.
+            (addr, conn.peer, conn.opener, conn.tcp.ecn_capable(), out.closed)
+        };
+
+        // Timers.
+        self.apply_timer(node, flow, TimerKind::Rto, out.rto, sched);
+        self.apply_timer(node, flow, TimerKind::DelAck, out.delack, sched);
+
+        // Measurements.
+        for &s in &out.rtt_samples {
+            self.stats.record_rtt(addr, s);
+        }
+        self.stats.delivered_bytes += out.accepted_bytes;
+        if out.completed {
+            let meta = self.flow_meta.get(&flow).expect("completed flow has metadata");
+            self.stats.flows_completed += 1;
+            self.stats.fct.push(FctRecord {
+                flow,
+                src: meta.src,
+                dst: meta.dst,
+                bytes: meta.bytes,
+                started: meta.started,
+                completed: now,
+            });
+        }
+
+        // Packets.
+        let dir_flow = if opener { flow } else { flow.reverse() };
+        for seg in out.segments.drain(..) {
+            let ecn = if ecn_capable && seg.payload_len > 0 { Ecn::Capable } else { Ecn::NotCapable };
+            let pkt = Packet {
+                id: self.next_pkt_id,
+                flow: dir_flow,
+                src: addr,
+                dst: peer,
+                seg,
+                ecn,
+                sent_at: now,
+            };
+            self.next_pkt_id += 1;
+            self.send_out(node, PortId(0), pkt, sched);
+        }
+
+        if closed {
+            let host = self.hosts[node.idx()].as_mut().expect("host node");
+            if let Some(conn) = host.conns.remove(&flow) {
+                self.stats.absorb_conn(conn.tcp.stats());
+                if let Some(k) = conn.rto_key {
+                    sched.cancel(k);
+                }
+                if let Some(k) = conn.delack_key {
+                    sched.cancel(k);
+                }
+            }
+        }
+
+        self.scratch = out;
+    }
+
+    fn apply_timer(
+        &mut self,
+        node: NodeId,
+        flow: FlowId,
+        kind: TimerKind,
+        cmd: TimerCmd,
+        sched: &mut Scheduler<NetEvent>,
+    ) {
+        if cmd == TimerCmd::Keep {
+            return;
+        }
+        let host = self.hosts[node.idx()].as_mut().expect("host node");
+        let Some(conn) = host.conns.get_mut(&flow) else { return };
+        let slot = match kind {
+            TimerKind::Rto => &mut conn.rto_key,
+            TimerKind::DelAck => &mut conn.delack_key,
+        };
+        if let Some(old) = slot.take() {
+            sched.cancel(old);
+        }
+        if let TimerCmd::Set(at) = cmd {
+            *slot = Some(sched.schedule_at(at, NetEvent::Timer { node, flow, kind }));
+        }
+    }
+
+    /// Offers a packet to an output port and schedules the consequences.
+    fn send_out(
+        &mut self,
+        node: NodeId,
+        port: PortId,
+        mut pkt: Packet,
+        sched: &mut Scheduler<NetEvent>,
+    ) {
+        let now = sched.now();
+        let (action, spec) = {
+            let ps = &mut self.ports[node.idx()][port.idx()];
+            (ps.offer(&mut pkt, now), *ps.spec())
+        };
+        match action {
+            TxAction::StartTx { serialize } => {
+                self.trace_event(now, TraceKind::TxStart, node, &pkt);
+                sched.schedule_at(now + serialize, NetEvent::PortFree { node, port });
+                self.deliver(spec.peer_node, now + serialize + spec.link.prop_delay, pkt, sched);
+            }
+            TxAction::Queued => {}
+            TxAction::Dropped => self.record_drop(node, &pkt, now),
+        }
+    }
+
+    fn record_drop(&mut self, node: NodeId, pkt: &Packet, now: SimTime) {
+        self.trace_event(now, TraceKind::Drop, node, pkt);
+        match self.topo.node(node).kind {
+            NodeKind::Host { .. } => self.stats.drops.host += 1,
+            NodeKind::Tor { .. } => self.stats.drops.tor += 1,
+            NodeKind::Agg { .. } => self.stats.drops.agg += 1,
+            NodeKind::Core { .. } => self.stats.drops.core += 1,
+            NodeKind::Boundary { .. } => unreachable!("boundaries have no queues"),
+        }
+        if let Some(cap) = &mut self.capture {
+            cap.dropped(pkt.id, now);
+        }
+    }
+
+    /// Schedules an arrival, routing through the PDES outbox when the
+    /// destination node belongs to another partition.
+    fn deliver(&mut self, node: NodeId, at: SimTime, pkt: Packet, sched: &mut Scheduler<NetEvent>) {
+        if let Some(p) = &self.partition {
+            let owner = p.node_part[node.idx()] as PartitionId;
+            if owner != p.my {
+                self.outbox.push((owner, at, NetEvent::Arrive { node, pkt }));
+                return;
+            }
+        }
+        sched.schedule_at(at, NetEvent::Arrive { node, pkt });
+    }
+}
+
+impl World for Network {
+    type Event = NetEvent;
+    fn handle(&mut self, ev: NetEvent, sched: &mut Scheduler<NetEvent>) {
+        debug_assert!(self.partition.is_none(), "partitioned networks run under NetPartition");
+        self.dispatch(ev, sched);
+    }
+}
+
+/// Schedules every flow in `flows` onto a sequential simulator.
+pub fn schedule_flows(sim: &mut Simulator<Network>, flows: &[FlowSpec]) {
+    for &spec in flows {
+        sim.scheduler_mut().schedule_at(spec.start, NetEvent::FlowStart(spec));
+    }
+}
+
+// ----------------------------------------------------------------------
+// PDES adapter
+// ----------------------------------------------------------------------
+
+/// Wraps a partition-aware [`Network`] as a [`PartitionWorld`].
+pub struct NetPartition {
+    /// The partition's slice of the network.
+    pub net: Network,
+}
+
+impl PartitionWorld for NetPartition {
+    type Event = NetEvent;
+    fn handle(
+        &mut self,
+        ev: NetEvent,
+        sched: &mut Scheduler<NetEvent>,
+        remote: &mut RemoteSink<NetEvent>,
+    ) {
+        self.net.dispatch(ev, sched);
+        for (dst, at, ev) in self.net.outbox.drain(..) {
+            remote.send(dst, at, ev);
+        }
+    }
+}
+
+impl Transportable for NetEvent {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            NetEvent::FlowStart(s) => {
+                buf.put_u8(0);
+                buf.put_u64(s.id.0);
+                for a in [s.src, s.dst] {
+                    buf.put_u16(a.cluster);
+                    buf.put_u16(a.rack);
+                    buf.put_u16(a.host);
+                }
+                buf.put_u64(s.bytes);
+                buf.put_u64(s.start.as_nanos());
+            }
+            NetEvent::Arrive { node, pkt } => {
+                buf.put_u8(1);
+                buf.put_u32(node.0);
+                pkt.encode(buf);
+            }
+            NetEvent::PortFree { node, port } => {
+                buf.put_u8(2);
+                buf.put_u32(node.0);
+                buf.put_u16(port.0);
+            }
+            NetEvent::Timer { node, flow, kind } => {
+                buf.put_u8(3);
+                buf.put_u32(node.0);
+                buf.put_u64(flow.0);
+                buf.put_u8(matches!(kind, TimerKind::DelAck) as u8);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        match buf.get_u8() {
+            0 => {
+                if buf.remaining() < 8 + 12 + 8 + 8 {
+                    return None;
+                }
+                let id = FlowId(buf.get_u64());
+                let src = HostAddr::new(buf.get_u16(), buf.get_u16(), buf.get_u16());
+                let dst = HostAddr::new(buf.get_u16(), buf.get_u16(), buf.get_u16());
+                let bytes = buf.get_u64();
+                let start = SimTime::from_nanos(buf.get_u64());
+                Some(NetEvent::FlowStart(FlowSpec { id, src, dst, bytes, start }))
+            }
+            1 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let node = NodeId(buf.get_u32());
+                Packet::decode(buf).map(|pkt| NetEvent::Arrive { node, pkt })
+            }
+            2 => {
+                if buf.remaining() < 6 {
+                    return None;
+                }
+                Some(NetEvent::PortFree {
+                    node: NodeId(buf.get_u32()),
+                    port: PortId(buf.get_u16()),
+                })
+            }
+            3 => {
+                if buf.remaining() < 13 {
+                    return None;
+                }
+                let node = NodeId(buf.get_u32());
+                let flow = FlowId(buf.get_u64());
+                let kind = if buf.get_u8() == 1 { TimerKind::DelAck } else { TimerKind::Rto };
+                Some(NetEvent::Timer { node, flow, kind })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{FixedLatencyOracle, IdealOracle};
+    use crate::topology::ClosParams;
+
+    fn sim_with_flows(
+        topo: Topology,
+        cfg: NetConfig,
+        flows: &[FlowSpec],
+    ) -> Simulator<Network> {
+        let mut sim = Simulator::new(Network::new(Arc::new(topo), cfg));
+        schedule_flows(&mut sim, flows);
+        sim
+    }
+
+    fn flow(id: u64, src: HostAddr, dst: HostAddr, bytes: u64, start_us: u64) -> FlowSpec {
+        FlowSpec {
+            id: FlowId(id),
+            src,
+            dst,
+            bytes,
+            start: SimTime::from_micros(start_us),
+        }
+    }
+
+    #[test]
+    fn same_rack_flow_completes() {
+        let topo = Topology::clos(ClosParams::paper_cluster(2));
+        let flows = [flow(1, HostAddr::new(0, 0, 0), HostAddr::new(0, 0, 1), 100_000, 0)];
+        let mut sim = sim_with_flows(topo, NetConfig::default(), &flows);
+        sim.run_until(SimTime::from_secs(2));
+        let st = &sim.world().stats;
+        assert_eq!(st.flows_completed, 1);
+        assert_eq!(st.fct.len(), 1);
+        assert_eq!(st.delivered_bytes, 100_000);
+        assert_eq!(st.drops.total(), 0);
+        // FCT sanity: 100kB at 10G is ~80us of serialization plus RTTs.
+        let fct = st.fct[0].fct();
+        assert!(fct > SimDuration::from_micros(80), "fct {fct}");
+        assert!(fct < SimDuration::from_millis(10), "fct {fct}");
+    }
+
+    #[test]
+    fn inter_cluster_flow_completes() {
+        let topo = Topology::clos(ClosParams::paper_cluster(4));
+        let flows = [flow(1, HostAddr::new(0, 0, 0), HostAddr::new(3, 1, 2), 250_000, 0)];
+        let mut sim = sim_with_flows(topo, NetConfig::default(), &flows);
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.world().stats.flows_completed, 1);
+        assert_eq!(sim.world().stats.delivered_bytes, 250_000);
+        assert!(sim.world().stats.rtt_hist.count() > 0, "RTT samples collected");
+    }
+
+    #[test]
+    fn incast_causes_drops_but_flows_finish() {
+        // 8 senders, one receiver: the receiver's host link is the
+        // bottleneck and its ToR queue must overflow.
+        let topo = Topology::clos(ClosParams::paper_cluster(2));
+        let dst = HostAddr::new(0, 0, 0);
+        let mut flows = vec![];
+        let mut id = 1;
+        for r in 0..2 {
+            for h in 0..4 {
+                let src = HostAddr::new(1, r, h);
+                flows.push(flow(id, src, dst, 500_000, 0));
+                id += 1;
+            }
+        }
+        let mut sim = sim_with_flows(topo, NetConfig::default(), &flows);
+        sim.run_until(SimTime::from_secs(5));
+        let st = &sim.world().stats;
+        assert_eq!(st.flows_completed, 8, "all incast flows eventually finish");
+        assert!(st.drops.total() > 0, "incast must overflow the ToR queue");
+        assert_eq!(st.delivered_bytes, 8 * 500_000);
+    }
+
+    #[test]
+    fn capture_collects_both_directions() {
+        let topo = Topology::clos(ClosParams::paper_cluster(2));
+        let cfg = NetConfig { capture_cluster: Some(1), ..Default::default() };
+        // Traffic into and out of cluster 1.
+        let flows = [
+            flow(1, HostAddr::new(0, 0, 0), HostAddr::new(1, 0, 0), 100_000, 0),
+            flow(2, HostAddr::new(1, 1, 0), HostAddr::new(0, 1, 0), 100_000, 0),
+        ];
+        let mut sim = sim_with_flows(topo, cfg, &flows);
+        sim.run_until(SimTime::from_secs(2));
+        let cap = sim.world().capture().expect("capture enabled");
+        let ups = cap.records().iter().filter(|r| r.direction == Direction::Up).count();
+        let downs = cap.records().iter().filter(|r| r.direction == Direction::Down).count();
+        assert!(ups > 0, "upward traversals captured");
+        assert!(downs > 0, "downward traversals captured");
+        for r in cap.records() {
+            assert!(!r.dropped, "uncongested run should not drop");
+            assert!(r.latency > SimDuration::ZERO);
+            assert!(
+                r.latency < SimDuration::from_millis(1),
+                "uncongested fabric latency is microseconds, got {}",
+                r.latency
+            );
+        }
+        assert_eq!(cap.pending_count(), 0, "all traversals finalized");
+    }
+
+    #[test]
+    fn hybrid_with_ideal_oracle_completes_flows() {
+        let topo =
+            Topology::clos_with_stubs(ClosParams::paper_cluster(4), &[1, 2, 3]);
+        let flows = [
+            flow(1, HostAddr::new(0, 0, 0), HostAddr::new(2, 1, 3), 200_000, 0),
+            flow(2, HostAddr::new(3, 0, 1), HostAddr::new(0, 1, 1), 200_000, 10),
+        ];
+        let mut sim = sim_with_flows(topo, NetConfig::default(), &flows);
+        sim.world_mut().set_oracle(Box::new(IdealOracle));
+        sim.run_until(SimTime::from_secs(2));
+        let st = &sim.world().stats;
+        assert_eq!(st.flows_completed, 2);
+        assert!(st.oracle_deliveries > 0, "oracle handled boundary crossings");
+        assert_eq!(st.delivered_bytes, 400_000);
+    }
+
+    #[test]
+    fn hybrid_stub_to_stub_also_works() {
+        // Not used by the paper's workloads (such traffic is elided), but
+        // the engine must not fall over if a flow crosses two stubs.
+        let topo =
+            Topology::clos_with_stubs(ClosParams::paper_cluster(4), &[1, 2, 3]);
+        let flows = [flow(1, HostAddr::new(1, 0, 0), HostAddr::new(2, 0, 0), 50_000, 0)];
+        let mut sim = sim_with_flows(topo, NetConfig::default(), &flows);
+        sim.world_mut().set_oracle(Box::new(IdealOracle));
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.world().stats.flows_completed, 1);
+    }
+
+    #[test]
+    fn conflict_gate_separates_simultaneous_deliveries() {
+        // A zero-latency oracle forces every boundary crossing to want the
+        // same delivery instant; the gate must serialize them.
+        let topo = Topology::clos_with_stubs(ClosParams::paper_cluster(2), &[1]);
+        let dst = HostAddr::new(1, 0, 0);
+        let flows: Vec<FlowSpec> = (0..4)
+            .map(|i| flow(i + 1, HostAddr::new(0, 0, i as u16), dst, 30_000, 0))
+            .collect();
+        let mut sim = sim_with_flows(topo, NetConfig::default(), &flows);
+        sim.world_mut()
+            .set_oracle(Box::new(FixedLatencyOracle(SimDuration::from_micros(5))));
+        sim.run_until(SimTime::from_secs(2));
+        let st = &sim.world().stats;
+        assert_eq!(st.flows_completed, 4);
+        // With identical predicted latencies, deliveries to the one
+        // destination must have been pushed apart, not stacked: the engine
+        // asserts this structurally via the gate, and completion proves
+        // no packet was lost to the collision.
+        assert!(st.oracle_deliveries >= 4);
+    }
+
+    #[test]
+    fn port_conservation_at_quiescence() {
+        // Every packet offered to a port either transmitted or dropped;
+        // nothing lingers once the simulation drains.
+        let topo = Topology::clos(ClosParams::paper_cluster(2));
+        let dst = HostAddr::new(0, 0, 0);
+        let flows: Vec<FlowSpec> = (0..8)
+            .map(|i| flow(i + 1, HostAddr::new(1, (i % 2) as u16, (i % 4) as u16), dst, 300_000, 0))
+            .collect();
+        let mut sim = sim_with_flows(topo, NetConfig::default(), &flows);
+        sim.run_until(SimTime::from_secs(10));
+        let net = sim.world();
+        assert_eq!(net.stats.flows_completed, 8);
+        let mut offered = 0u64;
+        let mut tx = 0u64;
+        let mut drops = 0u64;
+        for node in &net.ports {
+            for p in node {
+                assert_eq!(p.queue_len(), 0, "drained queues");
+                assert!(!p.is_busy(), "idle transmitters");
+                offered += p.counters().offered;
+                tx += p.counters().tx_packets;
+                drops += p.counters().drops;
+            }
+        }
+        assert_eq!(offered, tx + drops, "conservation: offered = tx + dropped");
+        assert_eq!(drops, net.stats.drops.total(), "port drops match stats");
+    }
+
+    #[test]
+    fn utilization_reflects_traffic() {
+        let topo = Topology::clos(ClosParams::paper_cluster(2));
+        // One long flow saturating its path for most of the horizon.
+        let flows =
+            [flow(1, HostAddr::new(0, 0, 0), HostAddr::new(1, 0, 0), 10_000_000, 0)];
+        let mut sim = sim_with_flows(topo, NetConfig::default(), &flows);
+        let horizon = SimTime::from_millis(10);
+        sim.run_until(horizon);
+        let util = sim.world().utilization_by_layer(horizon);
+        // 10 MB in 10 ms = 8 Gb/s on the sender's 10G NIC; averaged over
+        // 32 host ports that is ~2.5% per-layer mean, and strictly more
+        // than the idle Agg layer sees per-port... simply: every layer on
+        // the path saw traffic, all values are sane fractions.
+        for (i, &u) in util.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&u), "layer {i} utilization {u}");
+        }
+        assert!(util[0] > 0.01, "host layer carried the flow: {}", util[0]);
+        assert!(util[3] > 0.0, "core layer crossed: {}", util[3]);
+        // Counter iterator covers every port exactly once.
+        let n_ports: usize = sim.world().topo().nodes().iter().map(|n| n.ports.len()).sum();
+        assert_eq!(sim.world().port_counters().count(), n_ports);
+    }
+
+    #[test]
+    fn queue_tracking_measures_occupancy() {
+        let topo = Topology::clos(ClosParams::paper_cluster(2));
+        let dst = HostAddr::new(0, 0, 0);
+        let flows: Vec<FlowSpec> = (0..6)
+            .map(|i| flow(i + 1, HostAddr::new(1, (i % 2) as u16, (i % 4) as u16), dst, 400_000, 0))
+            .collect();
+        let cfg = NetConfig { track_queues: true, ..Default::default() };
+        let mut sim = sim_with_flows(topo, cfg, &flows);
+        let horizon = SimTime::from_millis(20);
+        sim.run_until(horizon);
+        let layers = sim.world().queue_depth_by_layer(horizon).expect("tracking on");
+        // The incast bottleneck is the victim ToR's host-facing port: the
+        // ToR layer must show real occupancy, and every peak is within the
+        // configured queue capacity.
+        let (tor_mean, tor_peak) = layers[1];
+        assert!(tor_mean > 100.0, "ToR mean occupancy {tor_mean} bytes");
+        assert!(tor_peak > 10_000.0, "ToR peak occupancy {tor_peak} bytes");
+        for (layer, &(mean, peak)) in layers.iter().enumerate() {
+            assert!(peak <= 150_000.0, "layer {layer} peak {peak} within capacity");
+            assert!(mean <= peak, "mean below peak");
+        }
+        // Untracked runs report None.
+        let topo2 = Topology::clos(ClosParams::paper_cluster(2));
+        let sim2 = sim_with_flows(topo2, NetConfig::default(), &flows);
+        assert!(sim2.world().queue_depth_by_layer(horizon).is_none());
+    }
+
+    #[test]
+    fn trace_log_captures_packet_lifecycle() {
+        let topo = Topology::clos(ClosParams::paper_cluster(2));
+        let flows = [flow(1, HostAddr::new(0, 0, 0), HostAddr::new(1, 0, 0), 10_000, 0)];
+        let mut sim = sim_with_flows(topo, NetConfig::default(), &flows);
+        sim.world_mut().enable_trace(10_000);
+        sim.run_until(SimTime::from_secs(1));
+        let trace = sim.world().trace().expect("enabled");
+        assert!(!trace.truncated());
+        let entries = trace.entries();
+        assert!(!entries.is_empty());
+        // Times are non-decreasing and the SYN's first hop is a TxStart at
+        // the source host followed by an Arrive at its ToR.
+        for w in entries.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        use crate::trace_log::TraceKind;
+        let first_tx = entries.iter().find(|e| e.kind == TraceKind::TxStart).unwrap();
+        assert_eq!(first_tx.node, sim.world().topo().host_node(HostAddr::new(0, 0, 0)));
+        assert!(entries.iter().any(|e| e.kind == TraceKind::Arrive));
+        // CSV export is rectangular.
+        let rows = trace.to_csv_rows();
+        assert!(rows.iter().all(|r| r.len() == 6));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let topo = Topology::clos(ClosParams::paper_cluster(2));
+            let mut flows = vec![];
+            for i in 0..6u64 {
+                flows.push(flow(
+                    i + 1,
+                    HostAddr::new((i % 2) as u16, (i % 2) as u16, (i % 4) as u16),
+                    HostAddr::new(((i + 1) % 2) as u16, 0, 0),
+                    50_000 + i * 1000,
+                    i * 7,
+                ));
+            }
+            let mut sim = sim_with_flows(topo, NetConfig::default(), &flows);
+            sim.run_until(SimTime::from_secs(2));
+            let st = &sim.world().stats;
+            (
+                st.flows_completed,
+                st.delivered_bytes,
+                st.drops.total(),
+                sim.scheduler().executed_total(),
+                st.fct.iter().map(|f| f.completed.as_nanos()).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run(), "bit-identical replay");
+    }
+
+    #[test]
+    fn event_transportable_round_trip() {
+        let events = vec![
+            NetEvent::FlowStart(flow(9, HostAddr::new(0, 1, 2), HostAddr::new(3, 4, 5), 777, 3)),
+            NetEvent::PortFree { node: NodeId(12), port: PortId(3) },
+            NetEvent::Timer { node: NodeId(5), flow: FlowId(88), kind: TimerKind::DelAck },
+            NetEvent::Timer { node: NodeId(5), flow: FlowId(89), kind: TimerKind::Rto },
+        ];
+        for ev in events {
+            let mut buf = BytesMut::new();
+            ev.encode(&mut buf);
+            let mut rd = buf.freeze();
+            let back = NetEvent::decode(&mut rd).expect("decodes");
+            // Compare via re-encoding (NetEvent is not PartialEq).
+            let mut b1 = BytesMut::new();
+            let mut b2 = BytesMut::new();
+            ev.encode(&mut b1);
+            back.encode(&mut b2);
+            assert_eq!(b1, b2);
+            assert_eq!(rd.remaining(), 0);
+        }
+    }
+}

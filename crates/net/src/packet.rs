@@ -1,0 +1,242 @@
+//! Packets and TCP segment headers.
+//!
+//! A [`Packet`] is the unit that traverses links and queues; it carries one
+//! [`TcpSegment`]. Sequence and acknowledgement numbers are 64-bit byte
+//! offsets from the start of the stream — a simulator where both endpoints
+//! are ours needs no 32-bit wraparound machinery, and dropping it removes a
+//! whole class of comparison bugs. Wire sizes still account for real header
+//! overhead so link-level timing matches a 1500-byte-MTU Ethernet network.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use elephant_des::{SimTime, Transportable};
+
+use crate::types::{FlowId, HostAddr};
+
+/// IPv4 + TCP header bytes added to every segment's payload.
+pub const HEADER_BYTES: u32 = 40;
+/// Minimum Ethernet frame size; pure ACKs occupy this many bytes on the wire.
+pub const MIN_WIRE_BYTES: u32 = 64;
+
+/// TCP control flags (only the ones the simulator uses).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TcpFlags {
+    /// Connection-open request / reply.
+    pub syn: bool,
+    /// Acknowledgement field is valid.
+    pub ack: bool,
+    /// Sender is done transmitting.
+    pub fin: bool,
+}
+
+impl TcpFlags {
+    /// SYN only (client open).
+    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false };
+    /// SYN+ACK (server open reply).
+    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false };
+    /// Plain ACK.
+    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false };
+    /// FIN+ACK (close while acknowledging).
+    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true };
+
+    fn to_byte(self) -> u8 {
+        (self.syn as u8) | (self.ack as u8) << 1 | (self.fin as u8) << 2
+    }
+
+    fn from_byte(b: u8) -> Self {
+        TcpFlags { syn: b & 1 != 0, ack: b & 2 != 0, fin: b & 4 != 0 }
+    }
+}
+
+/// One TCP segment header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TcpSegment {
+    /// First byte offset carried by this segment (stream byte space).
+    pub seq: u64,
+    /// Cumulative acknowledgement: next byte expected from the peer.
+    pub ack: u64,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Payload length in bytes (0 for pure ACKs and control segments).
+    pub payload_len: u32,
+    /// ECN Echo: receiver has seen congestion marks (or, in DCTCP mode,
+    /// this specific ACK acknowledges marked bytes).
+    pub ece: bool,
+    /// Congestion Window Reduced: sender response to ECE (classic ECN).
+    pub cwr: bool,
+}
+
+impl TcpSegment {
+    /// Total bytes this segment occupies on the wire.
+    pub fn wire_bytes(&self) -> u32 {
+        (self.payload_len + HEADER_BYTES).max(MIN_WIRE_BYTES)
+    }
+}
+
+/// ECN codepoint state carried by the IP header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Ecn {
+    /// Transport is not ECN-capable; congested queues drop instead of mark.
+    #[default]
+    NotCapable,
+    /// ECN-capable transport, not yet marked.
+    Capable,
+    /// Congestion Experienced: a queue marked this packet.
+    CongestionExperienced,
+}
+
+/// A packet in flight.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Packet {
+    /// Unique id, for tracing and boundary capture.
+    pub id: u64,
+    /// The flow (connection direction) this packet belongs to.
+    pub flow: FlowId,
+    /// Source server.
+    pub src: HostAddr,
+    /// Destination server.
+    pub dst: HostAddr,
+    /// The TCP segment.
+    pub seg: TcpSegment,
+    /// ECN codepoint.
+    pub ecn: Ecn,
+    /// When the source host handed this packet to its NIC; used for
+    /// one-way-delay instrumentation only, never by the protocol.
+    pub sent_at: SimTime,
+}
+
+impl Packet {
+    /// Total bytes on the wire.
+    #[inline]
+    pub fn wire_bytes(&self) -> u32 {
+        self.seg.wire_bytes()
+    }
+}
+
+impl Transportable for Packet {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64(self.id);
+        buf.put_u64(self.flow.0);
+        for a in [self.src, self.dst] {
+            buf.put_u16(a.cluster);
+            buf.put_u16(a.rack);
+            buf.put_u16(a.host);
+        }
+        buf.put_u64(self.seg.seq);
+        buf.put_u64(self.seg.ack);
+        buf.put_u8(self.seg.flags.to_byte());
+        buf.put_u32(self.seg.payload_len);
+        let ecn = match self.ecn {
+            Ecn::NotCapable => 0u8,
+            Ecn::Capable => 1,
+            Ecn::CongestionExperienced => 2,
+        };
+        buf.put_u8(ecn | (self.seg.ece as u8) << 2 | (self.seg.cwr as u8) << 3);
+        buf.put_u64(self.sent_at.as_nanos());
+    }
+
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        if buf.remaining() < 8 + 8 + 12 + 8 + 8 + 1 + 4 + 1 + 8 {
+            return None;
+        }
+        let id = buf.get_u64();
+        let flow = FlowId(buf.get_u64());
+        let mut addrs = [HostAddr::default(); 2];
+        for a in &mut addrs {
+            *a = HostAddr::new(buf.get_u16(), buf.get_u16(), buf.get_u16());
+        }
+        let seq = buf.get_u64();
+        let ack = buf.get_u64();
+        let flags = TcpFlags::from_byte(buf.get_u8());
+        let payload_len = buf.get_u32();
+        let bits = buf.get_u8();
+        let ecn = match bits & 0b11 {
+            0 => Ecn::NotCapable,
+            1 => Ecn::Capable,
+            2 => Ecn::CongestionExperienced,
+            _ => return None,
+        };
+        let sent_at = SimTime::from_nanos(buf.get_u64());
+        Some(Packet {
+            id,
+            flow,
+            src: addrs[0],
+            dst: addrs[1],
+            seg: TcpSegment {
+                seq,
+                ack,
+                flags,
+                payload_len,
+                ece: bits & 0b100 != 0,
+                cwr: bits & 0b1000 != 0,
+            },
+            ecn,
+            sent_at,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_packet() -> Packet {
+        Packet {
+            id: 77,
+            flow: FlowId(1234),
+            src: HostAddr::new(1, 2, 3),
+            dst: HostAddr::new(4, 5, 6),
+            seg: TcpSegment {
+                seq: 1_000_000,
+                ack: 42,
+                flags: TcpFlags::FIN_ACK,
+                payload_len: 1460,
+                ece: true,
+                cwr: false,
+            },
+            ecn: Ecn::CongestionExperienced,
+            sent_at: SimTime::from_micros(99),
+        }
+    }
+
+    #[test]
+    fn wire_size_includes_headers() {
+        let mut p = sample_packet();
+        assert_eq!(p.wire_bytes(), 1500);
+        p.seg.payload_len = 0;
+        assert_eq!(p.wire_bytes(), MIN_WIRE_BYTES, "pure ACK pads to min frame");
+        p.seg.payload_len = 100;
+        assert_eq!(p.wire_bytes(), 140);
+    }
+
+    #[test]
+    fn flags_round_trip() {
+        for syn in [false, true] {
+            for ack in [false, true] {
+                for fin in [false, true] {
+                    let f = TcpFlags { syn, ack, fin };
+                    assert_eq!(TcpFlags::from_byte(f.to_byte()), f);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transportable_round_trip() {
+        let p = sample_packet();
+        let mut buf = BytesMut::new();
+        p.encode(&mut buf);
+        let mut rd = buf.freeze();
+        let q = Packet::decode(&mut rd).expect("decodes");
+        assert_eq!(p, q);
+        assert_eq!(rd.remaining(), 0, "decode consumed exactly its bytes");
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let p = sample_packet();
+        let mut buf = BytesMut::new();
+        p.encode(&mut buf);
+        let mut rd = buf.freeze().slice(0..10);
+        assert!(Packet::decode(&mut rd).is_none());
+    }
+}

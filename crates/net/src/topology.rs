@@ -1,0 +1,857 @@
+//! Clos / leaf-spine topology construction and algorithmic routing.
+//!
+//! The canonical 3-layer deployment (paper Figure 2): servers under
+//! Top-of-Rack switches, ToRs under a group of Cluster switches (called
+//! `Agg` internally), clusters joined by Core switches. Core switches are
+//! organized into *groups* (planes): core group `g` connects to Cluster
+//! switch `g` of every cluster, the standard fat-tree wiring that makes
+//! up/down routing purely algorithmic — no forwarding tables are stored;
+//! every switch computes its output port from the destination address and
+//! an ECMP hash of the flow id.
+//!
+//! A *stub* cluster is one whose fabric (ToR + Cluster switches) has been
+//! removed for approximation: its hosts and the core-facing links remain,
+//! but both point at a [`NodeKind::Boundary`] pseudo-node. Packets arriving
+//! at a boundary are handed to the cluster oracle (paper Figure 3).
+
+use elephant_des::{splitmix64, SimDuration};
+
+use crate::types::{FlowId, HostAddr, NodeId, NodeKind, PortId};
+
+/// Physical characteristics of one link direction plus the queue feeding it.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSpec {
+    /// Line rate in gigabits per second.
+    pub rate_gbps: f64,
+    /// Propagation delay (includes switch pipeline latency).
+    pub prop_delay: SimDuration,
+    /// Capacity of the output queue feeding this link, in bytes.
+    pub queue_cap_bytes: u64,
+    /// ECN marking threshold in bytes; `None` disables marking.
+    pub ecn_threshold_bytes: Option<u64>,
+}
+
+impl LinkSpec {
+    /// 10 GbE with 1 µs propagation and a 150 kB drop-tail queue — the
+    /// defaults used throughout the paper's experiments.
+    pub fn ten_gbe() -> Self {
+        LinkSpec {
+            rate_gbps: 10.0,
+            prop_delay: SimDuration::from_micros(1),
+            queue_cap_bytes: 150_000,
+            ecn_threshold_bytes: None,
+        }
+    }
+
+    /// Enables ECN marking at `bytes` of queue occupancy (DCTCP-style).
+    pub fn with_ecn(mut self, bytes: u64) -> Self {
+        self.ecn_threshold_bytes = Some(bytes);
+        self
+    }
+}
+
+/// One directed attachment point: the far end and the link's physics.
+#[derive(Clone, Copy, Debug)]
+pub struct PortSpec {
+    /// Node on the far end of this link.
+    pub peer_node: NodeId,
+    /// The far end's port index for the reverse direction.
+    pub peer_port: PortId,
+    /// Physics of the outgoing direction.
+    pub link: LinkSpec,
+}
+
+/// A node: its role plus its ports.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// What this node is.
+    pub kind: NodeKind,
+    /// Outgoing attachment points, indexed by [`PortId`].
+    pub ports: Vec<PortSpec>,
+}
+
+/// Parameters describing a (possibly single-cluster) Clos network.
+#[derive(Clone, Copy, Debug)]
+pub struct ClosParams {
+    /// Number of clusters. 1 yields a two-layer leaf-spine network with no
+    /// core switches.
+    pub clusters: u16,
+    /// Racks (= ToR switches) per cluster.
+    pub racks_per_cluster: u16,
+    /// Servers per rack.
+    pub hosts_per_rack: u16,
+    /// Cluster switches per cluster (= spine count in leaf-spine).
+    pub aggs_per_cluster: u16,
+    /// Core switches per group; total cores = `aggs_per_cluster × this`.
+    /// Ignored when `clusters == 1`.
+    pub cores_per_group: u16,
+    /// Host ↔ ToR links.
+    pub host_link: LinkSpec,
+    /// ToR ↔ Cluster-switch links.
+    pub fabric_link: LinkSpec,
+    /// Cluster-switch ↔ Core links.
+    pub core_link: LinkSpec,
+    /// Seed for the ECMP hash salts.
+    pub ecmp_seed: u64,
+}
+
+impl ClosParams {
+    /// The paper's Figure-5 cluster shape: four switches (2 ToR + 2 Cluster)
+    /// and eight servers per cluster, 10 GbE everywhere.
+    pub fn paper_cluster(clusters: u16) -> Self {
+        ClosParams {
+            clusters,
+            racks_per_cluster: 2,
+            hosts_per_rack: 4,
+            aggs_per_cluster: 2,
+            cores_per_group: 2,
+            host_link: LinkSpec::ten_gbe(),
+            fabric_link: LinkSpec::ten_gbe(),
+            core_link: LinkSpec::ten_gbe(),
+            ecmp_seed: 0x0E1E_FAA7,
+        }
+    }
+
+    /// The paper's Figure-1 shape: a leaf-spine network with `n` ToRs, `n`
+    /// spine ("Cluster") switches, and racks of four servers on 10 GbE.
+    pub fn leaf_spine(n: u16) -> Self {
+        ClosParams {
+            clusters: 1,
+            racks_per_cluster: n,
+            hosts_per_rack: 4,
+            aggs_per_cluster: n,
+            cores_per_group: 0,
+            host_link: LinkSpec::ten_gbe(),
+            fabric_link: LinkSpec::ten_gbe(),
+            core_link: LinkSpec::ten_gbe(),
+            ecmp_seed: 0x0E1E_FAA7,
+        }
+    }
+
+    /// Total server count.
+    pub fn total_hosts(&self) -> u32 {
+        self.clusters as u32 * self.racks_per_cluster as u32 * self.hosts_per_rack as u32
+    }
+
+    /// Total core switches.
+    pub fn total_cores(&self) -> u32 {
+        if self.clusters <= 1 {
+            0
+        } else {
+            self.aggs_per_cluster as u32 * self.cores_per_group as u32
+        }
+    }
+}
+
+/// The ECMP path a packet takes through the fabric, as determined by its
+/// flow hash. Used both by forwarding and — crucially for the paper — by
+/// feature extraction, which must know the path *without* simulating it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FabricPath {
+    /// ToR of the source rack.
+    pub src_tor: u16,
+    /// Cluster switch chosen in the source cluster.
+    pub src_agg: u16,
+    /// Core switch chosen (group = `src_agg`, index within group), or
+    /// `None` for intra-cluster paths.
+    pub core: Option<u16>,
+    /// Cluster switch traversed in the destination cluster (equals the
+    /// core's group for inter-cluster paths, or `src_agg` intra-cluster).
+    pub dst_agg: u16,
+    /// ToR of the destination rack.
+    pub dst_tor: u16,
+}
+
+/// An immutable network graph plus the routing function.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    params: ClosParams,
+    nodes: Vec<Node>,
+    /// Which clusters are stubs (fabric replaced by a boundary node).
+    stub: Vec<bool>,
+    // Base indices for the id layout (hosts, then tors, aggs, cores,
+    // boundaries; absent roles get no range).
+    tor_base: Vec<Option<u32>>, // per cluster: base id of its ToRs
+    agg_base: Vec<Option<u32>>,
+    core_base: u32,
+    boundary: Vec<Option<u32>>, // per cluster: boundary node id
+    salt_up: u64,
+    salt_core: u64,
+}
+
+impl Topology {
+    /// Builds a fully simulated Clos network.
+    pub fn clos(params: ClosParams) -> Self {
+        Self::clos_with_stubs(params, &[])
+    }
+
+    /// Builds a Clos network in which the fabric of every cluster in
+    /// `stub_clusters` is replaced by a boundary node (paper Figure 3:
+    /// everything except one cluster approximated).
+    pub fn clos_with_stubs(params: ClosParams, stub_clusters: &[u16]) -> Self {
+        assert!(params.clusters >= 1, "need at least one cluster");
+        assert!(params.racks_per_cluster >= 1 && params.hosts_per_rack >= 1);
+        assert!(params.aggs_per_cluster >= 1, "need at least one cluster switch");
+        if params.clusters > 1 {
+            assert!(params.cores_per_group >= 1, "multi-cluster Clos needs core switches");
+        }
+        let mut stub = vec![false; params.clusters as usize];
+        for &c in stub_clusters {
+            assert!((c as usize) < stub.len(), "stub cluster {c} out of range");
+            assert!(params.clusters > 1, "cannot stub the only cluster");
+            stub[c as usize] = true;
+        }
+        assert!(
+            stub.iter().any(|s| !s),
+            "at least one cluster must stay fully simulated"
+        );
+
+        let c = params.clusters as u32;
+        let r = params.racks_per_cluster as u32;
+        let h = params.hosts_per_rack as u32;
+        let a = params.aggs_per_cluster as u32;
+        let k = if params.clusters > 1 { params.cores_per_group as u32 } else { 0 };
+
+        // Id layout: hosts first (dense over all clusters), then per-cluster
+        // fabric (tors, aggs) for non-stub clusters, then cores, then
+        // boundary nodes for stub clusters.
+        let mut next = c * r * h;
+        let mut tor_base = vec![None; c as usize];
+        let mut agg_base = vec![None; c as usize];
+        for ci in 0..c as usize {
+            if !stub[ci] {
+                tor_base[ci] = Some(next);
+                next += r;
+                agg_base[ci] = Some(next);
+                next += a;
+            }
+        }
+        let core_base = next;
+        next += a * k;
+        let mut boundary = vec![None; c as usize];
+        for ci in 0..c as usize {
+            if stub[ci] {
+                boundary[ci] = Some(next);
+                next += 1;
+            }
+        }
+
+        let mut topo = Topology {
+            params,
+            nodes: Vec::with_capacity(next as usize),
+            stub,
+            tor_base,
+            agg_base,
+            core_base,
+            boundary,
+            salt_up: splitmix64(params.ecmp_seed ^ 0x0051_5711),
+            salt_core: splitmix64(params.ecmp_seed ^ 0x00C0_DE22),
+        };
+        topo.wire(next);
+        topo.check_wiring();
+        topo
+    }
+
+    /// Allocates all nodes and connects every port pair.
+    fn wire(&mut self, total: u32) {
+        let p = self.params;
+        let (c, r, h, a) = (
+            p.clusters as usize,
+            p.racks_per_cluster as usize,
+            p.hosts_per_rack as usize,
+            p.aggs_per_cluster as usize,
+        );
+        let k = if p.clusters > 1 { p.cores_per_group as usize } else { 0 };
+
+        // Pre-create empty nodes so we can wire by index.
+        self.nodes = vec![Node { kind: NodeKind::Core { group: 0, index: 0 }, ports: vec![] }; total as usize];
+
+        // Hosts.
+        for ci in 0..c {
+            for ri in 0..r {
+                for hi in 0..h {
+                    let addr = HostAddr::new(ci as u16, ri as u16, hi as u16);
+                    let id = self.host_node(addr);
+                    let peer = if self.stub[ci] {
+                        // NIC points at the boundary pseudo-node.
+                        PortSpec {
+                            peer_node: self.boundary_node(ci as u16).expect("stub has boundary"),
+                            peer_port: PortId(0),
+                            link: p.host_link,
+                        }
+                    } else {
+                        PortSpec {
+                            peer_node: self.tor_node(ci as u16, ri as u16).expect("full cluster"),
+                            peer_port: PortId(hi as u16),
+                            link: p.host_link,
+                        }
+                    };
+                    self.nodes[id.idx()] =
+                        Node { kind: NodeKind::Host { addr }, ports: vec![peer] };
+                }
+            }
+        }
+
+        // Fabric of full clusters.
+        for ci in 0..c {
+            if self.stub[ci] {
+                continue;
+            }
+            for ri in 0..r {
+                let id = self.tor_node(ci as u16, ri as u16).expect("full cluster");
+                let mut ports = Vec::with_capacity(h + a);
+                for hi in 0..h {
+                    ports.push(PortSpec {
+                        peer_node: self.host_node(HostAddr::new(ci as u16, ri as u16, hi as u16)),
+                        peer_port: PortId(0),
+                        link: p.host_link,
+                    });
+                }
+                for ai in 0..a {
+                    ports.push(PortSpec {
+                        peer_node: self.agg_node(ci as u16, ai as u16).expect("full cluster"),
+                        peer_port: PortId(ri as u16),
+                        link: p.fabric_link,
+                    });
+                }
+                self.nodes[id.idx()] =
+                    Node { kind: NodeKind::Tor { cluster: ci as u16, rack: ri as u16 }, ports };
+            }
+            for ai in 0..a {
+                let id = self.agg_node(ci as u16, ai as u16).expect("full cluster");
+                let mut ports = Vec::with_capacity(r + k);
+                for ri in 0..r {
+                    ports.push(PortSpec {
+                        peer_node: self.tor_node(ci as u16, ri as u16).expect("full cluster"),
+                        peer_port: PortId((h + ai) as u16),
+                        link: p.fabric_link,
+                    });
+                }
+                for ki in 0..k {
+                    ports.push(PortSpec {
+                        peer_node: self.core_node(ai as u16, ki as u16),
+                        peer_port: PortId(ci as u16),
+                        link: p.core_link,
+                    });
+                }
+                self.nodes[id.idx()] =
+                    Node { kind: NodeKind::Agg { cluster: ci as u16, index: ai as u16 }, ports };
+            }
+        }
+
+        // Core switches: group g, index i; port per cluster.
+        for g in 0..a {
+            for i in 0..k {
+                let id = self.core_node(g as u16, i as u16);
+                let mut ports = Vec::with_capacity(c);
+                for ci in 0..c {
+                    if self.stub[ci] {
+                        ports.push(PortSpec {
+                            peer_node: self.boundary_node(ci as u16).expect("stub has boundary"),
+                            peer_port: PortId(0),
+                            link: p.core_link,
+                        });
+                    } else {
+                        ports.push(PortSpec {
+                            peer_node: self.agg_node(ci as u16, g as u16).expect("full cluster"),
+                            peer_port: PortId((r + i) as u16),
+                            link: p.core_link,
+                        });
+                    }
+                }
+                self.nodes[id.idx()] =
+                    Node { kind: NodeKind::Core { group: g as u16, index: i as u16 }, ports };
+            }
+        }
+
+        // Boundary pseudo-nodes: no outgoing ports; the oracle teleports
+        // packets past the missing fabric.
+        for ci in 0..c {
+            if let Some(b) = self.boundary[ci] {
+                self.nodes[b as usize] =
+                    Node { kind: NodeKind::Boundary { cluster: ci as u16 }, ports: vec![] };
+            }
+        }
+    }
+
+    /// Asserts that bidirectional wiring is consistent: for every port, the
+    /// peer's indicated reverse port points back (boundaries exempt — they
+    /// have no ports).
+    fn check_wiring(&self) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            for (pi, port) in node.ports.iter().enumerate() {
+                let peer = &self.nodes[port.peer_node.idx()];
+                if matches!(peer.kind, NodeKind::Boundary { .. }) {
+                    continue;
+                }
+                let back = peer
+                    .ports
+                    .get(port.peer_port.idx())
+                    .unwrap_or_else(|| panic!("node {i} port {pi}: peer port out of range"));
+                assert_eq!(back.peer_node.idx(), i, "asymmetric wiring at node {i} port {pi}");
+                assert_eq!(back.peer_port.idx(), pi, "asymmetric wiring at node {i} port {pi}");
+            }
+        }
+    }
+
+    /// The construction parameters.
+    pub fn params(&self) -> &ClosParams {
+        &self.params
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the topology is empty (never the case after construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node at `id`.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.idx()]
+    }
+
+    /// True if `cluster`'s fabric is approximated.
+    pub fn is_stub(&self, cluster: u16) -> bool {
+        self.stub[cluster as usize]
+    }
+
+    /// NodeId of a host.
+    pub fn host_node(&self, addr: HostAddr) -> NodeId {
+        let p = &self.params;
+        debug_assert!(addr.cluster < p.clusters);
+        debug_assert!(addr.rack < p.racks_per_cluster);
+        debug_assert!(addr.host < p.hosts_per_rack);
+        let per_cluster = p.racks_per_cluster as u32 * p.hosts_per_rack as u32;
+        NodeId(
+            addr.cluster as u32 * per_cluster
+                + addr.rack as u32 * p.hosts_per_rack as u32
+                + addr.host as u32,
+        )
+    }
+
+    /// NodeId of a ToR, or `None` in a stub cluster.
+    pub fn tor_node(&self, cluster: u16, rack: u16) -> Option<NodeId> {
+        self.tor_base[cluster as usize].map(|b| NodeId(b + rack as u32))
+    }
+
+    /// NodeId of a Cluster switch, or `None` in a stub cluster.
+    pub fn agg_node(&self, cluster: u16, index: u16) -> Option<NodeId> {
+        self.agg_base[cluster as usize].map(|b| NodeId(b + index as u32))
+    }
+
+    /// NodeId of a core switch.
+    pub fn core_node(&self, group: u16, index: u16) -> NodeId {
+        debug_assert!(self.params.clusters > 1, "single-cluster networks have no cores");
+        NodeId(self.core_base + group as u32 * self.params.cores_per_group as u32 + index as u32)
+    }
+
+    /// NodeId of a stub cluster's boundary, or `None` for full clusters.
+    pub fn boundary_node(&self, cluster: u16) -> Option<NodeId> {
+        self.boundary[cluster as usize].map(NodeId)
+    }
+
+    /// ECMP choice of Cluster switch for `flow` going up from a ToR.
+    #[inline]
+    pub fn ecmp_agg(&self, flow: FlowId) -> u16 {
+        (splitmix64(flow.0 ^ self.salt_up) % self.params.aggs_per_cluster as u64) as u16
+    }
+
+    /// ECMP choice of core index *within a group* for `flow` going up from
+    /// a Cluster switch.
+    #[inline]
+    pub fn ecmp_core(&self, flow: FlowId) -> u16 {
+        (splitmix64(flow.0 ^ self.salt_core) % self.params.cores_per_group.max(1) as u64) as u16
+    }
+
+    /// The forwarding function: which port should `at` use for a packet of
+    /// `flow` addressed to `dst`?
+    ///
+    /// Pure up/down Clos routing with per-flow ECMP; panics if invoked on a
+    /// host (hosts always use port 0) or a boundary (boundaries route via
+    /// the oracle, not this function).
+    pub fn route(&self, at: NodeId, dst: HostAddr, flow: FlowId) -> PortId {
+        let p = &self.params;
+        match self.nodes[at.idx()].kind {
+            NodeKind::Tor { cluster, rack } => {
+                if dst.cluster == cluster && dst.rack == rack {
+                    PortId(dst.host)
+                } else {
+                    PortId(p.hosts_per_rack + self.ecmp_agg(flow))
+                }
+            }
+            NodeKind::Agg { cluster, .. } => {
+                if dst.cluster == cluster {
+                    PortId(dst.rack)
+                } else {
+                    PortId(p.racks_per_cluster + self.ecmp_core(flow))
+                }
+            }
+            NodeKind::Core { .. } => PortId(dst.cluster),
+            NodeKind::Host { .. } => PortId(0),
+            NodeKind::Boundary { .. } => {
+                panic!("boundary nodes are handled by the cluster oracle, not route()")
+            }
+        }
+    }
+
+    /// The full ECMP path from `src` to `dst` for `flow`, computed without
+    /// simulating anything — exactly the "knowledge of routing strategy"
+    /// the paper's feature extraction relies on (§4.2).
+    pub fn fabric_path(&self, src: HostAddr, dst: HostAddr, flow: FlowId) -> FabricPath {
+        let agg = self.ecmp_agg(flow);
+        if src.same_cluster(&dst) {
+            FabricPath {
+                src_tor: src.rack,
+                src_agg: agg,
+                core: None,
+                dst_agg: agg,
+                dst_tor: dst.rack,
+            }
+        } else {
+            FabricPath {
+                src_tor: src.rack,
+                src_agg: agg,
+                core: Some(self.ecmp_core(flow)),
+                dst_agg: agg, // core group == src_agg plane
+                dst_tor: dst.rack,
+            }
+        }
+    }
+
+    /// Assigns every node to one of `n` PDES partitions: a rack's hosts
+    /// stay with their ToR (rack index round-robin), and cluster switches
+    /// and cores are dealt round-robin — so partitions cut only
+    /// ToR↔Agg↔Core links, never the host links. Boundaries (if any)
+    /// follow their cluster's first rack.
+    pub fn partition_by_rack(&self, n: usize) -> Vec<u32> {
+        assert!(n >= 1);
+        let p = &self.params;
+        let mut map = vec![0u32; self.len()];
+        let mut rack_counter = 0usize;
+        let mut rr = 0usize;
+        for c in 0..p.clusters {
+            for r in 0..p.racks_per_cluster {
+                let part = (rack_counter % n) as u32;
+                rack_counter += 1;
+                for h in 0..p.hosts_per_rack {
+                    map[self.host_node(HostAddr::new(c, r, h)).idx()] = part;
+                }
+                if let Some(t) = self.tor_node(c, r) {
+                    map[t.idx()] = part;
+                }
+            }
+            for a in 0..p.aggs_per_cluster {
+                if let Some(id) = self.agg_node(c, a) {
+                    map[id.idx()] = (rr % n) as u32;
+                    rr += 1;
+                }
+            }
+            if let Some(b) = self.boundary_node(c) {
+                // Same partition as the cluster's first rack's hosts.
+                map[b.idx()] = map[self.host_node(HostAddr::new(c, 0, 0)).idx()];
+            }
+        }
+        if p.clusters > 1 {
+            for g in 0..p.aggs_per_cluster {
+                for i in 0..p.cores_per_group {
+                    map[self.core_node(g, i).idx()] = (rr % n) as u32;
+                    rr += 1;
+                }
+            }
+        }
+        map
+    }
+
+    /// Assigns nodes to PDES partitions cluster-wise, the natural split
+    /// for the hybrid simulator (§6.2: "because the interdependencies
+    /// between cluster fabric switches are removed, parallel execution
+    /// provides better speedups"): every full cluster plus all core
+    /// switches form partition 0; each stub cluster (hosts + boundary) is
+    /// its own partition. Returns `(map, partition_count)`.
+    pub fn partition_by_cluster(&self) -> (Vec<u32>, usize) {
+        let p = &self.params;
+        let mut map = vec![0u32; self.len()];
+        let mut next = 1u32;
+        for c in 0..p.clusters {
+            let part = if self.is_stub(c) {
+                let part = next;
+                next += 1;
+                part
+            } else {
+                0
+            };
+            for r in 0..p.racks_per_cluster {
+                for h in 0..p.hosts_per_rack {
+                    map[self.host_node(HostAddr::new(c, r, h)).idx()] = part;
+                }
+                if let Some(t) = self.tor_node(c, r) {
+                    map[t.idx()] = part;
+                }
+            }
+            for a in 0..p.aggs_per_cluster {
+                if let Some(id) = self.agg_node(c, a) {
+                    map[id.idx()] = part;
+                }
+            }
+            if let Some(b) = self.boundary_node(c) {
+                map[b.idx()] = part;
+            }
+        }
+        // Cores stay in partition 0 (pre-initialized).
+        (map, next as usize)
+    }
+
+    /// The minimum propagation delay over links whose endpoints live in
+    /// different partitions of `map` — the largest safe PDES lookahead for
+    /// this partitioning. `None` if no link crosses partitions.
+    pub fn min_cut_latency(&self, map: &[u32]) -> Option<SimDuration> {
+        assert_eq!(map.len(), self.len());
+        let mut min: Option<SimDuration> = None;
+        for (i, node) in self.nodes.iter().enumerate() {
+            for port in &node.ports {
+                if map[i] != map[port.peer_node.idx()] {
+                    let d = port.link.prop_delay;
+                    min = Some(min.map_or(d, |m| m.min(d)));
+                }
+            }
+        }
+        min
+    }
+
+    /// Every host address in the network, in id order.
+    pub fn all_hosts(&self) -> Vec<HostAddr> {
+        let p = &self.params;
+        let mut out = Vec::with_capacity(p.total_hosts() as usize);
+        for c in 0..p.clusters {
+            for r in 0..p.racks_per_cluster {
+                for h in 0..p.hosts_per_rack {
+                    out.push(HostAddr::new(c, r, h));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Walks a packet hop by hop using `route`, returning the node sequence.
+    fn walk(topo: &Topology, src: HostAddr, dst: HostAddr, flow: FlowId) -> Vec<NodeId> {
+        let mut at = topo.host_node(src);
+        let mut path = vec![at];
+        for _ in 0..10 {
+            if let NodeKind::Host { addr } = topo.node(at).kind {
+                if addr == dst {
+                    return path;
+                }
+            }
+            let port = topo.route(at, dst, flow);
+            at = topo.node(at).ports[port.idx()].peer_node;
+            path.push(at);
+        }
+        panic!("no route from {src} to {dst}: {path:?}");
+    }
+
+    #[test]
+    fn leaf_spine_counts() {
+        let t = Topology::clos(ClosParams::leaf_spine(8));
+        // 8 racks x 4 hosts + 8 tors + 8 spines
+        assert_eq!(t.len(), 32 + 8 + 8);
+        assert_eq!(t.params().total_cores(), 0);
+    }
+
+    #[test]
+    fn clos_counts() {
+        let t = Topology::clos(ClosParams::paper_cluster(4));
+        // 4 clusters x (8 hosts + 2 tors + 2 aggs) + 2x2 cores
+        assert_eq!(t.len(), 4 * 12 + 4);
+        assert_eq!(t.params().total_cores(), 4);
+    }
+
+    #[test]
+    fn same_rack_route_is_two_hops() {
+        let t = Topology::clos(ClosParams::paper_cluster(2));
+        let path = walk(&t, HostAddr::new(0, 0, 0), HostAddr::new(0, 0, 3), FlowId(9));
+        assert_eq!(path.len(), 3); // host, tor, host
+    }
+
+    #[test]
+    fn intra_cluster_route_goes_via_agg() {
+        let t = Topology::clos(ClosParams::paper_cluster(2));
+        let path = walk(&t, HostAddr::new(0, 0, 0), HostAddr::new(0, 1, 0), FlowId(9));
+        assert_eq!(path.len(), 5); // host tor agg tor host
+        assert!(matches!(t.node(path[2]).kind, NodeKind::Agg { cluster: 0, .. }));
+    }
+
+    #[test]
+    fn inter_cluster_route_goes_via_core() {
+        let t = Topology::clos(ClosParams::paper_cluster(4));
+        let path = walk(&t, HostAddr::new(0, 0, 0), HostAddr::new(3, 1, 2), FlowId(77));
+        assert_eq!(path.len(), 7); // host tor agg core agg tor host
+        assert!(matches!(t.node(path[3]).kind, NodeKind::Core { .. }));
+        // Both agg hops sit in the same plane (same group).
+        let (g_up, g_down) = match (t.node(path[2]).kind, t.node(path[4]).kind) {
+            (NodeKind::Agg { index: a, .. }, NodeKind::Agg { index: b, .. }) => (a, b),
+            other => panic!("unexpected hops {other:?}"),
+        };
+        assert_eq!(g_up, g_down);
+    }
+
+    #[test]
+    fn all_pairs_reachable_paper_cluster() {
+        let t = Topology::clos(ClosParams::paper_cluster(3));
+        let hosts = t.all_hosts();
+        for (i, &s) in hosts.iter().enumerate() {
+            for &d in &hosts {
+                if s != d {
+                    walk(&t, s, d, FlowId(i as u64 * 131 + 7));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ecmp_spreads_flows() {
+        let t = Topology::clos(ClosParams::leaf_spine(8));
+        let mut seen = std::collections::HashSet::new();
+        for f in 0..256 {
+            seen.insert(t.ecmp_agg(FlowId(f)));
+        }
+        assert_eq!(seen.len(), 8, "all spines used by 256 flows");
+    }
+
+    #[test]
+    fn fabric_path_matches_walk() {
+        let t = Topology::clos(ClosParams::paper_cluster(4));
+        let (src, dst, flow) = (HostAddr::new(1, 0, 2), HostAddr::new(2, 1, 3), FlowId(4242));
+        let fp = t.fabric_path(src, dst, flow);
+        let path = walk(&t, src, dst, flow);
+        assert!(matches!(
+            t.node(path[1]).kind,
+            NodeKind::Tor { cluster: 1, rack } if rack == fp.src_tor
+        ));
+        assert!(matches!(
+            t.node(path[2]).kind,
+            NodeKind::Agg { cluster: 1, index } if index == fp.src_agg
+        ));
+        assert!(matches!(
+            t.node(path[3]).kind,
+            NodeKind::Core { group, index } if group == fp.src_agg && Some(index) == fp.core
+        ));
+        assert!(matches!(
+            t.node(path[4]).kind,
+            NodeKind::Agg { cluster: 2, index } if index == fp.dst_agg
+        ));
+        assert!(matches!(
+            t.node(path[5]).kind,
+            NodeKind::Tor { cluster: 2, rack } if rack == fp.dst_tor
+        ));
+    }
+
+    #[test]
+    fn stub_cluster_wiring() {
+        let t = Topology::clos_with_stubs(ClosParams::paper_cluster(4), &[1, 2, 3]);
+        // Stub clusters keep hosts, lose fabric, gain one boundary each.
+        assert_eq!(t.len(), 4 * 8 + (2 + 2) + 4 + 3);
+        for c in 1..4u16 {
+            assert!(t.is_stub(c));
+            assert!(t.tor_node(c, 0).is_none());
+            assert!(t.agg_node(c, 0).is_none());
+            let b = t.boundary_node(c).expect("boundary exists");
+            assert!(matches!(t.node(b).kind, NodeKind::Boundary { cluster } if cluster == c));
+            // Host NICs point at the boundary.
+            let h = t.host_node(HostAddr::new(c, 0, 0));
+            assert_eq!(t.node(h).ports[0].peer_node, b);
+        }
+        assert!(!t.is_stub(0));
+        // Core ports toward stub clusters point at boundaries.
+        let core = t.core_node(0, 0);
+        let p = t.node(core).ports[2]; // port for cluster 2
+        assert_eq!(p.peer_node, t.boundary_node(2).unwrap());
+        // Core port toward the full cluster still reaches its agg.
+        let p0 = t.node(core).ports[0];
+        assert_eq!(p0.peer_node, t.agg_node(0, 0).unwrap());
+    }
+
+    #[test]
+    #[should_panic]
+    fn cannot_stub_everything() {
+        let _ = Topology::clos_with_stubs(ClosParams::paper_cluster(2), &[0, 1]);
+    }
+
+    #[test]
+    fn partition_map_keeps_racks_whole_and_covers_everything() {
+        let t = Topology::clos(ClosParams::paper_cluster(4));
+        let map = t.partition_by_rack(3);
+        assert_eq!(map.len(), t.len());
+        assert!(map.iter().all(|&p| p < 3));
+        // Hosts share their ToR's partition.
+        for c in 0..4u16 {
+            for r in 0..2u16 {
+                let tor = map[t.tor_node(c, r).unwrap().idx()];
+                for h in 0..4u16 {
+                    assert_eq!(map[t.host_node(HostAddr::new(c, r, h)).idx()], tor);
+                }
+            }
+        }
+        // All partitions used.
+        let used: std::collections::HashSet<u32> = map.iter().copied().collect();
+        assert_eq!(used.len(), 3);
+        // Cut latency is the fabric propagation delay (host links never cut).
+        let la = t.min_cut_latency(&map).unwrap();
+        assert_eq!(la, LinkSpec::ten_gbe().prop_delay);
+    }
+
+    #[test]
+    fn cluster_partitioning_isolates_stubs() {
+        let t = Topology::clos_with_stubs(ClosParams::paper_cluster(4), &[1, 2, 3]);
+        let (map, n) = t.partition_by_cluster();
+        assert_eq!(n, 4, "full+cores partition plus one per stub");
+        // Full cluster 0 and all cores share partition 0.
+        assert_eq!(map[t.host_node(HostAddr::new(0, 0, 0)).idx()], 0);
+        assert_eq!(map[t.tor_node(0, 0).unwrap().idx()], 0);
+        assert_eq!(map[t.core_node(1, 1).idx()], 0);
+        // Each stub cluster is self-contained: hosts with their boundary.
+        for c in 1..4u16 {
+            let part = map[t.boundary_node(c).unwrap().idx()];
+            assert_ne!(part, 0);
+            for r in 0..2 {
+                for h in 0..4 {
+                    assert_eq!(map[t.host_node(HostAddr::new(c, r, h)).idx()], part);
+                }
+            }
+        }
+        // The only cut links are core<->boundary: min cut latency is the
+        // core link's propagation delay.
+        assert_eq!(t.min_cut_latency(&map).unwrap(), LinkSpec::ten_gbe().prop_delay);
+    }
+
+    #[test]
+    fn single_partition_has_no_cut() {
+        let t = Topology::clos(ClosParams::leaf_spine(4));
+        let map = t.partition_by_rack(1);
+        assert!(t.min_cut_latency(&map).is_none());
+    }
+
+    #[test]
+    fn host_ids_are_dense_and_stable() {
+        let t = Topology::clos(ClosParams::paper_cluster(2));
+        let hosts = t.all_hosts();
+        for (i, &h) in hosts.iter().enumerate() {
+            assert_eq!(t.host_node(h).idx(), i);
+            assert!(matches!(t.node(NodeId(i as u32)).kind,
+                NodeKind::Host { addr } if addr == h));
+        }
+    }
+}

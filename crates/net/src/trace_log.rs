@@ -1,0 +1,159 @@
+//! Raw event tracing — §2.1's "users can … print raw packet/event traces".
+//!
+//! When enabled, the engine appends one [`TraceEntry`] per interesting
+//! event (packet arrival, transmission start, drop, oracle verdict) into a
+//! bounded buffer. Tracing every packet of a large run would dwarf the
+//! simulation itself in memory, so the buffer holds the **first** `limit`
+//! entries — deterministic and reproducible, unlike a ring buffer whose
+//! content depends on where the run stops.
+
+use elephant_des::SimTime;
+
+use crate::types::{FlowId, NodeId};
+
+/// What happened.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceKind {
+    /// Packet finished a link traversal and arrived at a node.
+    Arrive,
+    /// Packet began serialization on an output port.
+    TxStart,
+    /// Packet was dropped by a full queue.
+    Drop,
+    /// Oracle delivered the packet across a stub fabric.
+    OracleDeliver,
+    /// Oracle dropped the packet.
+    OracleDrop,
+}
+
+impl TraceKind {
+    /// Stable lowercase name (CSV column value).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Arrive => "arrive",
+            TraceKind::TxStart => "tx_start",
+            TraceKind::Drop => "drop",
+            TraceKind::OracleDeliver => "oracle_deliver",
+            TraceKind::OracleDrop => "oracle_drop",
+        }
+    }
+}
+
+/// One trace record.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEntry {
+    /// When.
+    pub time: SimTime,
+    /// What.
+    pub kind: TraceKind,
+    /// Where.
+    pub node: NodeId,
+    /// Unique packet id.
+    pub packet: u64,
+    /// Directional flow id.
+    pub flow: FlowId,
+    /// Sequence number of the carried segment.
+    pub seq: u64,
+}
+
+/// Bounded first-N event trace.
+#[derive(Debug)]
+pub struct TraceLog {
+    entries: Vec<TraceEntry>,
+    limit: usize,
+    observed: u64,
+}
+
+impl TraceLog {
+    /// Creates a trace keeping the first `limit` entries.
+    pub fn new(limit: usize) -> Self {
+        TraceLog { entries: Vec::with_capacity(limit.min(4096)), limit, observed: 0 }
+    }
+
+    /// Records an entry (dropped silently once full; `observed` still
+    /// counts).
+    #[inline]
+    pub fn record(&mut self, entry: TraceEntry) {
+        self.observed += 1;
+        if self.entries.len() < self.limit {
+            self.entries.push(entry);
+        }
+    }
+
+    /// The retained entries, in simulation order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Total events observed, including those beyond the limit.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// True once the buffer stopped retaining.
+    pub fn truncated(&self) -> bool {
+        self.observed > self.entries.len() as u64
+    }
+
+    /// Renders as CSV rows (no header): `time_ns,kind,node,packet,flow,seq`.
+    pub fn to_csv_rows(&self) -> Vec<Vec<String>> {
+        self.entries
+            .iter()
+            .map(|e| {
+                vec![
+                    e.time.as_nanos().to_string(),
+                    e.kind.name().to_string(),
+                    e.node.0.to_string(),
+                    e.packet.to_string(),
+                    e.flow.0.to_string(),
+                    e.seq.to_string(),
+                ]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(t: u64, kind: TraceKind) -> TraceEntry {
+        TraceEntry {
+            time: SimTime::from_nanos(t),
+            kind,
+            node: NodeId(3),
+            packet: 9,
+            flow: FlowId(2),
+            seq: 1460,
+        }
+    }
+
+    #[test]
+    fn keeps_first_n_and_counts_all() {
+        let mut log = TraceLog::new(2);
+        log.record(entry(1, TraceKind::Arrive));
+        log.record(entry(2, TraceKind::TxStart));
+        log.record(entry(3, TraceKind::Drop));
+        assert_eq!(log.entries().len(), 2);
+        assert_eq!(log.observed(), 3);
+        assert!(log.truncated());
+        assert_eq!(log.entries()[0].time, SimTime::from_nanos(1));
+        assert_eq!(log.entries()[1].kind, TraceKind::TxStart);
+    }
+
+    #[test]
+    fn csv_rows_are_flat() {
+        let mut log = TraceLog::new(10);
+        log.record(entry(5, TraceKind::OracleDeliver));
+        let rows = log.to_csv_rows();
+        assert_eq!(rows, vec![vec![
+            "5".to_string(),
+            "oracle_deliver".to_string(),
+            "3".to_string(),
+            "9".to_string(),
+            "2".to_string(),
+            "1460".to_string(),
+        ]]);
+        assert!(!log.truncated());
+    }
+}

@@ -1,0 +1,254 @@
+//! Dense row-major matrices and the vector kernels the LSTM needs.
+//!
+//! The paper's models are tiny (two LSTM layers, ≤128 hidden units), so we
+//! implement the handful of BLAS-1/2 kernels ourselves rather than pull in
+//! a linear-algebra stack: matrix–vector products forward and transposed,
+//! rank-1 gradient accumulation, and elementwise activations. The matvec
+//! inner loop is written to auto-vectorize.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense `rows × cols` matrix of `f32`, row-major.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Xavier/Glorot-uniform initialization: `U(-b, b)` with
+    /// `b = sqrt(6 / (fan_in + fan_out))`.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let bound = (6.0 / (rows + cols) as f64).sqrt() as f32;
+        let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds from an explicit closure (used by tests).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Row count.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutation.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Raw storage (for the optimizer).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Raw mutable storage (for the optimizer).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `y = A·x` (y allocated by caller, length `rows`).
+    ///
+    /// The inner product runs eight independent accumulators so the
+    /// compiler can vectorize despite strict floating-point ordering —
+    /// this kernel dominates oracle inference cost.
+    pub fn matvec(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output mismatch");
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut acc = [0.0f32; 8];
+            let mut rc = row.chunks_exact(8);
+            let mut xc = x.chunks_exact(8);
+            for (rw, xw) in (&mut rc).zip(&mut xc) {
+                for k in 0..8 {
+                    acc[k] += rw[k] * xw[k];
+                }
+            }
+            let mut tail = 0.0f32;
+            for (a, b) in rc.remainder().iter().zip(xc.remainder()) {
+                tail += a * b;
+            }
+            *yr = acc.iter().sum::<f32>() + tail;
+        }
+    }
+
+    /// `y += Aᵀ·x` (x length `rows`, y length `cols`). Used to propagate
+    /// gradients back through a layer.
+    pub fn matvec_t_add(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        assert_eq!(y.len(), self.cols, "matvec_t output mismatch");
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            for (yc, &a) in y.iter_mut().zip(row.iter()) {
+                *yc += xr * a;
+            }
+        }
+    }
+
+    /// Rank-1 update `A += u·vᵀ` (u length `rows`, v length `cols`). Used
+    /// to accumulate weight gradients.
+    pub fn rank1_add(&mut self, u: &[f32], v: &[f32]) {
+        assert_eq!(u.len(), self.rows);
+        assert_eq!(v.len(), self.cols);
+        for (r, &ur) in u.iter().enumerate() {
+            if ur == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (a, &b) in row.iter_mut().zip(v.iter()) {
+                *a += ur * b;
+            }
+        }
+    }
+
+    /// Sets every element to zero (gradient reset).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Sum of squares of all elements (for clipping).
+    pub fn sq_norm(&self) -> f64 {
+        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum()
+    }
+}
+
+/// Numerically safe logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Elementwise sigmoid over a slice.
+pub fn sigmoid_inplace(xs: &mut [f32]) {
+    xs.iter_mut().for_each(|x| *x = sigmoid(*x));
+}
+
+/// Elementwise tanh over a slice.
+pub fn tanh_inplace(xs: &mut [f32]) {
+    xs.iter_mut().for_each(|x| *x = x.tanh());
+}
+
+/// `y += x` elementwise.
+pub fn add_assign(y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len());
+    for (a, &b) in y.iter_mut().zip(x.iter()) {
+        *a += b;
+    }
+}
+
+/// Dot product.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_known_values() {
+        // A = [[1,2],[3,4],[5,6]], x = [1, -1]
+        let a = Matrix::from_fn(3, 2, |r, c| (r * 2 + c + 1) as f32);
+        let mut y = vec![0.0; 3];
+        a.matvec(&[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn matvec_t_is_transpose() {
+        let a = Matrix::from_fn(3, 2, |r, c| (r * 2 + c + 1) as f32);
+        let mut y = vec![0.0; 2];
+        a.matvec_t_add(&[1.0, 0.0, -1.0], &mut y);
+        // Aᵀ = [[1,3,5],[2,4,6]] · [1,0,-1] = [-4, -4]
+        assert_eq!(y, vec![-4.0, -4.0]);
+    }
+
+    #[test]
+    fn rank1_matches_manual() {
+        let mut a = Matrix::zeros(2, 3);
+        a.rank1_add(&[1.0, 2.0], &[10.0, 20.0, 30.0]);
+        assert_eq!(a.row(0), &[10.0, 20.0, 30.0]);
+        assert_eq!(a.row(1), &[20.0, 40.0, 60.0]);
+    }
+
+    #[test]
+    fn xavier_respects_bound_and_seed() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let a = Matrix::xavier(64, 64, &mut rng);
+        let bound = (6.0 / 128.0f64).sqrt() as f32;
+        assert!(a.data().iter().all(|v| v.abs() <= bound));
+        let mut rng2 = SmallRng::seed_from_u64(7);
+        let b = Matrix::xavier(64, 64, &mut rng2);
+        assert_eq!(a, b, "same seed, same init");
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!(sigmoid(-1000.0).is_finite());
+        assert!(sigmoid(1000.0).is_finite());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r + c) as f32);
+        let json = serde_json::to_string(&a).unwrap();
+        let b: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sq_norm() {
+        let a = Matrix::from_fn(1, 3, |_, c| (c + 1) as f32);
+        assert!((a.sq_norm() - 14.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,251 @@
+//! A recurrent trunk that is either an LSTM or a GRU, behind one API.
+//!
+//! The micro model (and everything above it: training pipeline, oracle,
+//! ablation harnesses) is agnostic to the recurrent architecture; this
+//! enum is the dispatch point. Adding a variant means implementing the
+//! same five operations (state init, inference step, window forward,
+//! window backward, parameter views) and extending the enums.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::gru::{Gru, GruCellGrad, GruSeqCache, GruState};
+use crate::lstm::{Lstm, LstmCellGrad, LstmSeqCache, LstmState};
+
+/// Which recurrent architecture to build.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum RnnKind {
+    /// Long short-term memory (the paper's prototype).
+    #[default]
+    Lstm,
+    /// Gated recurrent unit (§7 variant, ~25% cheaper per step).
+    Gru,
+}
+
+/// A stacked recurrent network of either kind.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Rnn {
+    /// LSTM trunk.
+    Lstm(Lstm),
+    /// GRU trunk.
+    Gru(Gru),
+}
+
+/// Persistent inference state matching an [`Rnn`].
+#[derive(Clone, Debug)]
+pub enum RnnState {
+    /// LSTM state.
+    Lstm(LstmState),
+    /// GRU state.
+    Gru(GruState),
+}
+
+/// Activation cache for one training window.
+pub enum RnnSeqCache {
+    /// LSTM cache.
+    Lstm(LstmSeqCache),
+    /// GRU cache.
+    Gru(GruSeqCache),
+}
+
+/// Gradient buffers matching an [`Rnn`].
+pub enum RnnGrads {
+    /// LSTM gradients, one per layer.
+    Lstm(Vec<LstmCellGrad>),
+    /// GRU gradients, one per layer.
+    Gru(Vec<GruCellGrad>),
+}
+
+impl Rnn {
+    /// Builds a trunk of the requested kind.
+    pub fn new(kind: RnnKind, input: usize, hidden: usize, layers: usize, rng: &mut impl Rng) -> Self {
+        match kind {
+            RnnKind::Lstm => Rnn::Lstm(Lstm::new(input, hidden, layers, rng)),
+            RnnKind::Gru => Rnn::Gru(Gru::new(input, hidden, layers, rng)),
+        }
+    }
+
+    /// The architecture of this trunk.
+    pub fn kind(&self) -> RnnKind {
+        match self {
+            Rnn::Lstm(_) => RnnKind::Lstm,
+            Rnn::Gru(_) => RnnKind::Gru,
+        }
+    }
+
+    /// Hidden width of the top layer.
+    pub fn hidden(&self) -> usize {
+        match self {
+            Rnn::Lstm(m) => m.hidden(),
+            Rnn::Gru(m) => m.hidden(),
+        }
+    }
+
+    /// Input width of the bottom layer.
+    pub fn input(&self) -> usize {
+        match self {
+            Rnn::Lstm(m) => m.input(),
+            Rnn::Gru(m) => m.input(),
+        }
+    }
+
+    /// Zeroed inference state.
+    pub fn init_state(&self) -> RnnState {
+        match self {
+            Rnn::Lstm(m) => RnnState::Lstm(m.init_state()),
+            Rnn::Gru(m) => RnnState::Gru(m.init_state()),
+        }
+    }
+
+    /// Matching zeroed gradient buffers.
+    pub fn grad_buffers(&self) -> RnnGrads {
+        match self {
+            Rnn::Lstm(m) => RnnGrads::Lstm(m.grad_buffers()),
+            Rnn::Gru(m) => RnnGrads::Gru(m.grad_buffers()),
+        }
+    }
+
+    /// Allocation-free inference step.
+    pub fn step_infer(&self, x: &[f32], state: &mut RnnState, out: &mut [f32]) {
+        match (self, state) {
+            (Rnn::Lstm(m), RnnState::Lstm(s)) => m.step_infer(x, s, out),
+            (Rnn::Gru(m), RnnState::Gru(s)) => m.step_infer(x, s, out),
+            _ => panic!("RNN state kind does not match the trunk"),
+        }
+    }
+
+    /// Training-window forward pass from a zero state.
+    pub fn forward_seq(&self, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, RnnSeqCache) {
+        match self {
+            Rnn::Lstm(m) => {
+                let (tops, cache) = m.forward_seq(xs);
+                (tops, RnnSeqCache::Lstm(cache))
+            }
+            Rnn::Gru(m) => {
+                let (tops, cache) = m.forward_seq(xs);
+                (tops, RnnSeqCache::Gru(cache))
+            }
+        }
+    }
+
+    /// BPTT over a cached window.
+    pub fn backward_seq(&self, cache: &RnnSeqCache, dh_top: &[Vec<f32>], grads: &mut RnnGrads) {
+        match (self, cache, grads) {
+            (Rnn::Lstm(m), RnnSeqCache::Lstm(c), RnnGrads::Lstm(g)) => m.backward_seq(c, dh_top, g),
+            (Rnn::Gru(m), RnnSeqCache::Gru(c), RnnGrads::Gru(g)) => m.backward_seq(c, dh_top, g),
+            _ => panic!("RNN cache/grad kind does not match the trunk"),
+        }
+    }
+
+    /// Flat parameter views, stable order.
+    pub fn param_slices(&mut self) -> Vec<&mut [f32]> {
+        let mut v: Vec<&mut [f32]> = Vec::new();
+        match self {
+            Rnn::Lstm(m) => {
+                for cell in m.cells.iter_mut() {
+                    v.push(cell.w.data_mut());
+                    v.push(cell.b.as_mut_slice());
+                }
+            }
+            Rnn::Gru(m) => {
+                for cell in m.cells.iter_mut() {
+                    v.push(cell.w_zr.data_mut());
+                    v.push(cell.b_zr.as_mut_slice());
+                    v.push(cell.w_n.data_mut());
+                    v.push(cell.b_n.as_mut_slice());
+                }
+            }
+        }
+        v
+    }
+}
+
+impl RnnGrads {
+    /// Clears all buffers.
+    pub fn zero(&mut self) {
+        match self {
+            RnnGrads::Lstm(g) => g.iter_mut().for_each(|x| x.zero()),
+            RnnGrads::Gru(g) => g.iter_mut().for_each(|x| x.zero()),
+        }
+    }
+
+    /// Flat gradient views, ordered to match [`Rnn::param_slices`].
+    pub fn grad_slices(&mut self) -> Vec<&mut [f32]> {
+        let mut v: Vec<&mut [f32]> = Vec::new();
+        match self {
+            RnnGrads::Lstm(g) => {
+                for cell in g.iter_mut() {
+                    v.push(cell.w.data_mut());
+                    v.push(cell.b.as_mut_slice());
+                }
+            }
+            RnnGrads::Gru(g) => {
+                for cell in g.iter_mut() {
+                    v.push(cell.w_zr.data_mut());
+                    v.push(cell.b_zr.as_mut_slice());
+                    v.push(cell.w_n.data_mut());
+                    v.push(cell.b_n.as_mut_slice());
+                }
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn both_kinds_run_the_same_api() {
+        for kind in [RnnKind::Lstm, RnnKind::Gru] {
+            let mut rng = SmallRng::seed_from_u64(21);
+            let rnn = Rnn::new(kind, 3, 5, 2, &mut rng);
+            assert_eq!(rnn.kind(), kind);
+            assert_eq!(rnn.input(), 3);
+            assert_eq!(rnn.hidden(), 5);
+            let xs: Vec<Vec<f32>> = (0..4).map(|i| vec![0.1 * i as f32; 3]).collect();
+            let (tops, cache) = rnn.forward_seq(&xs);
+            assert_eq!(tops.len(), 4);
+            let mut grads = rnn.grad_buffers();
+            let dh: Vec<Vec<f32>> = tops.iter().map(|h| vec![1.0; h.len()]).collect();
+            rnn.backward_seq(&cache, &dh, &mut grads);
+            let mut state = rnn.init_state();
+            let mut out = vec![0.0; 5];
+            rnn.step_infer(&xs[0], &mut state, &mut out);
+            assert_eq!(out, tops[0], "infer matches seq for {kind:?}");
+            // Parameter/grad views line up.
+            let mut rnn2 = rnn.clone();
+            let p = rnn2.param_slices();
+            let g = grads.grad_slices();
+            assert_eq!(p.len(), g.len());
+            for (a, b) in p.iter().zip(g.iter()) {
+                assert_eq!(a.len(), b.len());
+            }
+        }
+    }
+
+    #[test]
+    fn gru_is_cheaper_per_parameter() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let mut lstm = Rnn::new(RnnKind::Lstm, 8, 16, 2, &mut rng);
+        let mut gru = Rnn::new(RnnKind::Gru, 8, 16, 2, &mut rng);
+        let count = |r: &mut Rnn| r.param_slices().iter().map(|s| s.len()).sum::<usize>();
+        let lp = count(&mut lstm);
+        let gp = count(&mut gru);
+        assert!(gp < lp, "GRU {gp} params < LSTM {lp}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_state_panics() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let lstm = Rnn::new(RnnKind::Lstm, 2, 3, 1, &mut rng);
+        let gru = Rnn::new(RnnKind::Gru, 2, 3, 1, &mut rng);
+        let mut state = gru.init_state();
+        let mut out = vec![0.0; 3];
+        lstm.step_infer(&[0.0, 0.0], &mut state, &mut out);
+    }
+}

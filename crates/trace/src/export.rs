@@ -1,0 +1,73 @@
+//! Plain CSV export for experiment outputs.
+//!
+//! Every benchmark harness writes its rows through these helpers so the
+//! figures can be re-plotted from flat files. Hand-rolled on purpose: the
+//! format is trivial and a dependency would be heavier than the code.
+
+use std::fs::File;
+use std::io::{BufWriter, Result, Write};
+use std::path::Path;
+
+/// Writes `header` then `rows` to `path` as CSV. Fields containing commas,
+/// quotes, or newlines are quoted.
+pub fn write_csv<P: AsRef<Path>>(path: P, header: &[&str], rows: &[Vec<String>]) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "{}", header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","))?;
+    for row in rows {
+        debug_assert_eq!(row.len(), header.len(), "row width mismatch");
+        writeln!(w, "{}", row.iter().map(|f| escape(f)).collect::<Vec<_>>().join(","))?;
+    }
+    w.flush()
+}
+
+/// Writes `(x, y)` points (e.g. a CDF) to `path`.
+pub fn write_xy<P: AsRef<Path>>(path: P, x_name: &str, y_name: &str, points: &[(f64, f64)]) -> Result<()> {
+    let rows: Vec<Vec<String>> =
+        points.iter().map(|&(x, y)| vec![format!("{x}"), format!("{y}")]).collect();
+    write_csv(path, &[x_name, y_name], &rows)
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_escapes() {
+        let dir = std::env::temp_dir().join("elephant_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[
+                vec!["1".into(), "plain".into()],
+                vec!["2".into(), "has,comma".into()],
+                vec!["3".into(), "has\"quote".into()],
+            ],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "a,b\n1,plain\n2,\"has,comma\"\n3,\"has\"\"quote\"\n"
+        );
+    }
+
+    #[test]
+    fn writes_xy() {
+        let dir = std::env::temp_dir().join("elephant_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("xy.csv");
+        write_xy(&path, "latency", "cdf", &[(1.0, 0.5), (2.0, 1.0)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "latency,cdf\n1,0.5\n2,1\n");
+    }
+}

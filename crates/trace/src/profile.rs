@@ -1,0 +1,124 @@
+//! Time-varying offered load.
+//!
+//! The paper's §4 observation — "at the seconds scale, the average latency
+//! of packets perceptibly shifts up and down as queues fill and drain" —
+//! requires workloads whose intensity actually shifts. A [`LoadProfile`]
+//! maps simulation time to an instantaneous load multiplier; the workload
+//! generator thins a homogeneous Poisson process against it (standard
+//! inhomogeneous-Poisson sampling), so any profile keeps exact Poisson
+//! statistics within each level.
+
+use elephant_des::SimTime;
+
+/// Instantaneous load as a function of time, as a multiplier on the
+/// configured base load. Values are clamped to `[0, 1/base]` by the
+/// generator so total load never exceeds 100% of the host link.
+#[derive(Clone, Debug)]
+pub enum LoadProfile {
+    /// Constant multiplier 1 (the default).
+    Constant,
+    /// Sinusoidal swing: multiplier moves between `min` and `max` with the
+    /// given period — a compressed diurnal pattern.
+    Sinusoid {
+        /// Cycle length.
+        period: SimTime,
+        /// Multiplier at the trough (≥ 0).
+        min: f64,
+        /// Multiplier at the crest.
+        max: f64,
+    },
+    /// Piecewise-constant steps: `(start_time, multiplier)` pairs in
+    /// ascending time order; the multiplier before the first step is 1.
+    Steps(Vec<(SimTime, f64)>),
+}
+
+impl LoadProfile {
+    /// The multiplier at time `t`.
+    pub fn multiplier(&self, t: SimTime) -> f64 {
+        match self {
+            LoadProfile::Constant => 1.0,
+            LoadProfile::Sinusoid { period, min, max } => {
+                assert!(*min >= 0.0 && max >= min, "invalid sinusoid bounds");
+                let phase = (t.as_nanos() % period.as_nanos().max(1)) as f64
+                    / period.as_nanos().max(1) as f64;
+                let s = (phase * std::f64::consts::TAU).sin() * 0.5 + 0.5;
+                min + (max - min) * s
+            }
+            LoadProfile::Steps(steps) => {
+                let mut level = 1.0;
+                for &(at, m) in steps {
+                    if t >= at {
+                        level = m;
+                    } else {
+                        break;
+                    }
+                }
+                level
+            }
+        }
+    }
+
+    /// The maximum multiplier the profile can produce (the thinning
+    /// envelope).
+    pub fn peak(&self) -> f64 {
+        match self {
+            LoadProfile::Constant => 1.0,
+            LoadProfile::Sinusoid { max, .. } => *max,
+            LoadProfile::Steps(steps) => steps
+                .iter()
+                .map(|&(_, m)| m)
+                .fold(1.0f64, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one_everywhere() {
+        let p = LoadProfile::Constant;
+        for t in [0u64, 5, 1_000_000_000] {
+            assert_eq!(p.multiplier(SimTime::from_nanos(t)), 1.0);
+        }
+        assert_eq!(p.peak(), 1.0);
+    }
+
+    #[test]
+    fn sinusoid_spans_min_max_and_repeats() {
+        let p = LoadProfile::Sinusoid {
+            period: SimTime::from_millis(10),
+            min: 0.2,
+            max: 1.4,
+        };
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for k in 0..1000 {
+            let m = p.multiplier(SimTime::from_micros(k * 10));
+            assert!((0.2..=1.4).contains(&m));
+            lo = lo.min(m);
+            hi = hi.max(m);
+        }
+        assert!(lo < 0.25, "trough reached: {lo}");
+        assert!(hi > 1.35, "crest reached: {hi}");
+        // Periodicity.
+        let a = p.multiplier(SimTime::from_micros(1234));
+        let b = p.multiplier(SimTime::from_micros(1234) + elephant_des::SimDuration::from_millis(10));
+        assert!((a - b).abs() < 1e-9);
+        assert_eq!(p.peak(), 1.4);
+    }
+
+    #[test]
+    fn steps_switch_at_boundaries() {
+        let p = LoadProfile::Steps(vec![
+            (SimTime::from_millis(10), 0.5),
+            (SimTime::from_millis(20), 2.0),
+        ]);
+        assert_eq!(p.multiplier(SimTime::from_millis(5)), 1.0);
+        assert_eq!(p.multiplier(SimTime::from_millis(10)), 0.5);
+        assert_eq!(p.multiplier(SimTime::from_millis(15)), 0.5);
+        assert_eq!(p.multiplier(SimTime::from_millis(25)), 2.0);
+        assert_eq!(p.peak(), 2.0);
+    }
+}

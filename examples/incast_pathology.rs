@@ -1,0 +1,100 @@
+//! The §2.1 motivation: patterns that only exist at scale.
+//!
+//! "Given enough simultaneous connections, it is possible that the fair
+//! share of each connection is less than their minimum window size. When
+//! this occurs, TCP will never back off enough to prevent high packet
+//! loss." This example sweeps long-lived incast fan-in into one 10 GbE
+//! host. While the per-flow fair share stays above one minimum window per
+//! RTT, loss is the transient slow-start kind; once fair share falls
+//! below it, the loss rate locks in — TCP has no window left to shrink —
+//! and timeouts dominate. A small-testbed experiment (left end of the
+//! table) never sees the regime on the right: the paper's argument for
+//! simulation at scale.
+//!
+//! ```text
+//! cargo run --release --example incast_pathology
+//! ```
+
+use std::sync::Arc;
+
+use elephant::des::{SimDuration, SimTime, Simulator};
+use elephant::net::{
+    schedule_flows, ClosParams, HostAddr, NetConfig, Network, RttScope, TcpConfig, Topology,
+};
+use elephant::trace::incast;
+
+fn main() {
+    println!("long-lived incast into one 10 GbE host, 100 MB total split over N senders\n");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>16}",
+        "senders", "done", "drop rate", "timeouts", "retrans", "goodput", "share vs minwin"
+    );
+
+    let horizon = SimTime::from_millis(300);
+    for &n in &[4usize, 8, 16, 32, 64, 128, 256] {
+        // Enough sender hosts in the other cluster.
+        let racks = (n as u16).div_ceil(4).max(2);
+        let params = ClosParams {
+            racks_per_cluster: racks,
+            hosts_per_rack: 4,
+            aggs_per_cluster: 4,
+            ..ClosParams::paper_cluster(2)
+        };
+        let topo = Arc::new(Topology::clos(params));
+
+        let victim = HostAddr::new(0, 0, 0);
+        let mut senders = Vec::new();
+        'outer: for r in 0..racks {
+            for h in 0..4 {
+                senders.push(HostAddr::new(1, r, h));
+                if senders.len() == n {
+                    break 'outer;
+                }
+            }
+        }
+        let flows = incast(&senders, victim, 100_000_000 / n as u64, SimTime::from_micros(10), 1);
+
+        let cfg = NetConfig {
+            tcp: TcpConfig { rto_min: SimDuration::from_millis(10), ..Default::default() },
+            rtt_scope: RttScope::None,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(Network::new(topo, cfg));
+        schedule_flows(&mut sim, &flows);
+        sim.run_until(horizon);
+        sim.world_mut().absorb_live_connections();
+
+        let s = &sim.world().stats;
+        let drop_rate = s.drops.total() as f64 / s.segments_sent.max(1) as f64;
+        // Goodput over the time the incast was actually active: until the
+        // last completion if everything finished, else the whole horizon.
+        let active = if s.flows_completed as usize == n {
+            s.fct.iter().map(|f| f.completed).max().unwrap_or(horizon)
+        } else {
+            horizon
+        };
+        let goodput_gbps = s.delivered_bytes as f64 * 8.0 / active.as_secs_f64() / 1e9;
+        // Fair share per flow vs the minimum-window rate (1 MSS per ~200us
+        // base RTT): the §2.1 threshold.
+        let share_mbps = 10_000.0 / n as f64;
+        let minwin_mbps = 1460.0 * 8.0 / 200e-6 / 1e6;
+        println!(
+            "{:>8} {:>10} {:>11.2}% {:>12} {:>12} {:>9.2} Gbps {:>9.0} vs {:.0} Mb/s",
+            n,
+            format!("{}/{}", s.flows_completed, n),
+            drop_rate * 100.0,
+            s.timeouts,
+            s.retransmissions,
+            goodput_gbps,
+            share_mbps,
+            minwin_mbps,
+        );
+    }
+
+    println!(
+        "\nreading the last column: once the fair share (10G/N) falls below\n\
+         the minimum-window rate (~58 Mb/s at the base RTT), the drop rate\n\
+         and timeout counts stop responding to congestion control — the\n\
+         §2.1 pathology that motivated rate-based congestion control."
+    );
+}

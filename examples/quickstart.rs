@@ -1,0 +1,61 @@
+//! Quickstart: simulate a small data center at packet fidelity and read
+//! out the numbers a network researcher cares about.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use elephant::des::{SimTime, Simulator};
+use elephant::net::{schedule_flows, ClosParams, NetConfig, Network, Topology};
+use elephant::trace::{generate, WorkloadConfig};
+
+fn main() {
+    // A 4-cluster Clos network in the paper's Figure-5 shape: each cluster
+    // has 2 ToRs, 2 Cluster switches, and 8 servers on 10 GbE.
+    let params = ClosParams::paper_cluster(4);
+    let topo = Arc::new(Topology::clos(params));
+    println!(
+        "topology: {} nodes ({} hosts, {} cores)",
+        topo.len(),
+        params.total_hosts(),
+        params.total_cores()
+    );
+
+    // 50 ms of DCTCP-paper-shaped web traffic at 30% load.
+    let horizon = SimTime::from_millis(50);
+    let flows = generate(&params, &WorkloadConfig::paper_default(horizon, 42));
+    println!("workload: {} flows over {horizon}", flows.len());
+
+    // Run.
+    let mut sim = Simulator::new(Network::new(topo, NetConfig::default()));
+    schedule_flows(&mut sim, &flows);
+    let t0 = std::time::Instant::now();
+    sim.run_until(horizon);
+    let wall = t0.elapsed();
+
+    let stats = &sim.world().stats;
+    println!("\nsimulated {horizon} in {:.2}s wall", wall.as_secs_f64());
+    println!("  events executed : {}", sim.scheduler().executed_total());
+    println!("  flows completed : {}/{}", stats.flows_completed, stats.flows_started);
+    println!("  bytes delivered : {}", stats.delivered_bytes);
+    println!(
+        "  drops           : {} (host {}, tor {}, agg {}, core {})",
+        stats.drops.total(),
+        stats.drops.host,
+        stats.drops.tor,
+        stats.drops.agg,
+        stats.drops.core
+    );
+    if let Some(fct) = stats.mean_fct() {
+        println!("  mean FCT        : {fct}");
+    }
+    for q in [0.5, 0.9, 0.99] {
+        println!(
+            "  RTT p{:<4} : {:.1} us",
+            q * 100.0,
+            stats.rtt_hist.quantile(q) * 1e6
+        );
+    }
+}

@@ -1,0 +1,373 @@
+//! `elephant` — command-line driver for the simulator.
+//!
+//! Four subcommands cover the workflows a user reaches for before writing
+//! code against the library API:
+//!
+//! ```text
+//! elephant run     --clusters 4 --horizon-ms 50          # full-fidelity simulation
+//! elephant train   --horizon-ms 100 --out model.json     # capture + train a cluster model
+//! elephant hybrid  --model model.json --clusters 16      # deploy it at scale
+//! elephant compare --model model.json --clusters 4       # truth vs hybrid accuracy table
+//! ```
+//!
+//! Every command prints a summary and is a pure function of its `--seed`.
+
+use std::process::exit;
+
+use elephant::core::{
+    compare_cdfs, run_ground_truth, run_hybrid, train_cluster_model, ClusterModel, DropPolicy,
+    LearnedOracle, TrainingOptions,
+};
+use elephant::des::SimTime;
+use elephant::net::{ClosParams, NetConfig, Network, RttScope, TcpConfig};
+use elephant::nn::RnnKind;
+use elephant::trace::{filter_touching_cluster, generate, WorkloadConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let opts = Opts::parse(&args[1..]);
+    match cmd.as_str() {
+        "run" => cmd_run(&opts),
+        "train" => cmd_train(&opts),
+        "hybrid" => cmd_hybrid(&opts),
+        "compare" => cmd_compare(&opts),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command: {other}\n");
+            usage()
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "elephant — fast network simulation through approximation\n\
+         \n\
+         USAGE: elephant <command> [options]\n\
+         \n\
+         COMMANDS\n\
+         run      full-fidelity packet simulation; prints summary statistics\n\
+         train    ground-truth capture + model training; writes a model JSON\n\
+         hybrid   hybrid simulation with a trained model serving stub fabrics\n\
+         compare  run truth and hybrid side by side; print the accuracy table\n\
+         \n\
+         OPTIONS (defaults in parentheses)\n\
+         --clusters N      cluster count (4; train always uses 2)\n\
+         --horizon-ms N    simulated horizon (50)\n\
+         --load F          per-host offered load fraction (0.3)\n\
+         --seed N          experiment seed (42)\n\
+         --dctcp           DCTCP + ECN-marking switches instead of New Reno\n\
+         --model PATH      model file (hybrid/compare input, train output via --out)\n\
+         --out PATH        where train writes the model (model.json)\n\
+         --full-cluster N  the cluster kept at packet fidelity (0)\n\
+         --hidden N        LSTM width for train (32)\n\
+         --layers N        LSTM depth for train (2)\n\
+         --epochs N        training epochs (8)\n\
+         --gru             GRU trunk instead of LSTM\n\
+         --trace N         retain the first N raw events and print a sample"
+    );
+    exit(2)
+}
+
+#[derive(Debug)]
+struct Opts {
+    clusters: u16,
+    horizon: SimTime,
+    load: f64,
+    seed: u64,
+    dctcp: bool,
+    model: Option<String>,
+    out: String,
+    full_cluster: u16,
+    hidden: usize,
+    layers: usize,
+    epochs: usize,
+    gru: bool,
+    trace: Option<usize>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut o = Opts {
+            clusters: 4,
+            horizon: SimTime::from_millis(50),
+            load: 0.3,
+            seed: 42,
+            dctcp: false,
+            model: None,
+            out: "model.json".into(),
+            full_cluster: 0,
+            hidden: 32,
+            layers: 2,
+            epochs: 8,
+            gru: false,
+            trace: None,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut val = || {
+                it.next().map(|s| s.to_string()).unwrap_or_else(|| {
+                    eprintln!("{a} needs a value");
+                    exit(2)
+                })
+            };
+            match a.as_str() {
+                "--clusters" => o.clusters = parse(&val(), a),
+                "--horizon-ms" => o.horizon = SimTime::from_millis(parse(&val(), a)),
+                "--load" => o.load = parse(&val(), a),
+                "--seed" => o.seed = parse(&val(), a),
+                "--dctcp" => o.dctcp = true,
+                "--model" => o.model = Some(val()),
+                "--out" => o.out = val(),
+                "--full-cluster" => o.full_cluster = parse(&val(), a),
+                "--hidden" => o.hidden = parse(&val(), a),
+                "--layers" => o.layers = parse(&val(), a),
+                "--epochs" => o.epochs = parse(&val(), a),
+                "--gru" => o.gru = true,
+                "--trace" => o.trace = Some(parse(&val(), a)),
+                other => {
+                    eprintln!("unknown option: {other}\n");
+                    usage()
+                }
+            }
+        }
+        o
+    }
+
+    fn params(&self) -> ClosParams {
+        let mut p = ClosParams::paper_cluster(self.clusters);
+        if self.dctcp {
+            p.host_link = p.host_link.with_ecn(30_000);
+            p.fabric_link = p.fabric_link.with_ecn(30_000);
+            p.core_link = p.core_link.with_ecn(30_000);
+        }
+        p
+    }
+
+    fn net_config(&self, scope: RttScope) -> NetConfig {
+        NetConfig {
+            tcp: if self.dctcp { TcpConfig::dctcp() } else { TcpConfig::default() },
+            rtt_scope: scope,
+            ..Default::default()
+        }
+    }
+
+    fn workload(&self, params: &ClosParams, seed: u64) -> Vec<elephant::net::FlowSpec> {
+        let mut wl = WorkloadConfig::paper_default(self.horizon, seed);
+        wl.load = self.load;
+        generate(params, &wl)
+    }
+
+    fn load_model(&self) -> ClusterModel {
+        let path = self.model.as_deref().unwrap_or_else(|| {
+            eprintln!("--model PATH is required for this command");
+            exit(2)
+        });
+        let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1)
+        });
+        ClusterModel::from_json(&json).unwrap_or_else(|e| {
+            eprintln!("{path} is not a valid model: {e}");
+            exit(1)
+        })
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {flag}: {s}");
+        exit(2)
+    })
+}
+
+fn print_summary(net: &Network, meta: &elephant::core::RunMeta) {
+    let s = &net.stats;
+    println!("\nsimulated {:.3}s in {:.2}s wall ({} events)",
+        meta.sim_seconds, meta.wall.as_secs_f64(), meta.events);
+    println!("  flows     : {}/{} completed", s.flows_completed, s.flows_started);
+    println!("  goodput   : {:.3} GB delivered", s.delivered_bytes as f64 / 1e9);
+    println!(
+        "  drops     : {} (host {}, tor {}, agg {}, core {}, oracle {})",
+        s.drops.total(), s.drops.host, s.drops.tor, s.drops.agg, s.drops.core, s.drops.oracle
+    );
+    if s.rtt_hist.count() > 0 {
+        println!(
+            "  RTT       : p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  ({} samples)",
+            s.rtt_hist.quantile(0.5) * 1e6,
+            s.rtt_hist.quantile(0.9) * 1e6,
+            s.rtt_hist.quantile(0.99) * 1e6,
+            s.rtt_hist.count()
+        );
+    }
+    if let Some(fct) = s.mean_fct() {
+        println!("  mean FCT  : {fct}");
+    }
+    if s.oracle_deliveries > 0 {
+        println!("  oracle    : {} packets teleported", s.oracle_deliveries);
+    }
+}
+
+fn print_trace_sample(net: &Network) {
+    if let Some(trace) = net.trace() {
+        println!(
+            "\nfirst events of the raw trace ({} retained, {} observed{}):",
+            trace.entries().len(),
+            trace.observed(),
+            if trace.truncated() { ", truncated" } else { "" }
+        );
+        println!("  {:>12}  {:<14} {:>6} {:>8} {:>8} {:>10}", "time", "kind", "node", "packet", "flow", "seq");
+        for e in trace.entries().iter().take(20) {
+            println!(
+                "  {:>12}  {:<14} {:>6} {:>8} {:>8} {:>10}",
+                format!("{}", e.time),
+                e.kind.name(),
+                e.node.0,
+                e.packet,
+                e.flow.0,
+                e.seq
+            );
+        }
+    }
+}
+
+fn cmd_run(o: &Opts) {
+    let params = o.params();
+    let flows = o.workload(&params, o.seed);
+    println!(
+        "full-fidelity run: {} clusters, {} hosts, {} flows, horizon {}",
+        params.clusters,
+        params.total_hosts(),
+        flows.len(),
+        o.horizon
+    );
+    // Tracing needs direct Simulator access rather than the runner helper.
+    let topo = std::sync::Arc::new(elephant::net::Topology::clos(params));
+    let mut sim =
+        elephant::des::Simulator::new(Network::new(topo, o.net_config(RttScope::All)));
+    if let Some(n) = o.trace {
+        sim.world_mut().enable_trace(n);
+    }
+    elephant::net::schedule_flows(&mut sim, &flows);
+    let t0 = std::time::Instant::now();
+    sim.run_until(o.horizon);
+    let meta = elephant::core::RunMeta {
+        wall: t0.elapsed(),
+        events: sim.scheduler().executed_total(),
+        sim_seconds: o.horizon.as_secs_f64(),
+    };
+    print_summary(sim.world(), &meta);
+    print_trace_sample(sim.world());
+}
+
+fn cmd_train(o: &Opts) {
+    let params = {
+        let mut p = ClosParams::paper_cluster(2);
+        if o.dctcp {
+            p.host_link = p.host_link.with_ecn(30_000);
+            p.fabric_link = p.fabric_link.with_ecn(30_000);
+            p.core_link = p.core_link.with_ecn(30_000);
+        }
+        p
+    };
+    let flows = o.workload(&params, o.seed);
+    println!(
+        "capturing ground truth: 2 clusters, {} flows, horizon {} ...",
+        flows.len(),
+        o.horizon
+    );
+    let (net, meta) =
+        run_ground_truth(params, o.net_config(RttScope::None), Some(1), &flows, o.horizon);
+    let records = net.into_capture().expect("capture enabled").into_records();
+    println!("  {} events, {} boundary records", meta.events, records.len());
+
+    let opts = TrainingOptions {
+        hidden: o.hidden,
+        layers: o.layers,
+        epochs: o.epochs,
+        rnn: if o.gru { RnnKind::Gru } else { RnnKind::Lstm },
+        ..Default::default()
+    };
+    println!(
+        "training {}x{} {} for {} epochs ...",
+        o.layers,
+        o.hidden,
+        if o.gru { "GRU" } else { "LSTM" },
+        o.epochs
+    );
+    let (model, report) = train_cluster_model(&records, &params, &opts);
+    println!(
+        "  up:   {} samples | drop accuracy {:.3} | latency rmse {:.3}",
+        report.up.train_samples, report.up.eval.drop_accuracy, report.up.eval.latency_rmse
+    );
+    println!(
+        "  down: {} samples | drop accuracy {:.3} | latency rmse {:.3}",
+        report.down.train_samples, report.down.eval.drop_accuracy, report.down.eval.latency_rmse
+    );
+    std::fs::write(&o.out, model.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", o.out);
+        exit(1)
+    });
+    println!("wrote {}", o.out);
+}
+
+fn cmd_hybrid(o: &Opts) {
+    let model = o.load_model();
+    let params = o.params();
+    assert!(o.full_cluster < o.clusters, "--full-cluster out of range");
+    let flows =
+        filter_touching_cluster(&o.workload(&params, o.seed), o.full_cluster);
+    println!(
+        "hybrid run: {} clusters ({} approximated), {} flows after elision, horizon {}",
+        params.clusters,
+        params.clusters - 1,
+        flows.len(),
+        o.horizon
+    );
+    let oracle = LearnedOracle::new(model, params, DropPolicy::Sample, o.seed ^ 0xE1E);
+    let (net, meta) = run_hybrid(
+        params,
+        o.full_cluster,
+        Box::new(oracle),
+        o.net_config(RttScope::Cluster(o.full_cluster)),
+        &flows,
+        o.horizon,
+    );
+    print_summary(&net, &meta);
+}
+
+fn cmd_compare(o: &Opts) {
+    let model = o.load_model();
+    let params = o.params();
+    let flows = o.workload(&params, o.seed.wrapping_add(1));
+    let cfg = o.net_config(RttScope::Cluster(o.full_cluster));
+
+    println!("ground truth ({} flows) ...", flows.len());
+    let (truth, tmeta) = run_ground_truth(params, cfg, None, &flows, o.horizon);
+    let elided = filter_touching_cluster(&flows, o.full_cluster);
+    println!("hybrid ({} flows after elision) ...", elided.len());
+    let oracle = LearnedOracle::new(model, params, DropPolicy::Sample, o.seed ^ 0xE1E);
+    let (hybrid, hmeta) =
+        run_hybrid(params, o.full_cluster, Box::new(oracle), cfg, &elided, o.horizon);
+
+    let cmp = compare_cdfs(&truth.stats.rtt_cdf(), &hybrid.stats.rtt_cdf());
+    println!("\n  quantile   truth       hybrid      error");
+    for r in &cmp.rows {
+        println!(
+            "  p{:<8} {:>9.1}us {:>9.1}us {:>+8.1}%",
+            r.q * 100.0,
+            r.truth * 1e6,
+            r.approx * 1e6,
+            r.rel_error() * 100.0
+        );
+    }
+    println!(
+        "\n  KS distance {:.4} | wall {:.2}s truth vs {:.2}s hybrid ({:.2}x) | events {:.1}x fewer",
+        cmp.ks,
+        tmeta.wall.as_secs_f64(),
+        hmeta.wall.as_secs_f64(),
+        tmeta.wall.as_secs_f64() / hmeta.wall.as_secs_f64().max(1e-9),
+        tmeta.events as f64 / hmeta.events.max(1) as f64,
+    );
+}

@@ -1,0 +1,98 @@
+//! End-user integration: drive the `elephant` CLI binary exactly as a
+//! human would — train a model to a file, deploy it hybrid, compare, and
+//! inspect a raw trace — asserting on the printed contracts.
+
+use std::process::Command;
+
+fn elephant() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_elephant"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = elephant().args(args).output().expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        out.status.success(),
+        "elephant {args:?} failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    stdout
+}
+
+#[test]
+fn cli_workflow_train_hybrid_compare() {
+    let dir = std::env::temp_dir().join("elephant_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = dir.join("model.json");
+    let model = model.to_str().unwrap();
+
+    // Train (tiny budget; this is a plumbing test, not an accuracy test).
+    let out = run_ok(&[
+        "train",
+        "--horizon-ms",
+        "8",
+        "--epochs",
+        "1",
+        "--hidden",
+        "8",
+        "--layers",
+        "1",
+        "--out",
+        model,
+    ]);
+    assert!(out.contains("boundary records"), "training reported capture:\n{out}");
+    assert!(out.contains("drop accuracy"), "training reported metrics");
+    let json = std::fs::read_to_string(model).expect("model file written");
+    assert!(json.contains("macro_cfg"), "model JSON has expected structure");
+
+    // Hybrid deployment of that model.
+    let out = run_ok(&["hybrid", "--model", model, "--clusters", "4", "--horizon-ms", "5"]);
+    assert!(out.contains("oracle"), "hybrid exercised the oracle:\n{out}");
+    assert!(out.contains("flows"), "hybrid printed flow summary");
+
+    // Side-by-side comparison table.
+    let out = run_ok(&["compare", "--model", model, "--clusters", "2", "--horizon-ms", "5"]);
+    assert!(out.contains("KS distance"), "compare printed KS:\n{out}");
+    assert!(out.contains("p50"), "compare printed quantile table");
+}
+
+#[test]
+fn cli_run_with_trace() {
+    let out = run_ok(&["run", "--clusters", "2", "--horizon-ms", "3", "--trace", "50"]);
+    assert!(out.contains("events"), "run summary printed:\n{out}");
+    assert!(out.contains("tx_start"), "raw trace printed");
+    assert!(out.contains("truncated"), "trace reports truncation beyond 50 events");
+}
+
+#[test]
+fn cli_gru_training_works() {
+    let dir = std::env::temp_dir().join("elephant_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = dir.join("gru.json");
+    let model = model.to_str().unwrap();
+    let out = run_ok(&[
+        "train",
+        "--horizon-ms",
+        "6",
+        "--epochs",
+        "1",
+        "--hidden",
+        "8",
+        "--layers",
+        "1",
+        "--gru",
+        "--out",
+        model,
+    ]);
+    assert!(out.contains("GRU"), "GRU trunk announced:\n{out}");
+    let json = std::fs::read_to_string(model).unwrap();
+    assert!(json.contains("Gru"), "serialized model records the trunk kind");
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    let out = elephant().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = elephant().args(["hybrid"]).output().unwrap(); // missing --model
+    assert!(!out.status.success());
+}

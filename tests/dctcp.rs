@@ -1,0 +1,50 @@
+//! DCTCP end-to-end behaviour through the whole engine: ECN-marking
+//! switches plus the DCTCP estimator must keep queues shorter and drop
+//! less than New Reno on identical offered load — the property that made
+//! the DCTCP trace the paper's workload of choice.
+
+use elephant::des::SimTime;
+use elephant::net::{ClosParams, NetConfig, RttScope, TcpConfig};
+use elephant::trace::{generate, WorkloadConfig};
+
+fn run(ecn: bool, seed: u64) -> (u64, u64, f64, u64) {
+    let mut params = ClosParams::paper_cluster(2);
+    if ecn {
+        params.host_link = params.host_link.with_ecn(30_000);
+        params.fabric_link = params.fabric_link.with_ecn(30_000);
+        params.core_link = params.core_link.with_ecn(30_000);
+    }
+    let horizon = SimTime::from_millis(25);
+    let flows = generate(&params, &WorkloadConfig::paper_default(horizon, seed));
+    let cfg = NetConfig {
+        tcp: if ecn { TcpConfig::dctcp() } else { TcpConfig::default() },
+        rtt_scope: RttScope::All,
+        ..Default::default()
+    };
+    let (net, _) = elephant::core::run_ground_truth(params, cfg, None, &flows, horizon);
+    let (marks, _) = net.port_totals();
+    (
+        net.stats.drops.total(),
+        marks,
+        net.stats.rtt_hist.quantile(0.99),
+        net.stats.flows_completed,
+    )
+}
+
+#[test]
+fn dctcp_marks_instead_of_dropping() {
+    let (reno_drops, reno_marks, reno_p99, reno_done) = run(false, 5);
+    let (dctcp_drops, dctcp_marks, dctcp_p99, dctcp_done) = run(true, 5);
+
+    assert_eq!(reno_marks, 0, "no ECN on plain drop-tail");
+    assert!(dctcp_marks > 1_000, "ECN active: {dctcp_marks} marks");
+    assert!(
+        (dctcp_drops as f64) < reno_drops as f64 * 0.6,
+        "DCTCP drops {dctcp_drops} well below Reno {reno_drops}"
+    );
+    assert!(
+        dctcp_p99 < reno_p99,
+        "shorter queues: p99 {dctcp_p99} < {reno_p99}"
+    );
+    assert!(dctcp_done >= reno_done * 9 / 10, "throughput not sacrificed");
+}

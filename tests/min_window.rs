@@ -1,0 +1,86 @@
+//! The §2.1 scale-only pathology, as a regression test: when the fair
+//! share per flow falls below one minimum window per RTT, TCP cannot back
+//! off any further and loss becomes persistent. Small fan-in must stay
+//! clean; large fan-in must show the regime change.
+
+use std::sync::Arc;
+
+use elephant::des::{SimDuration, SimTime, Simulator};
+use elephant::net::{
+    schedule_flows, ClosParams, HostAddr, NetConfig, Network, RttScope, TcpConfig, Topology,
+};
+use elephant::trace::incast;
+
+/// Runs an N-way incast of `total_bytes` split evenly, returns
+/// (drop_rate, timeouts, completed).
+fn run_incast(n: usize, total_bytes: u64, horizon: SimTime) -> (f64, u64, u64) {
+    let racks = (n as u16).div_ceil(4).max(2);
+    let params = ClosParams {
+        racks_per_cluster: racks,
+        hosts_per_rack: 4,
+        aggs_per_cluster: 4,
+        ..ClosParams::paper_cluster(2)
+    };
+    let topo = Arc::new(Topology::clos(params));
+    let victim = HostAddr::new(0, 0, 0);
+    let mut senders = Vec::new();
+    'outer: for r in 0..racks {
+        for h in 0..4 {
+            senders.push(HostAddr::new(1, r, h));
+            if senders.len() == n {
+                break 'outer;
+            }
+        }
+    }
+    let flows = incast(&senders, victim, total_bytes / n as u64, SimTime::from_micros(10), 1);
+    let cfg = NetConfig {
+        tcp: TcpConfig { rto_min: SimDuration::from_millis(10), ..Default::default() },
+        rtt_scope: RttScope::None,
+        ..Default::default()
+    };
+    let mut sim = Simulator::new(Network::new(topo, cfg));
+    schedule_flows(&mut sim, &flows);
+    sim.run_until(horizon);
+    sim.world_mut().absorb_live_connections();
+    let s = &sim.world().stats;
+    (
+        s.drops.total() as f64 / s.segments_sent.max(1) as f64,
+        s.timeouts,
+        s.flows_completed,
+    )
+}
+
+#[test]
+fn loss_regime_changes_with_fan_in() {
+    let horizon = SimTime::from_millis(150);
+    let total = 40_000_000u64;
+
+    let (drop_small, timeouts_small, done_small) = run_incast(4, total, horizon);
+    let (drop_large, timeouts_large, _) = run_incast(128, total, horizon);
+
+    // Small fan-in: fair share (2.5 Gb/s) is far above the min-window
+    // rate; slow-start overshoot may drop a little, then it's clean.
+    assert!(drop_small < 0.02, "4-way incast drop rate {drop_small}");
+    assert_eq!(done_small, 4, "small incast completes");
+
+    // Large fan-in: fair share (78 Mb/s) nears the min-window floor; the
+    // loss rate rises by multiples and timeouts appear in force.
+    assert!(
+        drop_large > drop_small * 3.0,
+        "pathological regime: {drop_large} vs {drop_small}"
+    );
+    assert!(
+        timeouts_large > timeouts_small * 10,
+        "timeout storm: {timeouts_large} vs {timeouts_small}"
+    );
+}
+
+#[test]
+fn cwnd_never_below_one_mss() {
+    // Structural root of the pathology: even under brutal loss the window
+    // floor holds (unit-tested in tcp.rs too; this exercises it through
+    // the whole engine by verifying the sim makes progress rather than
+    // deadlocking at zero window).
+    let (_, _, done) = run_incast(64, 4_000_000, SimTime::from_secs(2));
+    assert_eq!(done, 64, "all flows eventually complete — the floor keeps TCP live");
+}

@@ -1,0 +1,238 @@
+//! Property-based tests over the workspace's core invariants.
+//!
+//! Each property targets an invariant called out in DESIGN.md: routing
+//! validity on arbitrary Clos shapes, TCP liveness under arbitrary loss
+//! patterns, max-min feasibility and fairness on arbitrary flow/link
+//! graphs, KS-distance metric axioms, size-distribution monotonicity, and
+//! workload well-formedness.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use elephant::des::{EmpiricalCdf, SimTime, Simulator};
+use elephant::flow::max_min_allocation;
+use elephant::net::{
+    schedule_flows, ClosParams, FlowId, FlowSpec, HostAddr, NetConfig, Network, NodeKind,
+    RttScope, Topology,
+};
+use elephant::trace::SizeDist;
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = ClosParams> {
+    (1u16..=4, 1u16..=4, 1u16..=4, 1u16..=3, 1u16..=3).prop_map(
+        |(clusters, racks, hosts, aggs, cores)| ClosParams {
+            clusters,
+            racks_per_cluster: racks,
+            hosts_per_rack: hosts,
+            aggs_per_cluster: aggs,
+            cores_per_group: cores,
+            ..ClosParams::paper_cluster(1)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any packet routed hop-by-hop from any host reaches its destination
+    /// within the Clos diameter, and up/down routing never loops.
+    #[test]
+    fn routing_reaches_destination(params in arb_params(), flow in 0u64..1000) {
+        let topo = Topology::clos(params);
+        let hosts = topo.all_hosts();
+        prop_assume!(hosts.len() >= 2);
+        let src = hosts[flow as usize % hosts.len()];
+        let dst = hosts[(flow as usize * 7 + 1) % hosts.len()];
+        prop_assume!(src != dst);
+        let mut at = topo.host_node(src);
+        let dst_node = topo.host_node(dst);
+        let mut hops = 0;
+        while at != dst_node {
+            let port = topo.route(at, dst, FlowId(flow));
+            at = topo.node(at).ports[port.idx()].peer_node;
+            hops += 1;
+            prop_assert!(hops <= 6, "Clos diameter exceeded");
+        }
+    }
+
+    /// The wiring is symmetric for every generated shape.
+    #[test]
+    fn wiring_is_symmetric(params in arb_params()) {
+        let topo = Topology::clos(params); // construction self-checks
+        // Additionally: every non-boundary port's peer points back.
+        for (i, node) in topo.nodes().iter().enumerate() {
+            for (pi, port) in node.ports.iter().enumerate() {
+                let peer = topo.node(port.peer_node);
+                if !matches!(peer.kind, NodeKind::Boundary { .. }) {
+                    let back = peer.ports[port.peer_port.idx()];
+                    prop_assert_eq!(back.peer_node.idx(), i);
+                    prop_assert_eq!(back.peer_port.idx(), pi);
+                }
+            }
+        }
+    }
+
+    /// Max-min allocations are feasible (no link oversubscribed) and
+    /// water-filling fair (every flow is bottlenecked: some link it
+    /// crosses is saturated and it has a maximal rate there).
+    #[test]
+    fn max_min_is_feasible_and_fair(
+        n_links in 1usize..6,
+        flows in proptest::collection::vec(proptest::collection::vec(0usize..6, 1..4), 1..8),
+        caps in proptest::collection::vec(1.0e6f64..1.0e9, 6),
+    ) {
+        // Clamp link indices into range and dedup within a flow.
+        let paths: Vec<Vec<usize>> = flows
+            .iter()
+            .map(|p| {
+                let mut q: Vec<usize> = p.iter().map(|&l| l % n_links).collect();
+                q.sort_unstable();
+                q.dedup();
+                q
+            })
+            .collect();
+        let caps = &caps[..n_links];
+        let rates = max_min_allocation(&paths, caps);
+        prop_assert_eq!(rates.len(), paths.len());
+
+        // Feasibility with a small numerical margin.
+        let mut load = vec![0.0f64; n_links];
+        for (p, &r) in paths.iter().zip(&rates) {
+            prop_assert!(r > 0.0);
+            for &l in p {
+                load[l] += r;
+            }
+        }
+        for l in 0..n_links {
+            prop_assert!(load[l] <= caps[l] * 1.0001 + 1.0, "link {l} oversubscribed");
+        }
+
+        // Max-min property: each flow crosses a saturated link on which
+        // no other flow gets a higher rate.
+        for (p, &r) in paths.iter().zip(&rates) {
+            let bottlenecked = p.iter().any(|&l| {
+                let saturated = load[l] >= caps[l] * 0.999 - 1.0;
+                let maximal = paths
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(q, _)| q.contains(&l))
+                    .all(|(_, &r2)| r2 <= r * 1.0001 + 1.0);
+                saturated && maximal
+            });
+            prop_assert!(bottlenecked, "flow with rate {r} has no bottleneck");
+        }
+    }
+
+    /// KS distance is a metric-ish: symmetric, zero on self, in [0,1].
+    #[test]
+    fn ks_axioms(
+        a in proptest::collection::vec(0.0f64..1e3, 1..200),
+        b in proptest::collection::vec(0.0f64..1e3, 1..200),
+    ) {
+        let ca = EmpiricalCdf::from_samples(&a);
+        let cb = EmpiricalCdf::from_samples(&b);
+        let d_ab = ca.ks_distance(&cb);
+        let d_ba = cb.ks_distance(&ca);
+        prop_assert!((d_ab - d_ba).abs() < 1e-12, "symmetry");
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+        prop_assert!(ca.ks_distance(&ca) == 0.0);
+    }
+
+    /// Size-distribution quantiles are monotone and samples live within
+    /// the distribution's support.
+    #[test]
+    fn size_dist_support(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+        let d = SizeDist::web_search();
+        let (lo, hi) = (u1.min(u2), u1.max(u2));
+        prop_assert!(d.quantile(lo) <= d.quantile(hi));
+        prop_assert!(d.quantile(0.0) >= 1);
+        prop_assert!(d.quantile(1.0) <= 20_000_000);
+    }
+
+    /// TCP under arbitrary port-queue capacities still completes every
+    /// flow eventually (liveness under loss): a randomized stress of the
+    /// whole engine.
+    #[test]
+    fn flows_complete_under_random_shallow_queues(
+        queue_cap in 4_500u64..60_000,
+        n_flows in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut params = ClosParams::paper_cluster(2);
+        params.host_link.queue_cap_bytes = queue_cap;
+        params.fabric_link.queue_cap_bytes = queue_cap;
+        params.core_link.queue_cap_bytes = queue_cap;
+        let topo = Arc::new(Topology::clos(params));
+        let hosts = topo.all_hosts();
+        let flows: Vec<FlowSpec> = (0..n_flows)
+            .map(|i| {
+                let s = hosts[(seed as usize + i * 3) % hosts.len()];
+                let mut d = hosts[(seed as usize + i * 7 + 1) % hosts.len()];
+                if d == s {
+                    d = hosts[(seed as usize + i * 7 + 2) % hosts.len()];
+                }
+                FlowSpec {
+                    id: FlowId(i as u64 + 1),
+                    src: s,
+                    dst: d,
+                    bytes: 20_000 + (seed % 50_000),
+                    start: SimTime::from_micros(i as u64 * 50),
+                }
+            })
+            .filter(|f| f.src != f.dst)
+            .collect();
+        prop_assume!(!flows.is_empty());
+        let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+        let mut sim = Simulator::new(Network::new(topo, cfg));
+        schedule_flows(&mut sim, &flows);
+        sim.run_until(SimTime::from_secs(60));
+        prop_assert_eq!(
+            sim.world().stats.flows_completed as usize,
+            flows.len(),
+            "all flows complete despite shallow queues (drops: {})",
+            sim.world().stats.drops.total()
+        );
+        let total: u64 = flows.iter().map(|f| f.bytes).sum();
+        prop_assert_eq!(sim.world().stats.delivered_bytes, total);
+    }
+
+    /// Flow-ids shared between opposite directions never collide in the
+    /// connection tables: canonical/reverse round-trips.
+    #[test]
+    fn flow_id_direction_bits(raw in 0u64..u64::MAX / 4) {
+        let f = FlowId(raw);
+        prop_assert!(!f.is_reverse());
+        prop_assert!(f.reverse().is_reverse());
+        prop_assert_eq!(f.reverse().canonical(), f);
+    }
+}
+
+/// Fluid vs packet agreement on an uncontended transfer: both engines
+/// should report FCTs within a factor of two (the fluid one is an ideal
+/// lower bound; TCP adds handshake and slow-start).
+#[test]
+fn fluid_lower_bounds_packet_fct() {
+    let params = ClosParams::paper_cluster(2);
+    let topo = Topology::clos(params);
+    let flows = [FlowSpec {
+        id: FlowId(1),
+        src: HostAddr::new(0, 0, 0),
+        dst: HostAddr::new(1, 0, 0),
+        bytes: 2_000_000,
+        start: SimTime::ZERO,
+    }];
+    let fluid = elephant::flow::simulate(&topo, &flows, SimTime::from_secs(5));
+    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+    let (net, _) =
+        elephant::core::run_ground_truth(params, cfg, None, &flows, SimTime::from_secs(5));
+    let fluid_fct = fluid.fct[0].fct().as_secs_f64();
+    let packet_fct: HashMap<u64, f64> = net
+        .stats
+        .fct
+        .iter()
+        .map(|r| (r.flow.0, r.fct().as_secs_f64()))
+        .collect();
+    let p = packet_fct[&1];
+    assert!(p >= fluid_fct * 0.95, "fluid {fluid_fct} lower-bounds packet {p}");
+    assert!(p <= fluid_fct * 2.0, "packet {p} within 2x of fluid {fluid_fct}");
+}
