@@ -11,8 +11,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use elephant_core::{FeatureExtractor, LatencyCodec, MacroState, FEATURE_DIM};
 use elephant_des::{EmpiricalCdf, Scheduler, SimDuration, SimTime, Simulator};
 use elephant_net::{
-    schedule_flows, ClosParams, Direction, FlowId, HostAddr, NetConfig, Network,
-    RttScope, Topology,
+    schedule_flows, ClosParams, Direction, FlowId, HostAddr, NetConfig, Network, RttScope, Topology,
 };
 use elephant_nn::{Matrix, MicroNet, MicroNetConfig};
 use elephant_trace::{generate, SizeDist, WorkloadConfig};
@@ -126,7 +125,10 @@ fn bench_simulation(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let topo = Arc::new(Topology::clos(params));
-                let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+                let cfg = NetConfig {
+                    rtt_scope: RttScope::None,
+                    ..Default::default()
+                };
                 let mut sim = Simulator::new(Network::new(topo, cfg));
                 schedule_flows(&mut sim, &flows);
                 sim
@@ -148,7 +150,10 @@ fn bench_workload_and_stats(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            generate(&params, &WorkloadConfig::paper_default(SimTime::from_millis(10), seed))
+            generate(
+                &params,
+                &WorkloadConfig::paper_default(SimTime::from_millis(10), seed),
+            )
         });
     });
     g.bench_function("size_dist_sample", |b| {

@@ -9,26 +9,30 @@
 //! by deploying the same trained model under both policies and comparing
 //! the hybrid's drop counts and RTT distribution against ground truth.
 
-use elephant_bench::{fmt_f, print_table, train_default_model, Args};
+use elephant_bench::{emit_report, fmt_f, print_table, train_default_model, Args};
 use elephant_core::{
     compare_cdfs, run_ground_truth, run_hybrid, DropPolicy, LearnedOracle, TrainingOptions,
 };
 use elephant_net::{ClosParams, NetConfig, RttScope};
+use elephant_obs::RunReport;
 use elephant_trace::{filter_touching_cluster, generate, write_csv, WorkloadConfig};
 
 fn main() {
     let args = Args::parse();
+    elephant_obs::set_enabled(true);
     let horizon = args.horizon(40, 120);
     let params = ClosParams::paper_cluster(2);
 
     println!("training ...");
-    let (model, _, _) =
-        train_default_model(horizon, args.seed, &TrainingOptions::default());
+    let (model, _, _) = train_default_model(horizon, args.seed, &TrainingOptions::default());
 
     // Unseen-seed evaluation, like Figure 4.
     let eval_seed = args.seed.wrapping_add(1);
     let flows = generate(&params, &WorkloadConfig::paper_default(horizon, eval_seed));
-    let cfg = NetConfig { rtt_scope: RttScope::Cluster(0), ..Default::default() };
+    let cfg = NetConfig {
+        rtt_scope: RttScope::Cluster(0),
+        ..Default::default()
+    };
     println!("ground truth ...");
     let (truth, _) = run_ground_truth(params, cfg, None, &flows, horizon);
     let truth_cdf = truth.stats.rtt_cdf();
@@ -39,13 +43,19 @@ fn main() {
         ("threshold 0.5", DropPolicy::Threshold(0.5)),
         ("threshold 0.1", DropPolicy::Threshold(0.1)),
     ];
+    let mut report = RunReport::new(
+        "ablation_drop_policy",
+        format!("2 clusters, horizon {horizon}, seed {}", args.seed),
+    );
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for (name, policy) in policies {
-        let oracle =
-            LearnedOracle::new(model.clone(), params, *policy, args.seed ^ 0xD20);
+        let oracle = LearnedOracle::new(model.clone(), params, *policy, args.seed ^ 0xD20);
         let (net, _) = run_hybrid(params, 0, Box::new(oracle), cfg, &elided, horizon);
         let cmp = compare_cdfs(&truth_cdf, &net.stats.rtt_cdf());
+        let key = name.replace([' ', '.'], "_");
+        report.scalar(format!("oracle_drops_{key}"), net.stats.drops.oracle as f64);
+        report.scalar(format!("ks_{key}"), cmp.ks);
         rows.push(vec![
             name.to_string(),
             net.stats.drops.oracle.to_string(),
@@ -67,7 +77,13 @@ fn main() {
     );
     print_table(
         "Ablation A5: drop-decision policy",
-        &["policy", "oracle drops", "KS vs truth", "p99 error", "flows done"],
+        &[
+            "policy",
+            "oracle drops",
+            "KS vs truth",
+            "p99 error",
+            "flows done",
+        ],
         &rows,
     );
     write_csv(
@@ -76,7 +92,10 @@ fn main() {
         &csv,
     )
     .expect("write csv");
-    println!("\nwrote {}", args.out.join("ablation_drop_policy.csv").display());
+    println!(
+        "\nwrote {}",
+        args.out.join("ablation_drop_policy.csv").display()
+    );
     println!(
         "reading: per-packet drop probabilities are small (aggregate loss is\n\
          ~1%), so any usable threshold fires never — thresholding silently\n\
@@ -86,4 +105,8 @@ fn main() {
          which is the paper's \"imperfect model predictions\" divergence\n\
          (§6.1). Drop realism is why Sample is the deployed default."
     );
+
+    report.scalar("truth_drops", truth.stats.drops.total() as f64);
+    report.gather();
+    emit_report(&report, &args.out);
 }

@@ -8,29 +8,41 @@
 //! becomes a constant and carries no information. A workload with an
 //! incast burst (so regimes actually vary) makes the difference visible.
 
-use elephant_bench::{fmt_f, print_table, Args};
+use elephant_bench::{emit_report, fmt_f, print_table, Args};
 use elephant_core::{run_ground_truth, train_cluster_model, MacroConfig, TrainingOptions};
 use elephant_net::{ClosParams, HostAddr, NetConfig, RttScope};
+use elephant_obs::RunReport;
 use elephant_trace::{generate, incast, write_csv, WorkloadConfig};
 
 fn main() {
     let args = Args::parse();
+    elephant_obs::set_enabled(true);
     let horizon = args.horizon(40, 200);
     let params = ClosParams::paper_cluster(2);
 
     // Bursty workload so macro states carry signal.
     let mut flows = generate(&params, &WorkloadConfig::paper_default(horizon, args.seed));
     let max_id = flows.iter().map(|f| f.id.0).max().unwrap_or(0);
-    let senders: Vec<HostAddr> =
-        (0..8).map(|i| HostAddr::new(0, (i % 2) as u16, (i / 2 % 4) as u16)).collect();
+    let senders: Vec<HostAddr> = (0..8)
+        .map(|i| HostAddr::new(0, (i % 2) as u16, (i / 2 % 4) as u16))
+        .collect();
     for k in 0..3u64 {
         let at = elephant_des::SimTime::from_nanos(horizon.as_nanos() * (k + 1) / 4);
-        flows.extend(incast(&senders, HostAddr::new(1, 0, 0), 300_000, at, max_id + 1 + k * 100));
+        flows.extend(incast(
+            &senders,
+            HostAddr::new(1, 0, 0),
+            300_000,
+            at,
+            max_id + 1 + k * 100,
+        ));
     }
     flows.sort_by_key(|f| (f.start, f.id.0));
 
     println!("capturing bursty ground truth ...");
-    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+    let cfg = NetConfig {
+        rtt_scope: RttScope::None,
+        ..Default::default()
+    };
     let (net, _) = run_ground_truth(params, cfg, Some(1), &flows, horizon);
     let records = net.into_capture().expect("capture").into_records();
     let drop_rate =
@@ -45,15 +57,31 @@ fn main() {
         ..MacroConfig::default()
     };
 
-    let variants: [(&str, Option<MacroConfig>); 2] =
-        [("with macro state", None), ("macro state ablated", Some(pinned))];
+    let variants: [(&str, Option<MacroConfig>); 2] = [
+        ("with macro state", None),
+        ("macro state ablated", Some(pinned)),
+    ];
+    let mut run_report = RunReport::new(
+        "ablation_macro",
+        format!(
+            "bursty 2-cluster capture, horizon {horizon}, seed {}",
+            args.seed
+        ),
+    );
+    run_report.scalar("capture_drop_rate", drop_rate);
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for (name, over) in variants {
-        let opts = TrainingOptions { macro_override: over, ..Default::default() };
+        let opts = TrainingOptions {
+            macro_override: over,
+            ..Default::default()
+        };
         let (_, report) = train_cluster_model(&records, &params, &opts);
         let acc = (report.up.eval.drop_accuracy + report.down.eval.drop_accuracy) / 2.0;
         let rmse = (report.up.eval.latency_rmse + report.down.eval.latency_rmse) / 2.0;
+        let key = name.replace(' ', "_");
+        run_report.scalar(format!("drop_acc_{key}"), acc);
+        run_report.scalar(format!("latency_rmse_{key}"), rmse);
         rows.push(vec![name.to_string(), fmt_f(acc), fmt_f(rmse)]);
         csv.push(vec![name.to_string(), format!("{acc}"), format!("{rmse}")]);
         eprintln!("  {name} done");
@@ -64,9 +92,16 @@ fn main() {
         &["variant", "drop acc", "latency rmse"],
         &rows,
     );
-    write_csv(args.out.join("ablation_macro.csv"), &["variant", "drop_acc", "latency_rmse"], &csv)
-        .expect("write csv");
+    write_csv(
+        args.out.join("ablation_macro.csv"),
+        &["variant", "drop_acc", "latency_rmse"],
+        &csv,
+    )
+    .expect("write csv");
     println!("\nwrote {}", args.out.join("ablation_macro.csv").display());
     println!("shape target: ablating the macro feature should not *improve* accuracy;");
     println!("under bursty load it typically costs latency accuracy (§4.1's rationale).");
+
+    run_report.gather();
+    emit_report(&run_report, &args.out);
 }

@@ -9,33 +9,57 @@
 
 use std::time::Instant;
 
-use elephant_bench::{fmt_f, print_table, Args};
+use elephant_bench::{emit_report, fmt_f, print_table, Args};
 use elephant_core::{run_ground_truth, train_cluster_model, TrainingOptions, FEATURE_DIM};
 use elephant_net::{ClosParams, NetConfig, RttScope};
+use elephant_obs::RunReport;
 use elephant_trace::{generate, write_csv, WorkloadConfig};
 
 fn main() {
     let args = Args::parse();
+    elephant_obs::set_enabled(true);
     let horizon = args.horizon(40, 200);
     let params = ClosParams::paper_cluster(2);
 
     println!("capturing ground truth ...");
     let flows = generate(&params, &WorkloadConfig::paper_default(horizon, args.seed));
-    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+    let cfg = NetConfig {
+        rtt_scope: RttScope::None,
+        ..Default::default()
+    };
     let (net, _) = run_ground_truth(params, cfg, Some(1), &flows, horizon);
     let records = net.into_capture().expect("capture").into_records();
     println!("{} records", records.len());
 
     let shapes: &[(usize, usize)] = if args.full {
-        &[(8, 1), (16, 1), (32, 1), (16, 2), (32, 2), (64, 2), (128, 2)]
+        &[
+            (8, 1),
+            (16, 1),
+            (32, 1),
+            (16, 2),
+            (32, 2),
+            (64, 2),
+            (128, 2),
+        ]
     } else {
         &[(8, 1), (16, 1), (16, 2), (32, 2)]
     };
 
+    let mut run_report = RunReport::new(
+        "ablation_model_size",
+        format!(
+            "shape sweep {shapes:?}, horizon {horizon}, seed {}",
+            args.seed
+        ),
+    );
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for &(hidden, layers) in shapes {
-        let opts = TrainingOptions { hidden, layers, ..Default::default() };
+        let opts = TrainingOptions {
+            hidden,
+            layers,
+            ..Default::default()
+        };
         let t0 = Instant::now();
         let (model, report) = train_cluster_model(&records, &params, &opts);
         let train_wall = t0.elapsed();
@@ -52,6 +76,9 @@ fn main() {
 
         let acc = (report.up.eval.drop_accuracy + report.down.eval.drop_accuracy) / 2.0;
         let rmse = (report.up.eval.latency_rmse + report.down.eval.latency_rmse) / 2.0;
+        run_report.scalar(format!("drop_acc_{layers}x{hidden}"), acc);
+        run_report.scalar(format!("latency_rmse_{layers}x{hidden}"), rmse);
+        run_report.scalar(format!("infer_us_{layers}x{hidden}"), per_pkt_us);
         rows.push(vec![
             format!("{layers}x{hidden}"),
             fmt_f(acc),
@@ -72,15 +99,34 @@ fn main() {
 
     print_table(
         "Ablation A1: model capacity vs accuracy vs cost",
-        &["shape", "drop acc", "latency rmse", "train wall", "inference/pkt"],
+        &[
+            "shape",
+            "drop acc",
+            "latency rmse",
+            "train wall",
+            "inference/pkt",
+        ],
         &rows,
     );
     write_csv(
         args.out.join("ablation_model_size.csv"),
-        &["hidden", "layers", "drop_acc", "latency_rmse", "train_wall_s", "infer_us"],
+        &[
+            "hidden",
+            "layers",
+            "drop_acc",
+            "latency_rmse",
+            "train_wall_s",
+            "infer_us",
+        ],
         &csv,
     )
     .expect("write csv");
-    println!("\nwrote {}", args.out.join("ablation_model_size.csv").display());
+    println!(
+        "\nwrote {}",
+        args.out.join("ablation_model_size.csv").display()
+    );
     println!("shape target: accuracy saturates while train+inference cost keeps rising (§7).");
+
+    run_report.gather();
+    emit_report(&run_report, &args.out);
 }

@@ -9,29 +9,41 @@
 
 use std::time::Instant;
 
-use elephant_bench::{fmt_f, print_table, Args};
+use elephant_bench::{emit_report, fmt_f, print_table, Args};
 use elephant_core::{run_ground_truth, train_cluster_model, TrainingOptions, FEATURE_DIM};
 use elephant_net::{ClosParams, NetConfig, RttScope};
 use elephant_nn::RnnKind;
+use elephant_obs::RunReport;
 use elephant_trace::{generate, write_csv, WorkloadConfig};
 
 fn main() {
     let args = Args::parse();
+    elephant_obs::set_enabled(true);
     let horizon = args.horizon(40, 200);
     let params = ClosParams::paper_cluster(2);
 
     println!("capturing ground truth ...");
     let flows = generate(&params, &WorkloadConfig::paper_default(horizon, args.seed));
-    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+    let cfg = NetConfig {
+        rtt_scope: RttScope::None,
+        ..Default::default()
+    };
     let (net, _) = run_ground_truth(params, cfg, Some(1), &flows, horizon);
     let records = net.into_capture().expect("capture").into_records();
     println!("{} records", records.len());
 
     let variants: &[(&str, RnnKind)] = &[("LSTM", RnnKind::Lstm), ("GRU", RnnKind::Gru)];
+    let mut run_report = RunReport::new(
+        "ablation_rnn",
+        format!("LSTM vs GRU, horizon {horizon}, seed {}", args.seed),
+    );
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for &(name, kind) in variants {
-        let opts = TrainingOptions { rnn: kind, ..Default::default() };
+        let opts = TrainingOptions {
+            rnn: kind,
+            ..Default::default()
+        };
         let t0 = Instant::now();
         let (model, report) = train_cluster_model(&records, &params, &opts);
         let train_wall = t0.elapsed();
@@ -49,6 +61,10 @@ fn main() {
 
         let acc = (report.up.eval.drop_accuracy + report.down.eval.drop_accuracy) / 2.0;
         let rmse = (report.up.eval.latency_rmse + report.down.eval.latency_rmse) / 2.0;
+        run_report.scalar(format!("drop_acc_{name}"), acc);
+        run_report.scalar(format!("latency_rmse_{name}"), rmse);
+        run_report.scalar(format!("params_{name}"), param_count as f64);
+        run_report.scalar(format!("infer_us_{name}"), per_pkt_us);
         rows.push(vec![
             name.to_string(),
             param_count.to_string(),
@@ -70,15 +86,32 @@ fn main() {
 
     print_table(
         "Ablation A4: recurrent-architecture variants (same width/depth)",
-        &["trunk", "params", "drop acc", "latency rmse", "train wall", "inference/pkt"],
+        &[
+            "trunk",
+            "params",
+            "drop acc",
+            "latency rmse",
+            "train wall",
+            "inference/pkt",
+        ],
         &rows,
     );
     write_csv(
         args.out.join("ablation_rnn.csv"),
-        &["trunk", "params", "drop_acc", "latency_rmse", "train_wall_s", "infer_us"],
+        &[
+            "trunk",
+            "params",
+            "drop_acc",
+            "latency_rmse",
+            "train_wall_s",
+            "infer_us",
+        ],
         &csv,
     )
     .expect("write csv");
     println!("\nwrote {}", args.out.join("ablation_rnn.csv").display());
     println!("shape target: GRU ~3/4 the parameters and cost, comparable accuracy (§7).");
+
+    run_report.gather();
+    emit_report(&run_report, &args.out);
 }

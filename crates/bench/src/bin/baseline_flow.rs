@@ -14,30 +14,60 @@
 
 use std::time::Instant;
 
-use elephant_bench::{fmt_f, fmt_secs, print_table, Args};
+use elephant_bench::{emit_report, fmt_f, fmt_secs, print_table, Args};
 use elephant_core::run_ground_truth;
 use elephant_net::{ClosParams, HostAddr, NetConfig, RttScope, Topology};
+use elephant_obs::RunReport;
 use elephant_trace::{generate, incast, write_csv, WorkloadConfig};
 
 fn main() {
     let args = Args::parse();
+    elephant_obs::set_enabled(true);
     let horizon = args.horizon(20, 100);
     let params = ClosParams::paper_cluster(2);
     let topo = Topology::clos(params);
 
+    let mut report = RunReport::new(
+        "baseline_flow",
+        format!("2 clusters, horizon {horizon}, seed {}", args.seed),
+    );
     let mut rows = Vec::new();
     let mut csv = Vec::new();
 
     // Scenario 1: steady web-search load.
     let flows = generate(&params, &WorkloadConfig::paper_default(horizon, args.seed));
-    run_scenario("steady", &params, &topo, &flows, horizon, &mut rows, &mut csv);
+    run_scenario(
+        "steady",
+        &params,
+        &topo,
+        &flows,
+        horizon,
+        &mut report,
+        &mut rows,
+        &mut csv,
+    );
 
     // Scenario 2: incast burst (plus nothing else).
     let senders: Vec<HostAddr> = (0..8)
         .map(|i| HostAddr::new(1, (i % 2) as u16, (i / 2 % 4) as u16))
         .collect();
-    let burst = incast(&senders, HostAddr::new(0, 0, 0), 500_000, elephant_des::SimTime::ZERO, 1);
-    run_scenario("incast", &params, &topo, &burst, horizon, &mut rows, &mut csv);
+    let burst = incast(
+        &senders,
+        HostAddr::new(0, 0, 0),
+        500_000,
+        elephant_des::SimTime::ZERO,
+        1,
+    );
+    run_scenario(
+        "incast",
+        &params,
+        &topo,
+        &burst,
+        horizon,
+        &mut report,
+        &mut rows,
+        &mut csv,
+    );
 
     print_table(
         "Baseline B1: packet-level vs flow-level simulation",
@@ -54,7 +84,14 @@ fn main() {
     );
     write_csv(
         args.out.join("baseline_flow.csv"),
-        &["scenario", "engine", "wall_s", "completed", "mean_fct_s", "drops"],
+        &[
+            "scenario",
+            "engine",
+            "wall_s",
+            "completed",
+            "mean_fct_s",
+            "drops",
+        ],
         &csv,
     )
     .expect("write csv");
@@ -64,25 +101,29 @@ fn main() {
          load, but reports zero drops even where the packet simulator sees\n\
          an incast loss storm — the fidelity gap motivating the paper."
     );
+
+    report.gather();
+    emit_report(&report, &args.out);
 }
 
+#[allow(clippy::too_many_arguments)] // an experiment spec, not an API surface
 fn run_scenario(
     name: &str,
     params: &ClosParams,
     topo: &Topology,
     flows: &[elephant_net::FlowSpec],
     horizon: elephant_des::SimTime,
+    report: &mut RunReport,
     rows: &mut Vec<Vec<String>>,
     csv: &mut Vec<Vec<String>>,
 ) {
     // Packet level.
-    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+    let cfg = NetConfig {
+        rtt_scope: RttScope::None,
+        ..Default::default()
+    };
     let (net, meta) = run_ground_truth(*params, cfg, None, flows, horizon);
-    let pkt_fct = net
-        .stats
-        .mean_fct()
-        .map(|d| d.as_secs_f64())
-        .unwrap_or(0.0);
+    let pkt_fct = net.stats.mean_fct().map(|d| d.as_secs_f64()).unwrap_or(0.0);
     rows.push(vec![
         name.into(),
         "packet".into(),
@@ -101,10 +142,19 @@ fn run_scenario(
         net.stats.drops.total().to_string(),
     ]);
 
+    report.scalar(format!("{name}_packet_wall_s"), meta.wall.as_secs_f64());
+    report.scalar(format!("{name}_packet_mean_fct_s"), pkt_fct);
+    report.scalar(
+        format!("{name}_packet_drops"),
+        net.stats.drops.total() as f64,
+    );
+
     // Flow level.
     let t0 = Instant::now();
     let fluid = elephant_flow::simulate(topo, flows, horizon);
     let wall = t0.elapsed();
+    report.scalar(format!("{name}_fluid_wall_s"), wall.as_secs_f64());
+    report.scalar(format!("{name}_fluid_mean_fct_s"), fluid.mean_fct_secs());
     rows.push(vec![
         name.into(),
         "fluid".into(),

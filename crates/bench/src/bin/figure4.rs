@@ -13,16 +13,18 @@
 //! under-represents congestion variance) but turns upward at a similar
 //! latency to the ground truth.
 
-use elephant_bench::{fmt_f, print_table, train_default_model, Args};
+use elephant_bench::{emit_report, fmt_f, print_table, train_default_model, Args};
 use elephant_core::{
     compare_cdfs, macro_agreement, macro_confusion, run_ground_truth, run_hybrid, DropPolicy,
-    LearnedOracle, LatencyCodec, TrainingOptions,
+    LatencyCodec, LearnedOracle, TrainingOptions,
 };
 use elephant_net::{ClosParams, NetConfig, RttScope};
+use elephant_obs::RunReport;
 use elephant_trace::{filter_touching_cluster, generate, write_xy, WorkloadConfig};
 
 fn main() {
     let args = Args::parse();
+    elephant_obs::set_enabled(true);
     let train_horizon = args.horizon(40, 400);
     let eval_horizon = args.horizon(40, 400);
     let params = ClosParams::paper_cluster(2);
@@ -32,7 +34,10 @@ fn main() {
     if args.full {
         opts.epochs = 16;
     }
-    println!("training on 2-cluster capture (horizon {train_horizon}, seed {}) ...", args.seed);
+    println!(
+        "training on 2-cluster capture (horizon {train_horizon}, seed {}) ...",
+        args.seed
+    );
     let (model, report, records) = train_default_model(train_horizon, args.seed, &opts);
     println!(
         "  {} records | up: acc {:.3} rmse {:.3} | down: acc {:.3} rmse {:.3}",
@@ -60,8 +65,14 @@ fn main() {
 
     // Step 3: evaluate with an unseen seed.
     let eval_seed = args.seed.wrapping_add(1);
-    let flows = generate(&params, &WorkloadConfig::paper_default(eval_horizon, eval_seed));
-    let cfg = NetConfig { rtt_scope: RttScope::Cluster(0), ..Default::default() };
+    let flows = generate(
+        &params,
+        &WorkloadConfig::paper_default(eval_horizon, eval_seed),
+    );
+    let cfg = NetConfig {
+        rtt_scope: RttScope::Cluster(0),
+        ..Default::default()
+    };
 
     println!("ground-truth run ({} flows) ...", flows.len());
     let (truth_net, truth_meta) = run_ground_truth(params, cfg, None, &flows, eval_horizon);
@@ -132,4 +143,25 @@ fn main() {
         "shape target: approx CDF steeper than truth, knee at a similar\n\
          latency; congestion tail underestimated (paper §6.1)."
     );
+
+    let mut run_report = RunReport::new(
+        "figure4",
+        format!(
+            "2 clusters, eval horizon {eval_horizon}, train seed {}",
+            args.seed
+        ),
+    );
+    run_report.set_run(
+        approx_meta.wall.as_secs_f64(),
+        approx_meta.events,
+        approx_meta.sim_seconds,
+    );
+    run_report.scalar("ks_distance", cmp.ks);
+    run_report.scalar("macro_agreement", macro_agreement(&confusion));
+    run_report.scalar("truth_events", truth_meta.events as f64);
+    run_report.scalar("truth_drops", truth_net.stats.drops.total() as f64);
+    run_report.scalar("approx_drops", approx_net.stats.drops.total() as f64);
+    run_report.scalar("oracle_drops", approx_net.stats.drops.oracle as f64);
+    run_report.gather();
+    emit_report(&run_report, &args.out);
 }

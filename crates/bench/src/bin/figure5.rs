@@ -12,15 +12,20 @@
 //! ≈1.2× at 2 clusters to ≈4.5× at 16; ours depends on workload and
 //! machine but must grow).
 
-use elephant_bench::{fmt_f, fmt_secs, print_table, train_default_model, Args};
+use elephant_bench::{emit_report, fmt_f, fmt_secs, print_table, train_default_model, Args};
 use elephant_core::{run_ground_truth, run_hybrid, DropPolicy, LearnedOracle, TrainingOptions};
 use elephant_net::{ClosParams, NetConfig, RttScope};
+use elephant_obs::RunReport;
 use elephant_trace::{filter_touching_cluster, generate, write_csv, WorkloadConfig};
 
 fn main() {
     let args = Args::parse();
     let horizon = args.horizon(20, 100);
-    let cluster_counts: &[u16] = if args.full { &[2, 4, 8, 16] } else { &[2, 4, 8] };
+    let cluster_counts: &[u16] = if args.full {
+        &[2, 4, 8, 16]
+    } else {
+        &[2, 4, 8]
+    };
 
     println!("Figure 5: training the reusable cluster model ...");
     let (model, _, _) = train_default_model(
@@ -29,23 +34,49 @@ fn main() {
         &TrainingOptions::default(),
     );
 
-    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+    elephant_obs::set_enabled(true);
+    let mut report = RunReport::new(
+        "figure5",
+        format!(
+            "clusters {cluster_counts:?}, horizon {horizon}, seed {}",
+            args.seed
+        ),
+    );
+    let cfg = NetConfig {
+        rtt_scope: RttScope::None,
+        ..Default::default()
+    };
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for &n in cluster_counts {
         let params = ClosParams::paper_cluster(n);
-        let flows =
-            generate(&params, &WorkloadConfig::paper_default(horizon, args.seed.wrapping_add(1)));
+        let flows = generate(
+            &params,
+            &WorkloadConfig::paper_default(horizon, args.seed.wrapping_add(1)),
+        );
 
         let (_, full_meta) = run_ground_truth(params, cfg, None, &flows, horizon);
 
         let elided = filter_touching_cluster(&flows, 0);
-        let oracle =
-            LearnedOracle::new(model.clone(), params, DropPolicy::Sample, args.seed ^ 0xF1F5);
+        let oracle = LearnedOracle::new(
+            model.clone(),
+            params,
+            DropPolicy::Sample,
+            args.seed ^ 0xF1F5,
+        );
         let (hnet, hybrid_meta) = run_hybrid(params, 0, Box::new(oracle), cfg, &elided, horizon);
 
         let speedup = full_meta.wall.as_secs_f64() / hybrid_meta.wall.as_secs_f64().max(1e-9);
         let event_ratio = full_meta.events as f64 / hybrid_meta.events.max(1) as f64;
+        report.scalar(format!("speedup_n{n}"), speedup);
+        report.scalar(format!("event_ratio_n{n}"), event_ratio);
+        if n == *cluster_counts.last().expect("nonempty cluster counts") {
+            report.set_run(
+                hybrid_meta.wall.as_secs_f64(),
+                hybrid_meta.events,
+                hybrid_meta.sim_seconds,
+            );
+        }
         rows.push(vec![
             n.to_string(),
             flows.len().to_string(),
@@ -83,10 +114,20 @@ fn main() {
     );
     write_csv(
         args.out.join("figure5.csv"),
-        &["clusters", "full_wall_s", "approx_wall_s", "speedup", "full_events", "approx_events"],
+        &[
+            "clusters",
+            "full_wall_s",
+            "approx_wall_s",
+            "speedup",
+            "full_events",
+            "approx_events",
+        ],
         &csv,
     )
     .expect("write figure5.csv");
     println!("\nwrote {}", args.out.join("figure5.csv").display());
     println!("shape target: speedup grows with cluster count (paper: 1.2x -> 4.5x over 2 -> 16).");
+
+    report.gather();
+    emit_report(&report, &args.out);
 }

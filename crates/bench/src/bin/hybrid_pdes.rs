@@ -14,26 +14,47 @@
 //! and messages *per event* for both partitionings. On multi-core hosts
 //! the hybrid's lower coupling converts directly into parallel speedup.
 
-use elephant_bench::{fmt_f, fmt_secs, print_table, run_pdes, run_hybrid_pdes, train_default_model, Args};
+use elephant_bench::{
+    emit_report, fmt_f, fmt_secs, partition_rows, print_table, run_hybrid_pdes, run_pdes,
+    train_default_model, Args,
+};
 use elephant_core::TrainingOptions;
 use elephant_net::ClosParams;
+use elephant_obs::RunReport;
 use elephant_trace::{filter_touching_cluster, generate, write_csv, WorkloadConfig};
 
 fn main() {
     let args = Args::parse();
     let horizon = args.horizon(15, 60);
-    let cluster_counts: &[u16] = if args.full { &[2, 4, 8, 16] } else { &[2, 4, 8] };
+    let cluster_counts: &[u16] = if args.full {
+        &[2, 4, 8, 16]
+    } else {
+        &[2, 4, 8]
+    };
 
     println!("training the reusable cluster model ...");
-    let (model, _, _) =
-        train_default_model(args.horizon(40, 200), args.seed, &TrainingOptions::default());
+    let (model, _, _) = train_default_model(
+        args.horizon(40, 200),
+        args.seed,
+        &TrainingOptions::default(),
+    );
 
+    elephant_obs::set_enabled(true);
+    let mut report = RunReport::new(
+        "hybrid_pdes",
+        format!(
+            "clusters {cluster_counts:?}, horizon {horizon}, seed {}",
+            args.seed
+        ),
+    );
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for &n in cluster_counts {
         let params = ClosParams::paper_cluster(n);
-        let flows =
-            generate(&params, &WorkloadConfig::paper_default(horizon, args.seed.wrapping_add(1)));
+        let flows = generate(
+            &params,
+            &WorkloadConfig::paper_default(horizon, args.seed.wrapping_add(1)),
+        );
 
         // Full-fidelity PDES: one partition per cluster (racks split), on
         // as many "machines".
@@ -45,10 +66,26 @@ fn main() {
         // Hybrid PDES: same machine count, oracle-boundary partitioning,
         // elided workload.
         let elided = filter_touching_cluster(&flows, 0);
-        let (hyb, oracle_pkts) =
-            run_hybrid_pdes(params, 0, &model, &elided, horizon, partitions, 64, args.seed);
+        let (hyb, oracle_pkts) = run_hybrid_pdes(
+            params, 0, &model, &elided, horizon, partitions, 64, args.seed,
+        );
         let hyb_coupling =
             hyb.report.remote_messages as f64 / hyb.report.events_executed.max(1) as f64;
+
+        report.scalar(format!("full_msgs_per_event_n{n}"), full_coupling);
+        report.scalar(format!("hybrid_msgs_per_event_n{n}"), hyb_coupling);
+        report.scalar(format!("hybrid_oracle_packets_n{n}"), oracle_pkts as f64);
+        // The biggest hybrid run is the headline: its partition breakdown
+        // shows how little of the wall time the oracle boundary spends
+        // synchronizing.
+        if n == *cluster_counts.last().expect("nonempty cluster counts") {
+            report.set_run(
+                hyb.wall.as_secs_f64(),
+                hyb.report.events_executed,
+                horizon.as_secs_f64(),
+            );
+            report.partitions = partition_rows(&hyb.report);
+        }
 
         rows.push(vec![
             n.to_string(),
@@ -107,4 +144,7 @@ fn main() {
          approximate simulation parallelize well (§6.2). (Wall times on a\n\
          single-core host measure overhead, not parallel speedup.)"
     );
+
+    report.gather();
+    emit_report(&report, &args.out);
 }

@@ -8,13 +8,15 @@
 //! model, and reports regime occupancy, the transition matrix, and a
 //! downsampled regime timeline.
 
-use elephant_bench::{fmt_f, print_table, Args};
+use elephant_bench::{emit_report, fmt_f, print_table, Args};
 use elephant_core::{calibrate_macro, run_ground_truth, MacroModel, MacroState};
 use elephant_net::{ClosParams, HostAddr, NetConfig, RttScope};
+use elephant_obs::RunReport;
 use elephant_trace::{generate, incast, write_csv, LoadProfile, WorkloadConfig};
 
 fn main() {
     let args = Args::parse();
+    elephant_obs::set_enabled(true);
     let horizon = args.horizon(40, 200);
     let params = ClosParams::paper_cluster(2);
 
@@ -32,12 +34,22 @@ fn main() {
         .map(|i| HostAddr::new(0, (i % 2) as u16, (i / 2 % 4) as u16))
         .collect();
     let burst_at = elephant_des::SimTime::from_nanos(horizon.as_nanos() / 2);
-    flows.extend(incast(&senders, HostAddr::new(1, 0, 0), 400_000, burst_at, max_id + 1));
+    flows.extend(incast(
+        &senders,
+        HostAddr::new(1, 0, 0),
+        400_000,
+        burst_at,
+        max_id + 1,
+    ));
     flows.sort_by_key(|f| (f.start, f.id.0));
 
     println!("running ground truth with incast burst at {burst_at} ...");
-    let cfg = NetConfig { rtt_scope: RttScope::None, track_queues: true, ..Default::default() };
-    let (net, _) = run_ground_truth(params, cfg, Some(1), &flows, horizon);
+    let cfg = NetConfig {
+        rtt_scope: RttScope::None,
+        track_queues: true,
+        ..Default::default()
+    };
+    let (net, meta) = run_ground_truth(params, cfg, Some(1), &flows, horizon);
     if let Some(layers) = net.queue_depth_by_layer(horizon) {
         let names = ["host NIC", "ToR", "Agg", "Core"];
         println!("queue occupancy (time-weighted mean / peak bytes):");
@@ -63,7 +75,11 @@ fn main() {
     let mut prev = model.state();
     for (i, r) in records.iter().enumerate() {
         let s = model.observe(
-            if r.dropped { None } else { Some(r.latency.as_secs_f64()) },
+            if r.dropped {
+                None
+            } else {
+                Some(r.latency.as_secs_f64())
+            },
             r.dropped,
         );
         occupancy[s.index()] += 1;
@@ -82,11 +98,18 @@ fn main() {
             vec![
                 names[s.index()].to_string(),
                 occupancy[s.index()].to_string(),
-                format!("{:.1}%", 100.0 * occupancy[s.index()] as f64 / total.max(1) as f64),
+                format!(
+                    "{:.1}%",
+                    100.0 * occupancy[s.index()] as f64 / total.max(1) as f64
+                ),
             ]
         })
         .collect();
-    print_table("Macro-state occupancy over the capture", &["state", "observations", "share"], &rows);
+    print_table(
+        "Macro-state occupancy over the capture",
+        &["state", "observations", "share"],
+        &rows,
+    );
 
     let trows: Vec<Vec<String>> = (0..4)
         .map(|i| {
@@ -124,15 +147,42 @@ fn main() {
         );
     }
 
-    let csv: Vec<Vec<String>> =
-        timeline.iter().map(|&(t, s)| vec![format!("{t}"), s.to_string()]).collect();
-    write_csv(args.out.join("macrostates_timeline.csv"), &["time_s", "state"], &csv)
-        .expect("write timeline");
-    println!("wrote {}", args.out.join("macrostates_timeline.csv").display());
+    let csv: Vec<Vec<String>> = timeline
+        .iter()
+        .map(|&(t, s)| vec![format!("{t}"), s.to_string()])
+        .collect();
+    write_csv(
+        args.out.join("macrostates_timeline.csv"),
+        &["time_s", "state"],
+        &csv,
+    )
+    .expect("write timeline");
+    println!(
+        "wrote {}",
+        args.out.join("macrostates_timeline.csv").display()
+    );
 
     // Every regime should be visited in a run with a burst.
     let visited = occupancy.iter().filter(|&&c| c > 0).count();
     println!("regimes visited: {visited}/4");
+
+    let mut report = RunReport::new(
+        "macrostates",
+        format!(
+            "2 clusters + incast burst, horizon {horizon}, seed {}",
+            args.seed
+        ),
+    );
+    report.set_run(meta.wall.as_secs_f64(), meta.events, meta.sim_seconds);
+    report.scalar("regimes_visited", visited as f64);
+    for s in MacroState::ALL {
+        report.scalar(
+            format!("occupancy_share_{}", names[s.index()].to_lowercase()),
+            occupancy[s.index()] as f64 / total.max(1) as f64,
+        );
+    }
+    report.gather();
+    emit_report(&report, &args.out);
 }
 
 fn spread(xs: &[f64]) -> f64 {

@@ -11,13 +11,15 @@
 //! It also reports what the protocols themselves did (ECN marks, drops,
 //! RTT quantiles), since DCTCP's whole point is keeping queues short.
 
-use elephant_bench::{fmt_f, print_table, Args};
+use elephant_bench::{emit_report, fmt_f, print_table, Args};
 use elephant_core::{run_ground_truth, train_cluster_model, TrainingOptions};
 use elephant_net::{ClosParams, NetConfig, RttScope, TcpConfig};
+use elephant_obs::RunReport;
 use elephant_trace::{generate, write_csv, WorkloadConfig};
 
 fn main() {
     let args = Args::parse();
+    elephant_obs::set_enabled(true);
     let horizon = args.horizon(40, 200);
 
     // ECN marking threshold: 30 kB (20 full frames), the DCTCP regime.
@@ -27,28 +29,47 @@ fn main() {
     dctcp_params.core_link = dctcp_params.core_link.with_ecn(30_000);
 
     let variants: &[(&str, ClosParams, TcpConfig)] = &[
-        ("New Reno", ClosParams::paper_cluster(2), TcpConfig::default()),
+        (
+            "New Reno",
+            ClosParams::paper_cluster(2),
+            TcpConfig::default(),
+        ),
         ("DCTCP", dctcp_params, TcpConfig::dctcp()),
     ];
 
+    let mut run_report = RunReport::new(
+        "modularity_dctcp",
+        format!("New Reno vs DCTCP, horizon {horizon}, seed {}", args.seed),
+    );
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for (name, params, tcp) in variants {
         println!("running + training under {name} ...");
         let flows = generate(params, &WorkloadConfig::paper_default(horizon, args.seed));
-        let cfg = NetConfig { tcp: *tcp, rtt_scope: RttScope::All, ..Default::default() };
+        let cfg = NetConfig {
+            tcp: *tcp,
+            rtt_scope: RttScope::All,
+            ..Default::default()
+        };
         let (net, _) = run_ground_truth(*params, cfg, Some(1), &flows, horizon);
         let (marks, _) = net.port_totals();
         let drops = net.stats.drops.total();
         let p99 = net.stats.rtt_hist.quantile(0.99);
         let completed = net.stats.flows_completed;
         let records = net.into_capture().expect("capture").into_records();
-        let drop_rate = records.iter().filter(|r| r.dropped).count() as f64
-            / records.len().max(1) as f64;
+        let drop_rate =
+            records.iter().filter(|r| r.dropped).count() as f64 / records.len().max(1) as f64;
 
         let (_, report) = train_cluster_model(&records, params, &TrainingOptions::default());
         let acc = (report.up.eval.drop_accuracy + report.down.eval.drop_accuracy) / 2.0;
         let rmse = (report.up.eval.latency_rmse + report.down.eval.latency_rmse) / 2.0;
+
+        let key = name.replace(' ', "_");
+        run_report.scalar(format!("drops_{key}"), drops as f64);
+        run_report.scalar(format!("ecn_marks_{key}"), marks as f64);
+        run_report.scalar(format!("rtt_p99_s_{key}"), p99);
+        run_report.scalar(format!("drop_acc_{key}"), acc);
+        run_report.scalar(format!("latency_rmse_{key}"), rmse);
 
         rows.push(vec![
             name.to_string(),
@@ -88,13 +109,28 @@ fn main() {
     );
     write_csv(
         args.out.join("modularity_dctcp.csv"),
-        &["transport", "completed", "drops", "ecn_marks", "rtt_p99_s", "fabric_drop_rate", "drop_acc", "latency_rmse"],
+        &[
+            "transport",
+            "completed",
+            "drops",
+            "ecn_marks",
+            "rtt_p99_s",
+            "fabric_drop_rate",
+            "drop_acc",
+            "latency_rmse",
+        ],
         &csv,
     )
     .expect("write csv");
-    println!("\nwrote {}", args.out.join("modularity_dctcp.csv").display());
+    println!(
+        "\nwrote {}",
+        args.out.join("modularity_dctcp.csv").display()
+    );
     println!(
         "shape targets: DCTCP marks instead of dropping (fewer drops, lower\n\
          p99); the untouched pipeline reaches comparable accuracy on both."
     );
+
+    run_report.gather();
+    emit_report(&run_report, &args.out);
 }

@@ -12,37 +12,73 @@
 //! of traffic is ever materialized — while full simulation grows linearly
 //! in both.
 
-use elephant_bench::{fmt_f, fmt_secs, print_table, train_default_model, Args};
+use elephant_bench::{emit_report, fmt_f, fmt_secs, print_table, train_default_model, Args};
 use elephant_core::{run_ground_truth, run_hybrid, DropPolicy, LearnedOracle, TrainingOptions};
 use elephant_net::{ClosParams, NetConfig, RttScope};
+use elephant_obs::RunReport;
 use elephant_trace::{filter_touching_cluster, generate, write_csv, WorkloadConfig};
 
 fn main() {
     let args = Args::parse();
     let horizon = args.horizon(15, 40);
-    let cluster_counts: &[u16] =
-        if args.full { &[8, 16, 32, 64, 128] } else { &[8, 16, 32, 64] };
+    let cluster_counts: &[u16] = if args.full {
+        &[8, 16, 32, 64, 128]
+    } else {
+        &[8, 16, 32, 64]
+    };
 
     println!("training the reusable cluster model ...");
-    let (model, _, _) =
-        train_default_model(args.horizon(30, 100), args.seed, &TrainingOptions::default());
+    let (model, _, _) = train_default_model(
+        args.horizon(30, 100),
+        args.seed,
+        &TrainingOptions::default(),
+    );
 
-    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+    elephant_obs::set_enabled(true);
+    let mut report = RunReport::new(
+        "scale",
+        format!(
+            "clusters {cluster_counts:?}, horizon {horizon}, seed {}",
+            args.seed
+        ),
+    );
+    let cfg = NetConfig {
+        rtt_scope: RttScope::None,
+        ..Default::default()
+    };
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for &n in cluster_counts {
         let params = ClosParams::paper_cluster(n);
-        let flows =
-            generate(&params, &WorkloadConfig::paper_default(horizon, args.seed.wrapping_add(2)));
+        let flows = generate(
+            &params,
+            &WorkloadConfig::paper_default(horizon, args.seed.wrapping_add(2)),
+        );
         let elided = filter_touching_cluster(&flows, 0);
 
         let (_, full_meta) = run_ground_truth(params, cfg, None, &flows, horizon);
 
-        let oracle =
-            LearnedOracle::new(model.clone(), params, DropPolicy::Sample, args.seed ^ 0x5CA1E);
+        let oracle = LearnedOracle::new(
+            model.clone(),
+            params,
+            DropPolicy::Sample,
+            args.seed ^ 0x5CA1E,
+        );
         let (hnet, hybrid_meta) = run_hybrid(params, 0, Box::new(oracle), cfg, &elided, horizon);
 
         let speedup = full_meta.wall.as_secs_f64() / hybrid_meta.wall.as_secs_f64().max(1e-9);
+        report.scalar(format!("speedup_n{n}"), speedup);
+        report.scalar(
+            format!("hybrid_wall_s_n{n}"),
+            hybrid_meta.wall.as_secs_f64(),
+        );
+        if n == *cluster_counts.last().expect("nonempty cluster counts") {
+            report.set_run(
+                hybrid_meta.wall.as_secs_f64(),
+                hybrid_meta.events,
+                hybrid_meta.sim_seconds,
+            );
+        }
         rows.push(vec![
             n.to_string(),
             params.total_hosts().to_string(),
@@ -80,7 +116,14 @@ fn main() {
     );
     write_csv(
         args.out.join("scale.csv"),
-        &["clusters", "full_flows", "hybrid_flows", "full_wall_s", "hybrid_wall_s", "speedup"],
+        &[
+            "clusters",
+            "full_flows",
+            "hybrid_flows",
+            "full_wall_s",
+            "hybrid_wall_s",
+            "speedup",
+        ],
         &csv,
     )
     .expect("write csv");
@@ -91,4 +134,7 @@ fn main() {
          scalability argument. TCP connection state follows the flow\n\
          columns: the hybrid never materializes remote-only connections."
     );
+
+    report.gather();
+    emit_report(&report, &args.out);
 }

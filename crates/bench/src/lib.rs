@@ -40,8 +40,12 @@ impl Args {
     /// Parses `--full`, `--seed N`, `--out DIR`, `--horizon-ms N` from the
     /// process arguments. Unknown switches abort with usage.
     pub fn parse() -> Args {
-        let mut args =
-            Args { full: false, seed: 42, out: PathBuf::from("results"), horizon_ms: None };
+        let mut args = Args {
+            full: false,
+            seed: 42,
+            out: PathBuf::from("results"),
+            horizon_ms: None,
+        };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -72,7 +76,9 @@ impl Args {
 
     /// The effective horizon: the override, or `quick`/`full` defaults.
     pub fn horizon(&self, quick_ms: u64, full_ms: u64) -> SimTime {
-        let ms = self.horizon_ms.unwrap_or(if self.full { full_ms } else { quick_ms });
+        let ms = self
+            .horizon_ms
+            .unwrap_or(if self.full { full_ms } else { quick_ms });
         SimTime::from_millis(ms)
     }
 }
@@ -100,14 +106,17 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
 }
 
 /// Outcome of a PDES run plus its wall time.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct PdesOutcome {
     /// Kernel statistics.
     pub report: PdesReport,
@@ -119,6 +128,37 @@ impl PdesOutcome {
     /// Simulated seconds per wall second (Figure 1's y-axis).
     pub fn sim_seconds_per_second(&self, horizon: SimTime) -> f64 {
         horizon.as_secs_f64() / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Converts a PDES report's per-partition breakdown into run-report rows.
+pub fn partition_rows(report: &PdesReport) -> Vec<elephant_obs::PartitionRow> {
+    report
+        .partitions
+        .iter()
+        .map(|p| {
+            elephant_obs::PartitionRow {
+                partition: p.partition,
+                events: p.events,
+                work_seconds: p.work_seconds,
+                barrier_wait_seconds: p.barrier_wait_seconds,
+                barrier_wait_share: 0.0,
+                marshal_seconds: p.marshal_seconds,
+                remote_events_sent: p.remote_events_sent,
+                remote_bytes_sent: p.remote_bytes_sent,
+            }
+            .finish()
+        })
+        .collect()
+}
+
+/// Prints a [`elephant_obs::RunReport`] and writes `BENCH_<name>.json` into
+/// `dir` — the single output path every harness binary funnels through.
+pub fn emit_report(report: &elephant_obs::RunReport, dir: &std::path::Path) {
+    println!("\n{}", report.to_table());
+    match report.write_bench(dir) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write bench report: {e}"),
     }
 }
 
@@ -136,8 +176,13 @@ pub fn run_pdes(
 ) -> PdesOutcome {
     let topo = Arc::new(Topology::clos(params));
     let map = Arc::new(topo.partition_by_rack(partitions));
-    let lookahead = topo.min_cut_latency(&map).unwrap_or(SimDuration::from_micros(1));
-    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+    let lookahead = topo
+        .min_cut_latency(&map)
+        .unwrap_or(SimDuration::from_micros(1));
+    let cfg = NetConfig {
+        rtt_scope: RttScope::None,
+        ..Default::default()
+    };
 
     let mut parts: Vec<PartitionSim<NetPartition>> = (0..partitions)
         .map(|p| {
@@ -148,7 +193,9 @@ pub fn run_pdes(
         .collect();
     for f in flows {
         let owner = map[topo.host_node(f.src).idx()] as usize;
-        parts[owner].scheduler_mut().schedule_at(f.start, NetEvent::FlowStart(*f));
+        parts[owner]
+            .scheduler_mut()
+            .schedule_at(f.start, NetEvent::FlowStart(*f));
     }
 
     let mut runner = PdesRunner::new(
@@ -157,7 +204,10 @@ pub fn run_pdes(
     );
     let t0 = Instant::now();
     let report = runner.run_until(horizon);
-    PdesOutcome { report, wall: t0.elapsed() }
+    PdesOutcome {
+        report,
+        wall: t0.elapsed(),
+    }
 }
 
 /// Runs the *hybrid* simulator under PDES, partitioned by cluster: the
@@ -182,12 +232,19 @@ pub fn run_hybrid_pdes(
     seed: u64,
 ) -> (PdesOutcome, u64) {
     use elephant_core::{DropPolicy, LearnedOracle};
-    let stubs: Vec<u16> = (0..params.clusters).filter(|&c| c != full_cluster).collect();
+    let stubs: Vec<u16> = (0..params.clusters)
+        .filter(|&c| c != full_cluster)
+        .collect();
     let topo = Arc::new(Topology::clos_with_stubs(params, &stubs));
     let (map, partitions) = topo.partition_by_cluster();
     let map = Arc::new(map);
-    let lookahead = topo.min_cut_latency(&map).expect("multi-cluster hybrid has cut links");
-    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+    let lookahead = topo
+        .min_cut_latency(&map)
+        .expect("multi-cluster hybrid has cut links");
+    let cfg = NetConfig {
+        rtt_scope: RttScope::None,
+        ..Default::default()
+    };
 
     let mut parts: Vec<PartitionSim<NetPartition>> = (0..partitions)
         .map(|p| {
@@ -204,7 +261,9 @@ pub fn run_hybrid_pdes(
         .collect();
     for f in flows {
         let owner = map[topo.host_node(f.src).idx()] as usize;
-        parts[owner].scheduler_mut().schedule_at(f.start, NetEvent::FlowStart(*f));
+        parts[owner]
+            .scheduler_mut()
+            .schedule_at(f.start, NetEvent::FlowStart(*f));
     }
 
     let mut runner = PdesRunner::new(
@@ -233,7 +292,10 @@ pub fn train_default_model(
 ) -> (ClusterModel, TrainReport, Vec<elephant_net::BoundaryRecord>) {
     let params = ClosParams::paper_cluster(2);
     let flows = generate(&params, &WorkloadConfig::paper_default(horizon, seed));
-    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+    let cfg = NetConfig {
+        rtt_scope: RttScope::None,
+        ..Default::default()
+    };
     let (net, _) = run_ground_truth(params, cfg, Some(1), &flows, horizon);
     let records = net.into_capture().expect("capture enabled").into_records();
     let (model, report) = train_cluster_model(&records, &params, opts);

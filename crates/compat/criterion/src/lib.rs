@@ -1,0 +1,241 @@
+//! Offline shim with `criterion`'s API shape: benchmark groups,
+//! `bench_function`, `iter`/`iter_batched`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! calibrated wall-clock loop (no statistics, plots, or baselines): each
+//! benchmark prints one line with ns/iter and, when a throughput was set,
+//! derived elements- or bytes-per-second.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Fresh input per routine call.
+    PerIteration,
+    /// A small batch of inputs per measurement (treated as PerIteration).
+    SmallInput,
+    /// A large batch of inputs per measurement (treated as PerIteration).
+    LargeInput,
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            measurement: self.measurement,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes by wall-clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its result line.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            budget: self.measurement,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            f64::NAN
+        } else {
+            b.elapsed.as_secs_f64() / b.iters as f64
+        };
+        let mut line = format!(
+            "{}/{}: {} ({} iters)",
+            self.name,
+            id,
+            fmt_duration(per_iter),
+            b.iters
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                line += &format!("  {} elem/s", fmt_rate(n as f64 / per_iter));
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                line += &format!("  {} B/s", fmt_rate(n as f64 / per_iter));
+            }
+            _ => {}
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (printing happens per-benchmark; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` in batches until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until one batch takes >= ~1% of budget.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = start.elapsed();
+            self.iters += batch;
+            self.elapsed += dt;
+            if self.elapsed >= self.budget {
+                return;
+            }
+            if dt < self.budget / 100 && batch < u64::MAX / 2 {
+                batch *= 2;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        while self.elapsed < self.budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(black_box(input)));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn fmt_duration(secs: f64) -> String {
+    if !secs.is_finite() {
+        "n/a".to_string()
+    } else if secs < 1e-6 {
+        format!("{:.1} ns/iter", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs/iter", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms/iter", secs * 1e3)
+    } else {
+        format!("{secs:.3} s/iter")
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2}G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2}K", r / 1e3)
+    } else {
+        format!("{r:.0}")
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1));
+        let mut calls = 0u64;
+        g.bench_function("counter", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::PerIteration)
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,367 @@
+//! Derive macros for the vendored `serde` shim, written against the raw
+//! `proc_macro` API (the environment has no `syn`/`quote`).
+//!
+//! Supported shapes — exactly what this workspace derives:
+//!
+//! - structs with named fields, honouring `#[serde(skip)]` (never
+//!   serialized, rebuilt via `Default`) and `#[serde(default)]`
+//!   (defaulted when the key is absent);
+//! - enums with unit variants (serialized as the variant-name string);
+//! - enums whose variants carry exactly one payload (serialized as a
+//!   single-key object, serde's externally-tagged representation).
+//!
+//! Anything else — tuple structs, generic containers, multi-field
+//! variants — panics at expansion time with a clear message, which is the
+//! desired behaviour for a shim: fail loudly at compile time rather than
+//! silently mis-serialize.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a named-field struct.
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    has_payload: bool,
+}
+
+/// What the derive input turned out to be.
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Scans `#[serde(...)]` attribute arguments for `skip` / `default`.
+fn serde_flags(attr_body: &TokenStream) -> (bool, bool) {
+    let mut skip = false;
+    let mut default = false;
+    for t in attr_body.clone() {
+        if let TokenTree::Ident(i) = t {
+            match i.to_string().as_str() {
+                "skip" => skip = true,
+                "default" => default = true,
+                _ => {}
+            }
+        }
+    }
+    (skip, default)
+}
+
+/// Consumes a leading run of attributes (`# [ ... ]`), returning the
+/// accumulated serde flags and the index of the first non-attribute token.
+fn eat_attrs(tokens: &[TokenTree], mut i: usize) -> (bool, bool, usize) {
+    let (mut skip, mut default) = (false, false);
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        // Is it #[serde(...)]?
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    let (s, d) = serde_flags(&args.stream());
+                    skip |= s;
+                    default |= d;
+                }
+            }
+        }
+        i += 2;
+    }
+    (skip, default, i)
+}
+
+/// Parses the derive input item into the restricted shape we support.
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (_, _, mut i) = eat_attrs(&tokens, 0);
+
+    // Skip visibility: `pub` optionally followed by `(...)`.
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type {name}");
+    }
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            panic!("serde shim derive: {name} must have a braced body (tuple/unit unsupported), found {other}")
+        }
+    };
+
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_struct_body(body, &name)),
+        "enum" => Shape::Enum(parse_enum_body(body, &name)),
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    Parsed { name, shape }
+}
+
+fn parse_struct_body(body: TokenStream, ty: &str) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (skip, default, next) = eat_attrs(&tokens, i);
+        i = next;
+        if i >= tokens.len() {
+            break;
+        }
+        // Visibility.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name in {ty}, found {other}"),
+        };
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde shim derive: {ty}::{name} must be a named field"
+        );
+        i += 1;
+        // Skip the type: consume until a top-level comma, tracking angle
+        // depth so `Vec<(A, B)>`-style commas don't split early (parens and
+        // brackets arrive pre-grouped as single tokens).
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+fn parse_enum_body(body: TokenStream, ty: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (_, _, next) = eat_attrs(&tokens, i); // tolerates #[default] etc.
+        i = next;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name in {ty}, found {other}"),
+        };
+        i += 1;
+        let mut has_payload = false;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                match g.delimiter() {
+                    Delimiter::Parenthesis => {
+                        let arity = 1 + g
+                            .stream()
+                            .into_iter()
+                            .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+                            .count()
+                            .saturating_sub(usize::from(
+                                g.stream().to_string().trim_end().ends_with(','),
+                            ));
+                        assert!(
+                            arity == 1,
+                            "serde shim derive: {ty}::{name} must carry exactly one payload"
+                        );
+                        has_payload = true;
+                        i += 1;
+                    }
+                    Delimiter::Brace => {
+                        panic!("serde shim derive: struct variant {ty}::{name} unsupported")
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Discriminant (`= expr`) unsupported; skip to the comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, has_payload });
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]` — see the crate docs for the supported shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let body = match &p.shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "m.push(({n:?}.to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Map(m)"
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    if v.has_payload {
+                        format!(
+                            "{ty}::{v}(inner) => ::serde::Value::Map(vec![({v:?}.to_string(), \
+                             ::serde::Serialize::to_value(inner))]),\n",
+                            ty = p.name,
+                            v = v.name
+                        )
+                    } else {
+                        format!(
+                            "{ty}::{v} => ::serde::Value::Str({v:?}.to_string()),\n",
+                            ty = p.name,
+                            v = v.name
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}",
+        ty = p.name
+    )
+    .parse()
+    .expect("serde shim derive: generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]` — see the crate docs for the supported shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let body = match &p.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{n}: ::core::default::Default::default(),\n", n = f.name)
+                    } else if f.default {
+                        format!(
+                            "{n}: match v.get({n:?}) {{\n\
+                             Some(fv) => ::serde::Deserialize::from_value(fv)?,\n\
+                             None => ::core::default::Default::default(),\n}},\n",
+                            n = f.name
+                        )
+                    } else {
+                        format!(
+                            "{n}: ::serde::Deserialize::from_value(v.get({n:?}).ok_or_else(|| \
+                             ::serde::Error::custom(concat!(\"missing field `\", {n:?}, \"` in {ty}\")))?)?,\n",
+                            n = f.name,
+                            ty = p.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "if v.as_map().is_none() {{\n\
+                 return Err(::serde::Error::custom(\"expected object for {ty}\"));\n}}\n\
+                 Ok({ty} {{\n{inits}}})",
+                ty = p.name
+            )
+        }
+        Shape::Enum(variants) => {
+            let str_arms: String = variants
+                .iter()
+                .filter(|v| !v.has_payload)
+                .map(|v| format!("{v:?} => Ok({ty}::{v}),\n", ty = p.name, v = v.name))
+                .collect();
+            let map_arms: String = variants
+                .iter()
+                .filter(|v| v.has_payload)
+                .map(|v| {
+                    format!(
+                        "{v:?} => Ok({ty}::{v}(::serde::Deserialize::from_value(inner)?)),\n",
+                        ty = p.name,
+                        v = v.name
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{str_arms}\
+                 other => Err(::serde::Error::custom(format!(\"unknown {ty} variant {{other}}\"))),\n}},\n\
+                 ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                 let (tag, inner) = &m[0];\n\
+                 match tag.as_str() {{\n{map_arms}\
+                 other => Err(::serde::Error::custom(format!(\"unknown {ty} variant {{other}}\"))),\n}}\n}},\n\
+                 other => Err(::serde::Error::custom(format!(\"bad value for {ty}: {{other:?}}\"))),\n}}",
+                ty = p.name
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {ty} {{\n\
+         fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}",
+        ty = p.name
+    )
+    .parse()
+    .expect("serde shim derive: generated Deserialize impl parses")
+}

@@ -61,7 +61,11 @@ pub const REPORT_QUANTILES: [f64; 7] = [0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.99
 pub fn compare_cdfs(truth: &EmpiricalCdf, approx: &EmpiricalCdf) -> CdfComparison {
     let rows = REPORT_QUANTILES
         .iter()
-        .map(|&q| PercentileRow { q, truth: truth.quantile(q), approx: approx.quantile(q) })
+        .map(|&q| PercentileRow {
+            q,
+            truth: truth.quantile(q),
+            approx: approx.quantile(q),
+        })
         .collect();
     CdfComparison {
         ks: truth.ks_distance(approx),
@@ -75,8 +79,12 @@ impl CdfComparison {
     /// The median-quantile relative error magnitude — a one-number summary
     /// for ablation sweeps.
     pub fn median_abs_rel_error(&self) -> f64 {
-        let mut errs: Vec<f64> =
-            self.rows.iter().map(|r| r.rel_error().abs()).filter(|e| e.is_finite()).collect();
+        let mut errs: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|r| r.rel_error().abs())
+            .filter(|e| e.is_finite())
+            .collect();
         if errs.is_empty() {
             return f64::INFINITY;
         }
@@ -125,7 +133,11 @@ pub fn macro_confusion(
 
         // Advance the truth-fed classifier on the measurement…
         truth_macro.observe(
-            if r.dropped { None } else { Some(r.latency.as_secs_f64()) },
+            if r.dropped {
+                None
+            } else {
+                Some(r.latency.as_secs_f64())
+            },
             r.dropped,
         );
         // …and the deployed-style classifier on the model's prediction.
@@ -133,9 +145,11 @@ pub fn macro_confusion(
             elephant_net::Direction::Up => {
                 (up_iter.next().expect("streams align"), up, &mut up_state)
             }
-            elephant_net::Direction::Down => {
-                (down_iter.next().expect("streams align"), down, &mut down_state)
-            }
+            elephant_net::Direction::Down => (
+                down_iter.next().expect("streams align"),
+                down,
+                &mut down_state,
+            ),
         };
         let pred = net.predict(&sample.features, state);
         if pred.drop_prob >= 0.5 {
@@ -182,12 +196,22 @@ mod tests {
         (0..n)
             .map(|i| elephant_net::BoundaryRecord {
                 t_in: SimTime::from_micros(i as u64 * 7),
-                direction: if i % 2 == 0 { Direction::Up } else { Direction::Down },
+                direction: if i % 2 == 0 {
+                    Direction::Up
+                } else {
+                    Direction::Down
+                },
                 flow: FlowId(i as u64),
                 src: HostAddr::new(1, 0, (i % 4) as u16),
                 dst: HostAddr::new(0, 0, ((i + 1) % 4) as u16),
                 size: 1500,
-                path: FabricPath { src_tor: 0, src_agg: 0, core: Some(0), dst_agg: 0, dst_tor: 0 },
+                path: FabricPath {
+                    src_tor: 0,
+                    src_agg: 0,
+                    core: Some(0),
+                    dst_agg: 0,
+                    dst_tor: 0,
+                },
                 dropped: false,
                 latency: SimDuration::from_micros(5 + (i % 3) as u64),
             })
@@ -267,9 +291,17 @@ mod tests {
 
     #[test]
     fn zero_truth_quantile_handled() {
-        let r = PercentileRow { q: 0.5, truth: 0.0, approx: 1.0 };
+        let r = PercentileRow {
+            q: 0.5,
+            truth: 0.0,
+            approx: 1.0,
+        };
         assert!(r.rel_error().is_infinite());
-        let r0 = PercentileRow { q: 0.5, truth: 0.0, approx: 0.0 };
+        let r0 = PercentileRow {
+            q: 0.5,
+            truth: 0.0,
+            approx: 0.0,
+        };
         assert_eq!(r0.rel_error(), 0.0);
     }
 }

@@ -51,6 +51,7 @@ pub fn run_ground_truth(
     horizon: SimTime,
 ) -> (Network, RunMeta) {
     cfg.capture_cluster = capture_cluster;
+    let _span = elephant_obs::span("ground_truth");
     let topo = Arc::new(Topology::clos(params));
     let mut sim = Simulator::new(Network::new(topo, cfg));
     schedule_flows(&mut sim, flows);
@@ -71,14 +72,19 @@ pub fn run_hybrid(
     flows: &[FlowSpec],
     horizon: SimTime,
 ) -> (Network, RunMeta) {
-    assert!(params.clusters >= 2, "hybrid simulation needs clusters to approximate");
-    let stubs: Vec<u16> =
-        (0..params.clusters).filter(|&c| c != full_cluster).collect();
+    assert!(
+        params.clusters >= 2,
+        "hybrid simulation needs clusters to approximate"
+    );
+    let stubs: Vec<u16> = (0..params.clusters)
+        .filter(|&c| c != full_cluster)
+        .collect();
     cfg.capture_cluster = None;
     // Accuracy is only drawn from the full-fidelity region (§3: "a portion
     // of the network can be left un-approximated so that we can continue
     // to draw full-fidelity statistics").
     cfg.rtt_scope = RttScope::Cluster(full_cluster);
+    let _span = elephant_obs::span("hybrid");
     let topo = Arc::new(Topology::clos_with_stubs(params, &stubs));
     let mut net = Network::new(topo, cfg);
     net.set_oracle(oracle);
@@ -88,11 +94,16 @@ pub fn run_hybrid(
 }
 
 fn finish(mut sim: Simulator<Network>, horizon: SimTime) -> (Network, RunMeta) {
+    let _span = elephant_obs::span("run");
     let start = Instant::now();
     sim.run_until(horizon);
     let wall = start.elapsed();
     let events = sim.scheduler().executed_total();
-    let meta = RunMeta { wall, events, sim_seconds: horizon.as_secs_f64() };
+    let meta = RunMeta {
+        wall,
+        events,
+        sim_seconds: horizon.as_secs_f64(),
+    };
     (sim.into_world(), meta)
 }
 
@@ -117,13 +128,7 @@ mod tests {
         assert!(!flows.is_empty());
 
         // Step 1: ground truth with capture around cluster 1.
-        let (net, meta) = run_ground_truth(
-            params,
-            NetConfig::default(),
-            Some(1),
-            &flows,
-            horizon,
-        );
+        let (net, meta) = run_ground_truth(params, NetConfig::default(), Some(1), &flows, horizon);
         assert!(meta.events > 1000, "events {}", meta.events);
         let records = net.into_capture().expect("capture enabled").into_records();
         assert!(records.len() > 100, "records {}", records.len());
@@ -134,7 +139,12 @@ mod tests {
             layers: 1,
             epochs: 2,
             window: 16,
-            train: TrainConfig { lr: 0.1, momentum: 0.9, batch: 8, clip: 5.0 },
+            train: TrainConfig {
+                lr: 0.1,
+                momentum: 0.9,
+                batch: 8,
+                clip: 5.0,
+            },
             ..Default::default()
         };
         let (model, report) = train_cluster_model(&records, &params, &opts);
@@ -145,8 +155,14 @@ mod tests {
         let big_flows = filter_touching_cluster(&generate(&big, &wl), 0);
         assert!(!big_flows.is_empty());
         let oracle = LearnedOracle::new(model, big, DropPolicy::Sample, 3);
-        let (hnet, hmeta) =
-            run_hybrid(big, 0, Box::new(oracle), NetConfig::default(), &big_flows, horizon);
+        let (hnet, hmeta) = run_hybrid(
+            big,
+            0,
+            Box::new(oracle),
+            NetConfig::default(),
+            &big_flows,
+            horizon,
+        );
         assert!(hnet.stats.oracle_deliveries > 0, "oracle was exercised");
         assert!(hnet.stats.flows_completed > 0, "hybrid completes flows");
         assert!(hmeta.events > 0);
@@ -159,8 +175,7 @@ mod tests {
         let wl = WorkloadConfig::paper_default(horizon, 11);
         let flows = generate(&params, &wl);
 
-        let (_, full_meta) =
-            run_ground_truth(params, NetConfig::default(), None, &flows, horizon);
+        let (_, full_meta) = run_ground_truth(params, NetConfig::default(), None, &flows, horizon);
         let elided = filter_touching_cluster(&flows, 0);
         let (_, hybrid_meta) = run_hybrid(
             params,
@@ -180,7 +195,11 @@ mod tests {
 
     #[test]
     fn meta_math() {
-        let m = RunMeta { wall: Duration::from_millis(500), events: 10, sim_seconds: 2.0 };
+        let m = RunMeta {
+            wall: Duration::from_millis(500),
+            events: 10,
+            sim_seconds: 2.0,
+        };
         assert!((m.sim_seconds_per_second() - 4.0).abs() < 1e-9);
     }
 }

@@ -112,7 +112,10 @@ impl FeatureExtractor {
             Direction::Up => (path.src_tor, path.src_agg),
             Direction::Down => (path.dst_tor, path.dst_agg),
         };
-        let core = path.core.map(|c| (c + 1) as f32 / (self.cores_per_group + 1.0)).unwrap_or(0.0);
+        let core = path
+            .core
+            .map(|c| (c + 1) as f32 / (self.cores_per_group + 1.0))
+            .unwrap_or(0.0);
 
         let mut f = Vec::with_capacity(FEATURE_DIM);
         // Origin and destination servers (rack/host coordinates).
@@ -153,7 +156,13 @@ mod tests {
     }
 
     fn path() -> FabricPath {
-        FabricPath { src_tor: 1, src_agg: 0, core: Some(1), dst_agg: 0, dst_tor: 0 }
+        FabricPath {
+            src_tor: 1,
+            src_agg: 0,
+            core: Some(1),
+            dst_agg: 0,
+            dst_tor: 0,
+        }
     }
 
     #[test]
@@ -169,7 +178,11 @@ mod tests {
             MacroState::Increasing,
         );
         assert_eq!(f.len(), FEATURE_DIM);
-        assert!(f.iter().all(|v| v.is_finite() && (-0.01..=1.01).contains(v)), "{f:?}");
+        assert!(
+            f.iter()
+                .all(|v| v.is_finite() && (-0.01..=1.01).contains(v)),
+            "{f:?}"
+        );
         // One-hot sums to one.
         let onehot: f32 = f[FEATURE_DIM - 4..].iter().sum();
         assert_eq!(onehot, 1.0);
@@ -205,7 +218,13 @@ mod tests {
     #[test]
     fn direction_selects_path_half() {
         let mut fx = FeatureExtractor::new(&params());
-        let p = FabricPath { src_tor: 1, src_agg: 1, core: Some(0), dst_agg: 1, dst_tor: 0 };
+        let p = FabricPath {
+            src_tor: 1,
+            src_agg: 1,
+            core: Some(0),
+            dst_agg: 1,
+            dst_tor: 0,
+        };
         let up = fx.extract(
             HostAddr::new(1, 1, 0),
             HostAddr::new(2, 0, 0),
@@ -253,7 +272,15 @@ mod tests {
     #[test]
     fn gap_normalization_is_monotone_and_bounded() {
         let mut prev = -1.0f32;
-        for ns in [0u64, 10, 1_000, 100_000, 10_000_000, 1_000_000_000, 100_000_000_000] {
+        for ns in [
+            0u64,
+            10,
+            1_000,
+            100_000,
+            10_000_000,
+            1_000_000_000,
+            100_000_000_000,
+        ] {
             let v = normalize_gap(SimDuration::from_nanos(ns));
             assert!(v >= prev);
             prev = v;

@@ -14,9 +14,7 @@
 use std::collections::HashMap;
 
 use elephant_des::SimTime;
-use elephant_net::{
-    ClosParams, ClusterOracle, Direction, OracleCtx, OracleVerdict, Packet,
-};
+use elephant_net::{ClosParams, ClusterOracle, Direction, OracleCtx, OracleVerdict, Packet};
 use elephant_nn::{MicroNet, MicroNetState};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -79,6 +77,31 @@ struct ClusterRuntime {
     down_state: MicroNetState,
 }
 
+/// Cached metrics-registry handles; resolved once per oracle so the
+/// per-verdict cost while disabled is a relaxed flag load.
+struct OracleMetrics {
+    elided: elephant_obs::Counter,
+    drops: elephant_obs::Counter,
+    per_state: [elephant_obs::Counter; 4],
+    infer: elephant_obs::HistogramHandle,
+}
+
+impl OracleMetrics {
+    fn new() -> Self {
+        OracleMetrics {
+            elided: elephant_obs::counter("hybrid/oracle/elided_packets", ""),
+            drops: elephant_obs::counter("hybrid/oracle/drops", ""),
+            per_state: std::array::from_fn(|i| {
+                elephant_obs::counter(
+                    "hybrid/macro/occupancy",
+                    format!("{:?}", MacroState::ALL[i]).to_lowercase(),
+                )
+            }),
+            infer: elephant_obs::histogram("hybrid/oracle/infer_seconds", ""),
+        }
+    }
+}
+
 /// A [`ClusterOracle`] that serves [`ClusterModel`] predictions.
 pub struct LearnedOracle {
     model: ClusterModel,
@@ -87,6 +110,7 @@ pub struct LearnedOracle {
     rng: SmallRng,
     clusters: HashMap<u16, ClusterRuntime>,
     stats: OracleStats,
+    metrics: OracleMetrics,
 }
 
 impl LearnedOracle {
@@ -100,6 +124,7 @@ impl LearnedOracle {
             rng: SmallRng::seed_from_u64(seed),
             clusters: HashMap::new(),
             stats: OracleStats::default(),
+            metrics: OracleMetrics::new(),
         }
     }
 
@@ -116,7 +141,6 @@ impl LearnedOracle {
             .map(|c| c.macro_model.state())
             .unwrap_or(MacroState::Minimal)
     }
-
 }
 
 /// Fetches (or lazily creates) the runtime for `cluster`. A free function
@@ -138,11 +162,26 @@ fn runtime<'a>(
 
 impl ClusterOracle for LearnedOracle {
     fn classify(&mut self, ctx: &OracleCtx<'_>, pkt: &Packet, now: SimTime) -> OracleVerdict {
-        let LearnedOracle { model, params, policy, rng, clusters, stats } = self;
+        let LearnedOracle {
+            model,
+            params,
+            policy,
+            rng,
+            clusters,
+            stats,
+            metrics,
+        } = self;
+        let observing = elephant_obs::enabled();
         stats.classified += 1;
+        if observing {
+            metrics.elided.inc();
+        }
         let rt = runtime(clusters, model, params, ctx.cluster);
         let state = rt.macro_model.state();
         stats.per_state[state.index()] += 1;
+        if observing {
+            metrics.per_state[state.index()].inc();
+        }
 
         let (net, fx, net_state): (&MicroNet, _, _) = match ctx.direction {
             Direction::Up => (&model.up, &mut rt.up_fx, &mut rt.up_state),
@@ -157,7 +196,14 @@ impl ClusterOracle for LearnedOracle {
             now,
             state,
         );
-        let pred = net.predict(&features, net_state);
+        let pred = if observing {
+            let t0 = std::time::Instant::now();
+            let pred = net.predict(&features, net_state);
+            metrics.infer.record(t0.elapsed().as_secs_f64());
+            pred
+        } else {
+            net.predict(&features, net_state)
+        };
 
         let drop = match *policy {
             DropPolicy::Sample => rng.gen::<f32>() < pred.drop_prob,
@@ -165,6 +211,7 @@ impl ClusterOracle for LearnedOracle {
         };
         if drop {
             stats.drops += 1;
+            metrics.drops.inc();
             rt.macro_model.observe(None, true);
             return OracleVerdict::Drop;
         }
@@ -224,15 +271,19 @@ mod tests {
     fn verdicts_are_physical_and_counted() {
         let params = ClosParams::paper_cluster(4);
         let topo = Topology::clos_with_stubs(params, &[1, 2, 3]);
-        let mut oracle =
-            LearnedOracle::new(tiny_model(), params, DropPolicy::Sample, 9);
+        let mut oracle = LearnedOracle::new(tiny_model(), params, DropPolicy::Sample, 9);
         let src = HostAddr::new(1, 0, 0);
         let dst = HostAddr::new(0, 0, 0);
         let path = topo.fabric_path(src, dst, FlowId(7));
         let p = pkt(src, dst);
         let mut delivered = 0;
         for i in 0..200 {
-            let ctx = OracleCtx { topo: &topo, cluster: 1, direction: Direction::Up, path };
+            let ctx = OracleCtx {
+                topo: &topo,
+                cluster: 1,
+                direction: Direction::Up,
+                path,
+            };
             match oracle.classify(&ctx, &p, SimTime::from_micros(i * 10)) {
                 OracleVerdict::Deliver { latency } => {
                     delivered += 1;
@@ -264,8 +315,12 @@ mod tests {
             let p = pkt(src, dst);
             (0..50)
                 .map(|i| {
-                    let ctx =
-                        OracleCtx { topo: &topo, cluster: 1, direction: Direction::Up, path };
+                    let ctx = OracleCtx {
+                        topo: &topo,
+                        cluster: 1,
+                        direction: Direction::Up,
+                        path,
+                    };
                     match oracle.classify(&ctx, &p, SimTime::from_micros(i * 5)) {
                         OracleVerdict::Drop => -1.0,
                         OracleVerdict::Deliver { latency } => latency.as_secs_f64(),
@@ -287,7 +342,12 @@ mod tests {
         let p = pkt(src, dst);
         // Hammer cluster 1 only; cluster 2's state must stay fresh.
         for i in 0..100 {
-            let ctx = OracleCtx { topo: &topo, cluster: 1, direction: Direction::Up, path };
+            let ctx = OracleCtx {
+                topo: &topo,
+                cluster: 1,
+                direction: Direction::Up,
+                path,
+            };
             oracle.classify(&ctx, &p, SimTime::from_micros(i));
         }
         assert_eq!(oracle.macro_state(2), MacroState::Minimal);

@@ -59,7 +59,9 @@ mod learned;
 mod macro_model;
 mod train;
 
-pub use accuracy::{compare_cdfs, macro_agreement, macro_confusion, CdfComparison, PercentileRow, REPORT_QUANTILES};
+pub use accuracy::{
+    compare_cdfs, macro_agreement, macro_confusion, CdfComparison, PercentileRow, REPORT_QUANTILES,
+};
 pub use experiment::{run_ground_truth, run_hybrid, RunMeta};
 pub use features::{FeatureExtractor, LatencyCodec, FEATURE_DIM};
 pub use learned::{ClusterModel, DropPolicy, LearnedOracle, OracleStats};

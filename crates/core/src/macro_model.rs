@@ -265,7 +265,11 @@ mod tests {
     fn calibrate_uses_latency_percentile_and_drop_floor() {
         let lats: Vec<f64> = (1..=100).map(|i| i as f64 * 1e-6).collect();
         let cfg = MacroConfig::calibrate(&lats, 0.001);
-        assert!((cfg.latency_low - 40e-6).abs() < 2e-6, "p40 = {}", cfg.latency_low);
+        assert!(
+            (cfg.latency_low - 40e-6).abs() < 2e-6,
+            "p40 = {}",
+            cfg.latency_low
+        );
         assert_eq!(cfg.drop_high, 0.01, "floored at 1%");
         let cfg2 = MacroConfig::calibrate(&lats, 0.2);
         assert!((cfg2.drop_high - 0.4).abs() < 1e-12);

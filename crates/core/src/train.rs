@@ -54,7 +54,12 @@ impl Default for TrainingOptions {
             layers: 2,
             alpha: 0.5,
             rnn: RnnKind::Lstm,
-            train: TrainConfig { lr: 0.05, momentum: 0.9, batch: 16, clip: 5.0 },
+            train: TrainConfig {
+                lr: 0.05,
+                momentum: 0.9,
+                batch: 16,
+                clip: 5.0,
+            },
             epochs: 8,
             window: 32,
             holdout: 0.2,
@@ -154,14 +159,22 @@ pub fn build_samples(
         let sample = Sample {
             features,
             dropped: r.dropped,
-            latency: if r.dropped { 0.0 } else { codec.encode(r.latency) },
+            latency: if r.dropped {
+                0.0
+            } else {
+                codec.encode(r.latency)
+            },
         };
         match r.direction {
             Direction::Up => up.push(sample),
             Direction::Down => down.push(sample),
         }
         macro_model.observe(
-            if r.dropped { None } else { Some(r.latency.as_secs_f64()) },
+            if r.dropped {
+                None
+            } else {
+                Some(r.latency.as_secs_f64())
+            },
             r.dropped,
         );
     }
@@ -194,7 +207,9 @@ pub fn train_cluster_model(
 ) -> (ClusterModel, TrainReport) {
     assert!(!records.is_empty(), "cannot train on an empty capture");
     assert!((0.0..1.0).contains(&opts.holdout));
-    let macro_cfg = opts.macro_override.unwrap_or_else(|| calibrate_macro(records));
+    let macro_cfg = opts
+        .macro_override
+        .unwrap_or_else(|| calibrate_macro(records));
     let codec = LatencyCodec::default();
     let (up_samples, down_samples) = build_samples(records, params, macro_cfg, codec);
 
@@ -210,8 +225,17 @@ pub fn train_cluster_model(
     let (down_model, down_report) = train_direction(&down_samples, net_cfg, opts, &mut rng);
 
     (
-        ClusterModel { up: up_model, down: down_model, macro_cfg, codec },
-        TrainReport { up: up_report, down: down_report, macro_cfg },
+        ClusterModel {
+            up: up_model,
+            down: down_model,
+            macro_cfg,
+            codec,
+        },
+        TrainReport {
+            up: up_report,
+            down: down_report,
+            macro_cfg,
+        },
     )
 }
 
@@ -245,15 +269,32 @@ fn train_direction(
         .collect();
     let mut trainer = Trainer::new(model, opts.train);
     let mut last = WindowLoss::default();
+    let _train_span = elephant_obs::span("train");
+    let loss_hist = elephant_obs::histogram("train/epoch/loss", "");
+    let samples_counter = elephant_obs::counter("train/epoch/samples", "");
     for _ in 0..opts.epochs {
+        let _epoch_span = elephant_obs::span("epoch");
+        let t0 = std::time::Instant::now();
         last = trainer.train_epoch(&windows);
+        loss_hist.record(last.total(opts.alpha));
+        samples_counter.add(last.samples as u64);
+        let secs = t0.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            elephant_obs::gauge("train/epoch/samples_per_sec", "")
+                .set((last.samples as f64 / secs) as i64);
+        }
     }
+    drop(_train_span);
     let model = trainer.into_model();
 
     let eval = evaluate(&model, eval_slice, opts.window);
     (
         model,
-        DirectionReport { train_loss: last, eval, train_samples: train_slice.len() },
+        DirectionReport {
+            train_loss: last,
+            eval,
+            train_samples: train_slice.len(),
+        },
     )
 }
 
@@ -299,7 +340,11 @@ mod tests {
                 let dropped = host >= 2;
                 BoundaryRecord {
                     t_in: SimTime::from_micros(10 * i as u64),
-                    direction: if i % 2 == 0 { Direction::Up } else { Direction::Down },
+                    direction: if i % 2 == 0 {
+                        Direction::Up
+                    } else {
+                        Direction::Down
+                    },
                     flow: FlowId(i as u64),
                     src: HostAddr::new(1, rack, (i % 4) as u16),
                     dst: HostAddr::new(0, rack, host),
@@ -326,8 +371,12 @@ mod tests {
     fn build_samples_partitions_by_direction_in_time_order() {
         let params = ClosParams::paper_cluster(2);
         let records = synthetic_records(100);
-        let (up, down) =
-            build_samples(&records, &params, MacroConfig::default(), LatencyCodec::default());
+        let (up, down) = build_samples(
+            &records,
+            &params,
+            MacroConfig::default(),
+            LatencyCodec::default(),
+        );
         assert_eq!(up.len(), 50);
         assert_eq!(down.len(), 50);
         for s in up.iter().chain(down.iter()) {
@@ -348,7 +397,12 @@ mod tests {
             layers: 1,
             epochs: 25,
             window: 16,
-            train: TrainConfig { lr: 0.3, momentum: 0.9, batch: 8, clip: 5.0 },
+            train: TrainConfig {
+                lr: 0.3,
+                momentum: 0.9,
+                batch: 8,
+                clip: 5.0,
+            },
             ..Default::default()
         };
         let (model, report) = train_cluster_model(&records, &params, &opts);
@@ -369,7 +423,11 @@ mod tests {
         );
         // Latency is a clean function of the features; RMSE of the
         // normalized target should be small.
-        assert!(report.up.eval.latency_rmse < 0.2, "rmse {}", report.up.eval.latency_rmse);
+        assert!(
+            report.up.eval.latency_rmse < 0.2,
+            "rmse {}",
+            report.up.eval.latency_rmse
+        );
         // The returned bundle serializes.
         let json = model.to_json();
         assert!(ClusterModel::from_json(&json).is_ok());
@@ -386,7 +444,10 @@ mod tests {
                 r
             })
             .collect();
-        let opts = TrainingOptions { epochs: 1, ..Default::default() };
+        let opts = TrainingOptions {
+            epochs: 1,
+            ..Default::default()
+        };
         let (_, report) = train_cluster_model(&records, &params, &opts);
         assert_eq!(report.down.train_samples, 0);
         assert_eq!(report.down.eval.samples, 0);

@@ -61,8 +61,8 @@ mod stats;
 mod time;
 
 pub use pdes::{
-    PartitionId, PartitionSim, PartitionWorld, PdesConfig, PdesReport, PdesRunner, RemoteSink,
-    Transportable,
+    PartitionId, PartitionSim, PartitionStats, PartitionWorld, PdesConfig, PdesReport, PdesRunner,
+    RemoteSink, Transportable,
 };
 pub use rng::{splitmix64, RngFactory};
 pub use sched::{EventKey, Scheduler};

@@ -30,6 +30,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
+use std::time::Instant;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parking_lot::Mutex;
@@ -79,7 +80,10 @@ pub struct RemoteSink<E> {
 
 impl<E> RemoteSink<E> {
     fn new() -> Self {
-        RemoteSink { epoch_end: SimTime::ZERO, out: Vec::new() }
+        RemoteSink {
+            epoch_end: SimTime::ZERO,
+            out: Vec::new(),
+        }
     }
 
     /// Sends `event` to `partition`, to be delivered at absolute time `at`.
@@ -107,7 +111,10 @@ pub struct PartitionSim<W: PartitionWorld> {
 impl<W: PartitionWorld> PartitionSim<W> {
     /// Wraps a world with an empty scheduler.
     pub fn new(world: W) -> Self {
-        PartitionSim { world, sched: Scheduler::new() }
+        PartitionSim {
+            world,
+            sched: Scheduler::new(),
+        }
     }
 
     /// Access the scheduler, e.g. to seed initial events.
@@ -145,7 +152,11 @@ pub struct PdesConfig {
 impl PdesConfig {
     /// All partitions on a single machine.
     pub fn single_machine(partitions: usize, lookahead: SimDuration) -> Self {
-        PdesConfig { lookahead, machine_of: vec![0; partitions], envelope_bytes: 0 }
+        PdesConfig {
+            lookahead,
+            machine_of: vec![0; partitions],
+            envelope_bytes: 0,
+        }
     }
 
     /// Partitions dealt round-robin across `machines` machines with the
@@ -166,7 +177,7 @@ impl PdesConfig {
 }
 
 /// Aggregate statistics from a PDES run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct PdesReport {
     /// Number of epoch barriers executed.
     pub epochs: u64,
@@ -178,6 +189,31 @@ pub struct PdesReport {
     pub marshalled_messages: u64,
     /// Total bytes pushed through the marshalling path (payload + envelope).
     pub bytes_marshalled: u64,
+    /// Wall-time and traffic breakdown, one row per partition.
+    pub partitions: Vec<PartitionStats>,
+}
+
+/// Per-partition wall-time and traffic breakdown from a PDES run.
+///
+/// Wall times are measured with monotonic clocks inside the partition
+/// thread; they never feed back into simulated time, so collecting them
+/// does not perturb determinism.
+#[derive(Clone, Debug, Default)]
+pub struct PartitionStats {
+    /// Partition index.
+    pub partition: usize,
+    /// Events this partition executed.
+    pub events: u64,
+    /// Wall time spent executing local events.
+    pub work_seconds: f64,
+    /// Wall time spent parked on epoch barriers.
+    pub barrier_wait_seconds: f64,
+    /// Wall time spent marshalling cross-machine events.
+    pub marshal_seconds: f64,
+    /// Cross-partition events this partition sent.
+    pub remote_events_sent: u64,
+    /// Bytes this partition pushed through the marshalling path.
+    pub remote_bytes_sent: u64,
 }
 
 /// Drives a set of [`PartitionSim`]s in parallel, one OS thread each.
@@ -200,6 +236,8 @@ struct Shared<E> {
     plan: Mutex<EpochPlan>,
     /// Inbound mailboxes, one per partition.
     mailboxes: Vec<Mutex<Vec<(SimTime, E)>>>,
+    /// Per-partition breakdowns, written once by each thread as it exits.
+    per_partition: Mutex<Vec<PartitionStats>>,
     epochs: AtomicU64,
     events: AtomicU64,
     remote_msgs: AtomicU64,
@@ -218,7 +256,10 @@ impl<W: PartitionWorld> PdesRunner<W> {
             partitions.len(),
             "machine_of must list every partition"
         );
-        assert!(config.lookahead > SimDuration::ZERO, "lookahead must be positive");
+        assert!(
+            config.lookahead > SimDuration::ZERO,
+            "lookahead must be positive"
+        );
         PdesRunner { partitions, config }
     }
 
@@ -229,8 +270,19 @@ impl<W: PartitionWorld> PdesRunner<W> {
         let shared: Shared<W::Event> = Shared {
             barrier: Barrier::new(n),
             next_times: Mutex::new(vec![None; n]),
-            plan: Mutex::new(EpochPlan { end: SimTime::ZERO, terminate: false }),
+            plan: Mutex::new(EpochPlan {
+                end: SimTime::ZERO,
+                terminate: false,
+            }),
             mailboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            per_partition: Mutex::new(
+                (0..n)
+                    .map(|partition| PartitionStats {
+                        partition,
+                        ..Default::default()
+                    })
+                    .collect(),
+            ),
             epochs: AtomicU64::new(0),
             events: AtomicU64::new(0),
             remote_msgs: AtomicU64::new(0),
@@ -253,13 +305,16 @@ impl<W: PartitionWorld> PdesRunner<W> {
             !shared.poisoned.load(Ordering::SeqCst),
             "a PDES partition thread panicked"
         );
-        PdesReport {
+        let report = PdesReport {
             epochs: shared.epochs.load(Ordering::Relaxed),
             events_executed: shared.events.load(Ordering::Relaxed),
             remote_messages: shared.remote_msgs.load(Ordering::Relaxed),
             marshalled_messages: shared.marshalled_msgs.load(Ordering::Relaxed),
             bytes_marshalled: shared.marshalled_bytes.load(Ordering::Relaxed),
-        }
+            partitions: shared.per_partition.into_inner(),
+        };
+        publish_metrics(&report);
+        report
     }
 
     /// Consumes the runner, returning the partitions for inspection.
@@ -270,6 +325,28 @@ impl<W: PartitionWorld> PdesRunner<W> {
     /// Immutable view of the partitions.
     pub fn partitions(&self) -> &[PartitionSim<W>] {
         &self.partitions
+    }
+}
+
+/// Mirrors a finished run's statistics into the global metrics registry
+/// (no-op while observability is disabled).
+fn publish_metrics(report: &PdesReport) {
+    if !elephant_obs::enabled() {
+        return;
+    }
+    elephant_obs::counter("pdes/epoch/count", "").add(report.epochs);
+    elephant_obs::counter("pdes/remote/messages", "").add(report.remote_messages);
+    elephant_obs::counter("pdes/marshal/messages", "").add(report.marshalled_messages);
+    elephant_obs::counter("pdes/marshal/bytes", "").add(report.bytes_marshalled);
+    for p in &report.partitions {
+        let label = p.partition.to_string();
+        elephant_obs::counter("pdes/partition/events", label.clone()).add(p.events);
+        elephant_obs::counter("pdes/partition/remote_messages", label.clone())
+            .add(p.remote_events_sent);
+        elephant_obs::counter("pdes/partition/remote_bytes", label.clone())
+            .add(p.remote_bytes_sent);
+        elephant_obs::counter("pdes/partition/barrier_wait_ns", label)
+            .add((p.barrier_wait_seconds * 1e9) as u64);
     }
 }
 
@@ -297,8 +374,14 @@ fn partition_main<W: PartitionWorld>(
 
     let mut remote = RemoteSink::new();
     let my_machine = config.machine_of[id];
+    let mut stats = PartitionStats {
+        partition: id,
+        ..Default::default()
+    };
+    let _pdes_span = elephant_obs::span("pdes");
 
     loop {
+        let _epoch_span = elephant_obs::span("epoch");
         // Phase 1: deliver inbound mail into the local FEL.
         {
             let mut mail = shared.mailboxes[id].lock();
@@ -312,7 +395,12 @@ fn partition_main<W: PartitionWorld>(
             let mut slots = shared.next_times.lock();
             slots[id] = part.sched.peek_time();
         }
-        shared.barrier.wait();
+        {
+            let _s = elephant_obs::span("barrier_wait");
+            let t0 = Instant::now();
+            shared.barrier.wait();
+            stats.barrier_wait_seconds += t0.elapsed().as_secs_f64();
+        }
 
         // Phase 3: thread 0 plans the epoch.
         if id == 0 {
@@ -324,13 +412,21 @@ fn partition_main<W: PartitionWorld>(
                     end: start.saturating_add(config.lookahead),
                     terminate: false,
                 },
-                _ => EpochPlan { end: horizon, terminate: true },
+                _ => EpochPlan {
+                    end: horizon,
+                    terminate: true,
+                },
             };
             if !plan.terminate {
                 shared.epochs.fetch_add(1, Ordering::Relaxed);
             }
         }
-        shared.barrier.wait();
+        {
+            let _s = elephant_obs::span("barrier_wait");
+            let t0 = Instant::now();
+            shared.barrier.wait();
+            stats.barrier_wait_seconds += t0.elapsed().as_secs_f64();
+        }
 
         let plan = *shared.plan.lock();
         if plan.terminate {
@@ -340,14 +436,20 @@ fn partition_main<W: PartitionWorld>(
         // Phase 4: execute local events in [start, end), capped by horizon.
         remote.epoch_end = plan.end;
         let mut executed = 0u64;
-        while let Some(t) = part.sched.peek_time() {
-            if t >= plan.end || t > horizon {
-                break;
+        {
+            let _s = elephant_obs::span("work");
+            let t0 = Instant::now();
+            while let Some(t) = part.sched.peek_time() {
+                if t >= plan.end || t > horizon {
+                    break;
+                }
+                let (_, ev) = part.sched.pop().expect("peeked event vanished");
+                part.world.handle(ev, &mut part.sched, &mut remote);
+                executed += 1;
             }
-            let (_, ev) = part.sched.pop().expect("peeked event vanished");
-            part.world.handle(ev, &mut part.sched, &mut remote);
-            executed += 1;
+            stats.work_seconds += t0.elapsed().as_secs_f64();
         }
+        stats.events += executed;
         if executed > 0 {
             shared.events.fetch_add(executed, Ordering::Relaxed);
         }
@@ -357,8 +459,13 @@ fn partition_main<W: PartitionWorld>(
             let mut marshalled = 0u64;
             let mut bytes_total = 0u64;
             let count = remote.out.len() as u64;
+            let _s = elephant_obs::span("marshal");
+            let t0 = Instant::now();
             for (dst, at, ev) in remote.out.drain(..) {
-                assert!(dst < config.machine_of.len(), "remote event to unknown partition {dst}");
+                assert!(
+                    dst < config.machine_of.len(),
+                    "remote event to unknown partition {dst}"
+                );
                 let ev = if config.machine_of[dst] != my_machine {
                     let (ev, nbytes) = marshal_round_trip(ev, config.envelope_bytes);
                     marshalled += 1;
@@ -369,17 +476,30 @@ fn partition_main<W: PartitionWorld>(
                 };
                 shared.mailboxes[dst].lock().push((at, ev));
             }
+            stats.marshal_seconds += t0.elapsed().as_secs_f64();
+            stats.remote_events_sent += count;
+            stats.remote_bytes_sent += bytes_total;
             shared.remote_msgs.fetch_add(count, Ordering::Relaxed);
             if marshalled > 0 {
-                shared.marshalled_msgs.fetch_add(marshalled, Ordering::Relaxed);
-                shared.marshalled_bytes.fetch_add(bytes_total, Ordering::Relaxed);
+                shared
+                    .marshalled_msgs
+                    .fetch_add(marshalled, Ordering::Relaxed);
+                shared
+                    .marshalled_bytes
+                    .fetch_add(bytes_total, Ordering::Relaxed);
             }
         }
 
         // Phase 6: barrier ending the epoch; guarantees all mail is posted
         // before anyone starts phase 1 of the next epoch.
+        let _s = elephant_obs::span("barrier_wait");
+        let t0 = Instant::now();
         shared.barrier.wait();
+        stats.barrier_wait_seconds += t0.elapsed().as_secs_f64();
+        drop(_s);
     }
+
+    shared.per_partition.lock()[id] = stats;
 }
 
 /// Pushes an event through the simulated machine boundary: encode, wrap in
@@ -391,7 +511,9 @@ fn marshal_round_trip<E: Transportable>(ev: E, envelope_bytes: usize) -> (E, u64
     ev.encode(&mut buf);
     let frozen = buf.freeze();
     // Touch every byte, as a real transport would while copying to a socket.
-    let checksum: u64 = frozen.iter().fold(0u64, |acc, &b| acc.wrapping_mul(31).wrapping_add(b as u64));
+    let checksum: u64 = frozen
+        .iter()
+        .fold(0u64, |acc, &b| acc.wrapping_mul(31).wrapping_add(b as u64));
     std::hint::black_box(checksum);
     let nbytes = frozen.len() as u64;
     let mut rd = frozen;
@@ -423,7 +545,10 @@ mod tests {
             if buf.remaining() < 12 {
                 return None;
             }
-            Some(Token { hops_left: buf.get_u32(), value: buf.get_u64() })
+            Some(Token {
+                hops_left: buf.get_u32(),
+                value: buf.get_u64(),
+            })
         }
     }
 
@@ -447,7 +572,10 @@ mod tests {
             if ev.hops_left == 0 {
                 return;
             }
-            let next = Token { hops_left: ev.hops_left - 1, value: ev.value + 1 };
+            let next = Token {
+                hops_left: ev.hops_left - 1,
+                value: ev.value + 1,
+            };
             let at = sched.now() + LOOKAHEAD;
             let dst = (self.id + 1) % self.n;
             if dst == self.id {
@@ -460,11 +588,22 @@ mod tests {
 
     fn ring_run(n: usize, hops: u32, machines: usize, envelope: usize) -> (Vec<Ring>, PdesReport) {
         let mut parts: Vec<PartitionSim<Ring>> = (0..n)
-            .map(|id| PartitionSim::new(Ring { id, n, arrivals: 0, last_value: 0 }))
+            .map(|id| {
+                PartitionSim::new(Ring {
+                    id,
+                    n,
+                    arrivals: 0,
+                    last_value: 0,
+                })
+            })
             .collect();
-        parts[0]
-            .scheduler_mut()
-            .schedule_at(SimTime::ZERO, Token { hops_left: hops, value: 0 });
+        parts[0].scheduler_mut().schedule_at(
+            SimTime::ZERO,
+            Token {
+                hops_left: hops,
+                value: 0,
+            },
+        );
         let config = PdesConfig::round_robin(n, machines, LOOKAHEAD, envelope);
         let mut runner = PdesRunner::new(parts, config);
         let report = runner.run_until(SimTime::from_secs(10));
@@ -486,7 +625,10 @@ mod tests {
         assert_eq!(total, 100); // initial arrival + 99 hops
         assert_eq!(report.events_executed, 100);
         assert_eq!(report.remote_messages, 99);
-        assert_eq!(report.marshalled_messages, 0, "same machine, no marshalling");
+        assert_eq!(
+            report.marshalled_messages, 0,
+            "same machine, no marshalling"
+        );
         // The token's value counts hops; last arrival carries 99.
         let max_value = worlds.iter().map(|w| w.last_value).max().unwrap();
         assert_eq!(max_value, 99);
@@ -518,13 +660,23 @@ mod tests {
     fn horizon_truncates() {
         // 99 hops of 1us each; horizon 10us lets hops 0..=10 land.
         let mut parts: Vec<PartitionSim<Ring>> = (0..2)
-            .map(|id| PartitionSim::new(Ring { id, n: 2, arrivals: 0, last_value: 0 }))
+            .map(|id| {
+                PartitionSim::new(Ring {
+                    id,
+                    n: 2,
+                    arrivals: 0,
+                    last_value: 0,
+                })
+            })
             .collect();
-        parts[0]
-            .scheduler_mut()
-            .schedule_at(SimTime::ZERO, Token { hops_left: 99, value: 0 });
-        let mut runner =
-            PdesRunner::new(parts, PdesConfig::single_machine(2, LOOKAHEAD));
+        parts[0].scheduler_mut().schedule_at(
+            SimTime::ZERO,
+            Token {
+                hops_left: 99,
+                value: 0,
+            },
+        );
+        let mut runner = PdesRunner::new(parts, PdesConfig::single_machine(2, LOOKAHEAD));
         let report = runner.run_until(SimTime::from_micros(10));
         assert_eq!(report.events_executed, 11);
     }
@@ -539,10 +691,16 @@ mod tests {
     #[test]
     fn empty_model_terminates_immediately() {
         let parts: Vec<PartitionSim<Ring>> = (0..3)
-            .map(|id| PartitionSim::new(Ring { id, n: 3, arrivals: 0, last_value: 0 }))
+            .map(|id| {
+                PartitionSim::new(Ring {
+                    id,
+                    n: 3,
+                    arrivals: 0,
+                    last_value: 0,
+                })
+            })
             .collect();
-        let mut runner =
-            PdesRunner::new(parts, PdesConfig::single_machine(3, LOOKAHEAD));
+        let mut runner = PdesRunner::new(parts, PdesConfig::single_machine(3, LOOKAHEAD));
         let report = runner.run_until(SimTime::from_secs(1));
         assert_eq!(report.events_executed, 0);
         assert_eq!(report.epochs, 0);
@@ -558,13 +716,27 @@ mod tests {
             fn handle(&mut self, _: Token, _: &mut Scheduler<Token>, _: &mut RemoteSink<Token>) {}
         }
         let mut part = PartitionSim::new(Sparse);
-        part.scheduler_mut().schedule_at(SimTime::ZERO, Token { hops_left: 0, value: 0 });
-        part.scheduler_mut()
-            .schedule_at(SimTime::from_secs(1), Token { hops_left: 0, value: 0 });
-        let mut runner =
-            PdesRunner::new(vec![part], PdesConfig::single_machine(1, LOOKAHEAD));
+        part.scheduler_mut().schedule_at(
+            SimTime::ZERO,
+            Token {
+                hops_left: 0,
+                value: 0,
+            },
+        );
+        part.scheduler_mut().schedule_at(
+            SimTime::from_secs(1),
+            Token {
+                hops_left: 0,
+                value: 0,
+            },
+        );
+        let mut runner = PdesRunner::new(vec![part], PdesConfig::single_machine(1, LOOKAHEAD));
         let report = runner.run_until(SimTime::from_secs(2));
         assert_eq!(report.events_executed, 2);
-        assert!(report.epochs <= 3, "expected a jump, got {} epochs", report.epochs);
+        assert!(
+            report.epochs <= 3,
+            "expected a jump, got {} epochs",
+            report.epochs
+        );
     }
 }

@@ -71,13 +71,19 @@ mod tests {
     #[test]
     fn different_labels_differ() {
         let f = RngFactory::new(42);
-        assert_ne!(draws(&mut f.stream("tcp", 0), 16), draws(&mut f.stream("ecmp", 0), 16));
+        assert_ne!(
+            draws(&mut f.stream("tcp", 0), 16),
+            draws(&mut f.stream("ecmp", 0), 16)
+        );
     }
 
     #[test]
     fn different_indices_differ() {
         let f = RngFactory::new(42);
-        assert_ne!(draws(&mut f.stream("tcp", 0), 16), draws(&mut f.stream("tcp", 1), 16));
+        assert_ne!(
+            draws(&mut f.stream("tcp", 0), 16),
+            draws(&mut f.stream("tcp", 1), 16)
+        );
     }
 
     #[test]
@@ -93,6 +99,9 @@ mod tests {
         let base = splitmix64(0x1234_5678);
         let flipped = splitmix64(0x1234_5679);
         let differing = (base ^ flipped).count_ones();
-        assert!((16..=48).contains(&differing), "weak avalanche: {differing} bits");
+        assert!(
+            (16..=48).contains(&differing),
+            "weak avalanche: {differing} bits"
+        );
     }
 }

@@ -110,7 +110,11 @@ impl<E> Scheduler<E> {
         self.next_seq += 1;
         self.scheduled_total += 1;
         self.pending_keys.insert(seq);
-        self.heap.push(Reverse(Scheduled { time: at, seq, event }));
+        self.heap.push(Reverse(Scheduled {
+            time: at,
+            seq,
+            event,
+        }));
         EventKey(seq)
     }
 
@@ -208,7 +212,10 @@ impl<E> Scheduler<E> {
     pub fn advance_clock(&mut self, t: SimTime) {
         assert!(t >= self.now, "clock may not move backwards");
         if let Some(head) = self.peek_time() {
-            assert!(head >= t, "advance_clock({t}) would skip an event at {head}");
+            assert!(
+                head >= t,
+                "advance_clock({t}) would skip an event at {head}"
+            );
         }
         self.now = t;
     }
@@ -261,7 +268,10 @@ mod tests {
         s.pop();
         assert!(!s.cancel(k), "cancelling a fired event is a no-op");
         assert_eq!(s.cancelled_total(), 0);
-        assert_eq!(s.scheduled_total(), s.executed_total() + s.cancelled_total());
+        assert_eq!(
+            s.scheduled_total(),
+            s.executed_total() + s.cancelled_total()
+        );
     }
 
     #[test]

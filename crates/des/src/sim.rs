@@ -5,6 +5,8 @@
 //! [`Scheduler`] and runs the classic DES loop: pop the earliest event,
 //! advance the clock, dispatch to the world, repeat.
 
+use elephant_obs::{Counter, Gauge};
+
 use crate::sched::Scheduler;
 use crate::time::SimTime;
 
@@ -33,17 +35,71 @@ pub enum StopReason {
     BudgetSpent,
 }
 
+/// Cached handles into the global metrics registry, plus local batch
+/// accumulators. The simulator is single-threaded, so per-event bookkeeping
+/// stays in plain integers; the shared atomics are only touched once per
+/// `METRICS_FLUSH_EVERY` events and at run-loop exits, keeping the hot-path
+/// cost to a relaxed flag load and two register ops.
+#[derive(Debug)]
+struct KernelMetrics {
+    events: Counter,
+    heap_depth: Gauge,
+    batched_events: u64,
+    batched_depth: i64,
+}
+
+const METRICS_FLUSH_EVERY: u64 = 4096;
+
+impl KernelMetrics {
+    fn new() -> Self {
+        KernelMetrics {
+            events: elephant_obs::counter("des/kernel/events_executed", ""),
+            heap_depth: elephant_obs::gauge("des/kernel/heap_depth_peak", ""),
+            batched_events: 0,
+            batched_depth: 0,
+        }
+    }
+
+    /// Notes one executed event and the heap depth at the moment it popped.
+    #[inline]
+    fn note(&mut self, depth_at_pop: usize) {
+        if !elephant_obs::enabled() {
+            return;
+        }
+        self.batched_events += 1;
+        self.batched_depth = self.batched_depth.max(depth_at_pop as i64);
+        if self.batched_events >= METRICS_FLUSH_EVERY {
+            self.flush();
+        }
+    }
+
+    /// Publishes the accumulated batch to the shared registry.
+    fn flush(&mut self) {
+        if self.batched_events > 0 {
+            self.events.add(self.batched_events);
+            self.heap_depth.record_max(self.batched_depth);
+            self.batched_events = 0;
+            self.batched_depth = 0;
+        }
+    }
+}
+
 /// Drives a [`World`] through simulated time.
 #[derive(Debug)]
 pub struct Simulator<W: World> {
     world: W,
     sched: Scheduler<W::Event>,
+    metrics: KernelMetrics,
 }
 
 impl<W: World> Simulator<W> {
     /// Wraps a world with a fresh scheduler at time zero.
     pub fn new(world: W) -> Self {
-        Simulator { world, sched: Scheduler::new() }
+        Simulator {
+            world,
+            sched: Scheduler::new(),
+            metrics: KernelMetrics::new(),
+        }
     }
 
     /// The current simulated time.
@@ -76,6 +132,7 @@ impl<W: World> Simulator<W> {
     pub fn step(&mut self) -> bool {
         match self.sched.pop() {
             Some((_, ev)) => {
+                self.metrics.note(self.sched.pending() + 1);
                 self.world.handle(ev, &mut self.sched);
                 true
             }
@@ -86,6 +143,7 @@ impl<W: World> Simulator<W> {
     /// Runs until the event list drains.
     pub fn run(&mut self) -> StopReason {
         while self.step() {}
+        self.metrics.flush();
         StopReason::Exhausted
     }
 
@@ -97,13 +155,18 @@ impl<W: World> Simulator<W> {
     pub fn run_until(&mut self, horizon: SimTime) -> StopReason {
         loop {
             match self.sched.peek_time() {
-                None => return StopReason::Exhausted,
+                None => {
+                    self.metrics.flush();
+                    return StopReason::Exhausted;
+                }
                 Some(t) if t > horizon => {
                     self.sched.advance_clock(horizon.max(self.sched.now()));
+                    self.metrics.flush();
                     return StopReason::HorizonReached;
                 }
                 Some(_) => {
                     let (_, ev) = self.sched.pop().expect("peeked event vanished");
+                    self.metrics.note(self.sched.pending() + 1);
                     self.world.handle(ev, &mut self.sched);
                 }
             }
@@ -116,9 +179,11 @@ impl<W: World> Simulator<W> {
     pub fn run_events(&mut self, budget: u64) -> StopReason {
         for _ in 0..budget {
             if !self.step() {
+                self.metrics.flush();
                 return StopReason::Exhausted;
             }
         }
+        self.metrics.flush();
         StopReason::BudgetSpent
     }
 
@@ -154,7 +219,10 @@ mod tests {
     }
 
     fn countdown(n: u32) -> Simulator<Countdown> {
-        let mut sim = Simulator::new(Countdown { remaining: n, fired_at: vec![] });
+        let mut sim = Simulator::new(Countdown {
+            remaining: n,
+            fired_at: vec![],
+        });
         sim.scheduler_mut().schedule_at(SimTime::ZERO, Tick);
         sim
     }
@@ -197,7 +265,10 @@ mod tests {
 
     #[test]
     fn empty_horizon_run_parks_clock() {
-        let mut sim = Simulator::new(Countdown { remaining: 0, fired_at: vec![] });
+        let mut sim = Simulator::new(Countdown {
+            remaining: 0,
+            fired_at: vec![],
+        });
         assert_eq!(sim.run_until(SimTime::from_secs(1)), StopReason::Exhausted);
     }
 }

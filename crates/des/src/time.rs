@@ -328,7 +328,10 @@ mod tests {
             SimTime::ZERO.saturating_since(SimTime::from_secs(1)),
             SimDuration::ZERO
         );
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimDuration::from_nanos(3).saturating_sub(SimDuration::from_nanos(5)),
             SimDuration::ZERO
@@ -347,7 +350,10 @@ mod tests {
             SimDuration::from_nanos(1200)
         );
         // 1 byte at 400 Gbps = 0.02 ns, must round up to 1 ns.
-        assert_eq!(SimDuration::from_bytes_at_gbps(1, 400.0), SimDuration::from_nanos(1));
+        assert_eq!(
+            SimDuration::from_bytes_at_gbps(1, 400.0),
+            SimDuration::from_nanos(1)
+        );
         // Zero bytes genuinely takes zero time.
         assert_eq!(SimDuration::from_bytes_at_gbps(0, 10.0), SimDuration::ZERO);
     }

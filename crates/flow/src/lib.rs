@@ -142,7 +142,10 @@ pub fn simulate(topo: &Topology, flows: &[FlowSpec], horizon: SimTime) -> FluidR
             .iter()
             .map(|f| f.remaining / f.rate)
             .min_by(|a, b| a.partial_cmp(b).expect("rates are finite"))
-            .map(|dt| now + SimDuration::from_nanos((dt.max(0.0) * 1e9).ceil() as u64).max(SimDuration::from_nanos(1)));
+            .map(|dt| {
+                now + SimDuration::from_nanos((dt.max(0.0) * 1e9).ceil() as u64)
+                    .max(SimDuration::from_nanos(1))
+            });
         let arrival_t = arrivals.get(next_arrival).map(|&(t, _)| t);
 
         // Pick the next event.
@@ -212,7 +215,10 @@ pub fn max_min_allocation(paths: &[Vec<usize>], caps: &[f64]) -> Vec<f64> {
         .enumerate()
         .map(|(k, links)| {
             assert!(!links.is_empty(), "flow {k} crosses no link");
-            assert!(links.iter().all(|&l| l < caps.len()), "flow {k} uses unknown link");
+            assert!(
+                links.iter().all(|&l| l < caps.len()),
+                "flow {k} uses unknown link"
+            );
             ActiveFlow {
                 id: FlowId(k as u64),
                 remaining: 1.0,
@@ -303,14 +309,26 @@ mod tests {
     }
 
     fn flow(id: u64, src: HostAddr, dst: HostAddr, bytes: u64, start_us: u64) -> FlowSpec {
-        FlowSpec { id: FlowId(id), src, dst, bytes, start: SimTime::from_micros(start_us) }
+        FlowSpec {
+            id: FlowId(id),
+            src,
+            dst,
+            bytes,
+            start: SimTime::from_micros(start_us),
+        }
     }
 
     #[test]
     fn lone_flow_gets_line_rate() {
         let t = topo();
         // 10 Gbps = 1.25 GB/s; 1.25 MB should take exactly 1 ms.
-        let flows = [flow(1, HostAddr::new(0, 0, 0), HostAddr::new(1, 0, 0), 1_250_000, 0)];
+        let flows = [flow(
+            1,
+            HostAddr::new(0, 0, 0),
+            HostAddr::new(1, 0, 0),
+            1_250_000,
+            0,
+        )];
         let r = simulate(&t, &flows, SimTime::from_secs(1));
         assert_eq!(r.fct.len(), 1);
         let fct = r.fct[0].fct().as_secs_f64();
@@ -347,8 +365,11 @@ mod tests {
         let r = simulate(&t, &flows, SimTime::from_secs(1));
         // Short flow at 5 Gb/s: 1 ms. Long flow: 1 ms at half rate
         // (0.625 MB done) then 11.875 MB at full rate = 9.5 ms; total 10.5 ms.
-        let by_id: HashMap<u64, f64> =
-            r.fct.iter().map(|f| (f.id.0, f.fct().as_secs_f64())).collect();
+        let by_id: HashMap<u64, f64> = r
+            .fct
+            .iter()
+            .map(|f| (f.id.0, f.fct().as_secs_f64()))
+            .collect();
         assert!((by_id[&2] - 1e-3).abs() < 1e-5, "short {}", by_id[&2]);
         assert!((by_id[&1] - 10.5e-3).abs() < 1e-4, "long {}", by_id[&1]);
     }
@@ -370,7 +391,11 @@ mod tests {
         let r = simulate(&t, &flows, SimTime::from_secs(10));
         assert_eq!(r.fct.len(), 12);
         assert_eq!(r.unfinished, 0);
-        assert!(r.recomputes >= 12, "recomputes track membership changes, got {}", r.recomputes);
+        assert!(
+            r.recomputes >= 12,
+            "recomputes track membership changes, got {}",
+            r.recomputes
+        );
     }
 
     #[test]
@@ -396,7 +421,13 @@ mod tests {
     #[test]
     fn horizon_truncates() {
         let t = topo();
-        let flows = [flow(1, HostAddr::new(0, 0, 0), HostAddr::new(1, 0, 0), u64::MAX / 4, 0)];
+        let flows = [flow(
+            1,
+            HostAddr::new(0, 0, 0),
+            HostAddr::new(1, 0, 0),
+            u64::MAX / 4,
+            0,
+        )];
         let r = simulate(&t, &flows, SimTime::from_millis(1));
         assert_eq!(r.fct.len(), 0);
         assert_eq!(r.unfinished, 1);
@@ -433,7 +464,13 @@ mod tests {
         let dst = HostAddr::new(0, 0, 0);
         let flows: Vec<FlowSpec> = (0..8)
             .map(|i| {
-                flow(i + 1, HostAddr::new(1, (i % 2) as u16, ((i / 2) % 4) as u16), dst, 500_000, 0)
+                flow(
+                    i + 1,
+                    HostAddr::new(1, (i % 2) as u16, ((i / 2) % 4) as u16),
+                    dst,
+                    500_000,
+                    0,
+                )
             })
             .collect();
         let r = simulate(&t, &flows, SimTime::from_secs(1));

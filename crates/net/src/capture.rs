@@ -74,7 +74,11 @@ pub struct CaptureState {
 impl CaptureState {
     /// Captures traversals of `cluster`'s fabric.
     pub fn new(cluster: u16) -> Self {
-        CaptureState { cluster, pending: HashMap::new(), records: Vec::new() }
+        CaptureState {
+            cluster,
+            pending: HashMap::new(),
+            records: Vec::new(),
+        }
     }
 
     /// The cluster being captured.
@@ -83,13 +87,7 @@ impl CaptureState {
     }
 
     /// A packet entered the fabric.
-    pub fn begin(
-        &mut self,
-        pkt: &Packet,
-        direction: Direction,
-        path: FabricPath,
-        now: SimTime,
-    ) {
+    pub fn begin(&mut self, pkt: &Packet, direction: Direction, path: FabricPath, now: SimTime) {
         self.pending.insert(
             pkt.id,
             Pending {
@@ -181,7 +179,13 @@ mod tests {
     }
 
     fn path() -> FabricPath {
-        FabricPath { src_tor: 0, src_agg: 1, core: Some(0), dst_agg: 1, dst_tor: 0 }
+        FabricPath {
+            src_tor: 0,
+            src_agg: 1,
+            core: Some(0),
+            dst_agg: 1,
+            dst_tor: 0,
+        }
     }
 
     #[test]

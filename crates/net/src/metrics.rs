@@ -228,6 +228,16 @@ mod tests {
         let mut s = NetStats::new(RttScope::All, 0);
         s.fct.push(r);
         assert_eq!(s.mean_fct().unwrap(), SimDuration::from_micros(240));
-        assert_eq!(DropCounts { host: 1, tor: 2, agg: 3, core: 4, oracle: 5 }.total(), 15);
+        assert_eq!(
+            DropCounts {
+                host: 1,
+                tor: 2,
+                agg: 3,
+                core: 4,
+                oracle: 5
+            }
+            .total(),
+            15
+        );
     }
 }

@@ -147,6 +147,41 @@ struct PartitionCtx {
     node_part: Arc<Vec<u32>>,
 }
 
+/// Cached metrics-registry handles, labeled by switch tier; resolved once
+/// at construction so the per-packet cost is a relaxed flag load.
+struct NetMetrics {
+    enqueued: [elephant_obs::Counter; 4],
+    drops: [elephant_obs::Counter; 4],
+    ecn_marks: [elephant_obs::Counter; 4],
+}
+
+const TIER_LABELS: [&str; 4] = ["host", "tor", "agg", "core"];
+
+impl NetMetrics {
+    fn new() -> Self {
+        NetMetrics {
+            enqueued: std::array::from_fn(|t| {
+                elephant_obs::counter("net/port/enqueued", TIER_LABELS[t])
+            }),
+            drops: std::array::from_fn(|t| elephant_obs::counter("net/port/drops", TIER_LABELS[t])),
+            ecn_marks: std::array::from_fn(|t| {
+                elephant_obs::counter("net/port/ecn_marks", TIER_LABELS[t])
+            }),
+        }
+    }
+
+    /// Tier index for a queueing node; boundaries have no queues.
+    fn tier(kind: &NodeKind) -> Option<usize> {
+        match kind {
+            NodeKind::Host { .. } => Some(0),
+            NodeKind::Tor { .. } => Some(1),
+            NodeKind::Agg { .. } => Some(2),
+            NodeKind::Core { .. } => Some(3),
+            NodeKind::Boundary { .. } => None,
+        }
+    }
+}
+
 /// The packet-level simulator state (see module docs).
 pub struct Network {
     topo: Arc<Topology>,
@@ -167,6 +202,7 @@ pub struct Network {
     partition: Option<PartitionCtx>,
     outbox: Vec<(PartitionId, SimTime, NetEvent)>,
     trace: Option<TraceLog>,
+    metrics: NetMetrics,
 }
 
 impl Network {
@@ -182,9 +218,10 @@ impl Network {
                     .collect(),
             );
             hosts.push(match node.kind {
-                NodeKind::Host { addr } => {
-                    Some(HostState { addr, conns: HashMap::new() })
-                }
+                NodeKind::Host { addr } => Some(HostState {
+                    addr,
+                    conns: HashMap::new(),
+                }),
                 _ => None,
             });
         }
@@ -202,6 +239,7 @@ impl Network {
             partition: None,
             outbox: Vec::new(),
             trace: None,
+            metrics: NetMetrics::new(),
             ports,
             hosts,
             flow_meta: HashMap::new(),
@@ -244,7 +282,11 @@ impl Network {
     /// Marks this instance as partition `my` of a PDES run; events for
     /// nodes owned by other partitions are routed through the outbox.
     pub fn set_partition(&mut self, my: PartitionId, node_part: Arc<Vec<u32>>) {
-        assert_eq!(node_part.len(), self.topo.len(), "partition map must cover every node");
+        assert_eq!(
+            node_part.len(),
+            self.topo.len(),
+            "partition map must cover every node"
+        );
         self.partition = Some(PartitionCtx { my, node_part });
     }
 
@@ -374,10 +416,17 @@ impl Network {
         self.stats.flows_started += 1;
         self.flow_meta.insert(
             spec.id,
-            FlowMeta { src: spec.src, dst: spec.dst, bytes: spec.bytes, started: now },
+            FlowMeta {
+                src: spec.src,
+                dst: spec.dst,
+                bytes: spec.bytes,
+                started: now,
+            },
         );
         let node = self.topo.host_node(spec.src);
-        let host = self.hosts[node.idx()].as_mut().expect("flow source is a host");
+        let host = self.hosts[node.idx()]
+            .as_mut()
+            .expect("flow source is a host");
         let prev = host.conns.insert(
             spec.id,
             Conn {
@@ -389,7 +438,9 @@ impl Network {
             },
         );
         assert!(prev.is_none(), "duplicate flow id {:?}", spec.id);
-        self.with_conn(node, spec.id, sched, |conn, now, out| conn.tcp.open(now, out));
+        self.with_conn(node, spec.id, sched, |conn, now, out| {
+            conn.tcp.open(now, out)
+        });
     }
 
     fn switch_arrive(&mut self, node: NodeId, pkt: Packet, sched: &mut Scheduler<NetEvent>) {
@@ -443,12 +494,12 @@ impl Network {
         if let std::collections::hash_map::Entry::Vacant(e) = host.conns.entry(canonical) {
             if pkt.seg.flags.syn && !pkt.seg.flags.ack {
                 e.insert(Conn {
-                        tcp: TcpConn::receiver(self.cfg.tcp),
-                        peer: pkt.src,
-                        opener: false,
-                        rto_key: None,
-                        delack_key: None,
-                    });
+                    tcp: TcpConn::receiver(self.cfg.tcp),
+                    peer: pkt.src,
+                    opener: false,
+                    rto_key: None,
+                    delack_key: None,
+                });
             } else {
                 return; // stray segment for a closed/unknown connection
             }
@@ -461,11 +512,19 @@ impl Network {
 
     fn boundary_arrive(&mut self, cluster: u16, pkt: Packet, sched: &mut Scheduler<NetEvent>) {
         let now = sched.now();
-        let direction =
-            if pkt.dst.cluster == cluster { Direction::Down } else { Direction::Up };
+        let direction = if pkt.dst.cluster == cluster {
+            Direction::Down
+        } else {
+            Direction::Up
+        };
         let path = self.topo.fabric_path(pkt.src, pkt.dst, pkt.flow);
         let topo = Arc::clone(&self.topo);
-        let ctx = OracleCtx { topo: &topo, cluster, direction, path };
+        let ctx = OracleCtx {
+            topo: &topo,
+            cluster,
+            direction,
+            path,
+        };
         let oracle = self
             .oracle
             .as_mut()
@@ -517,7 +576,12 @@ impl Network {
         if let Some((pkt, serialize)) = next {
             self.trace_event(now, TraceKind::TxStart, node, &pkt);
             sched.schedule_at(now + serialize, NetEvent::PortFree { node, port });
-            self.deliver(spec.peer_node, now + serialize + spec.link.prop_delay, pkt, sched);
+            self.deliver(
+                spec.peer_node,
+                now + serialize + spec.link.prop_delay,
+                pkt,
+                sched,
+            );
         }
     }
 
@@ -572,7 +636,13 @@ impl Network {
 
             // Timer commands need the scheduler, which we cannot borrow
             // here; stash the info and apply below.
-            (addr, conn.peer, conn.opener, conn.tcp.ecn_capable(), out.closed)
+            (
+                addr,
+                conn.peer,
+                conn.opener,
+                conn.tcp.ecn_capable(),
+                out.closed,
+            )
         };
 
         // Timers.
@@ -585,7 +655,10 @@ impl Network {
         }
         self.stats.delivered_bytes += out.accepted_bytes;
         if out.completed {
-            let meta = self.flow_meta.get(&flow).expect("completed flow has metadata");
+            let meta = self
+                .flow_meta
+                .get(&flow)
+                .expect("completed flow has metadata");
             self.stats.flows_completed += 1;
             self.stats.fct.push(FctRecord {
                 flow,
@@ -600,7 +673,11 @@ impl Network {
         // Packets.
         let dir_flow = if opener { flow } else { flow.reverse() };
         for seg in out.segments.drain(..) {
-            let ecn = if ecn_capable && seg.payload_len > 0 { Ecn::Capable } else { Ecn::NotCapable };
+            let ecn = if ecn_capable && seg.payload_len > 0 {
+                Ecn::Capable
+            } else {
+                Ecn::NotCapable
+            };
             let pkt = Packet {
                 id: self.next_pkt_id,
                 flow: dir_flow,
@@ -642,7 +719,9 @@ impl Network {
             return;
         }
         let host = self.hosts[node.idx()].as_mut().expect("host node");
-        let Some(conn) = host.conns.get_mut(&flow) else { return };
+        let Some(conn) = host.conns.get_mut(&flow) else {
+            return;
+        };
         let slot = match kind {
             TimerKind::Rto => &mut conn.rto_key,
             TimerKind::DelAck => &mut conn.delack_key,
@@ -664,15 +743,31 @@ impl Network {
         sched: &mut Scheduler<NetEvent>,
     ) {
         let now = sched.now();
+        let was_marked = pkt.ecn == Ecn::CongestionExperienced;
         let (action, spec) = {
             let ps = &mut self.ports[node.idx()][port.idx()];
             (ps.offer(&mut pkt, now), *ps.spec())
         };
+        if elephant_obs::enabled() {
+            if let Some(tier) = NetMetrics::tier(&self.topo.node(node).kind) {
+                if action == TxAction::Queued {
+                    self.metrics.enqueued[tier].inc();
+                }
+                if !was_marked && pkt.ecn == Ecn::CongestionExperienced {
+                    self.metrics.ecn_marks[tier].inc();
+                }
+            }
+        }
         match action {
             TxAction::StartTx { serialize } => {
                 self.trace_event(now, TraceKind::TxStart, node, &pkt);
                 sched.schedule_at(now + serialize, NetEvent::PortFree { node, port });
-                self.deliver(spec.peer_node, now + serialize + spec.link.prop_delay, pkt, sched);
+                self.deliver(
+                    spec.peer_node,
+                    now + serialize + spec.link.prop_delay,
+                    pkt,
+                    sched,
+                );
             }
             TxAction::Queued => {}
             TxAction::Dropped => self.record_drop(node, &pkt, now),
@@ -681,7 +776,11 @@ impl Network {
 
     fn record_drop(&mut self, node: NodeId, pkt: &Packet, now: SimTime) {
         self.trace_event(now, TraceKind::Drop, node, pkt);
-        match self.topo.node(node).kind {
+        let kind = self.topo.node(node).kind;
+        if let Some(tier) = NetMetrics::tier(&kind) {
+            self.metrics.drops[tier].inc();
+        }
+        match kind {
             NodeKind::Host { .. } => self.stats.drops.host += 1,
             NodeKind::Tor { .. } => self.stats.drops.tor += 1,
             NodeKind::Agg { .. } => self.stats.drops.agg += 1,
@@ -699,7 +798,8 @@ impl Network {
         if let Some(p) = &self.partition {
             let owner = p.node_part[node.idx()] as PartitionId;
             if owner != p.my {
-                self.outbox.push((owner, at, NetEvent::Arrive { node, pkt }));
+                self.outbox
+                    .push((owner, at, NetEvent::Arrive { node, pkt }));
                 return;
             }
         }
@@ -710,7 +810,10 @@ impl Network {
 impl World for Network {
     type Event = NetEvent;
     fn handle(&mut self, ev: NetEvent, sched: &mut Scheduler<NetEvent>) {
-        debug_assert!(self.partition.is_none(), "partitioned networks run under NetPartition");
+        debug_assert!(
+            self.partition.is_none(),
+            "partitioned networks run under NetPartition"
+        );
         self.dispatch(ev, sched);
     }
 }
@@ -718,7 +821,8 @@ impl World for Network {
 /// Schedules every flow in `flows` onto a sequential simulator.
 pub fn schedule_flows(sim: &mut Simulator<Network>, flows: &[FlowSpec]) {
     for &spec in flows {
-        sim.scheduler_mut().schedule_at(spec.start, NetEvent::FlowStart(spec));
+        sim.scheduler_mut()
+            .schedule_at(spec.start, NetEvent::FlowStart(spec));
     }
 }
 
@@ -794,7 +898,13 @@ impl Transportable for NetEvent {
                 let dst = HostAddr::new(buf.get_u16(), buf.get_u16(), buf.get_u16());
                 let bytes = buf.get_u64();
                 let start = SimTime::from_nanos(buf.get_u64());
-                Some(NetEvent::FlowStart(FlowSpec { id, src, dst, bytes, start }))
+                Some(NetEvent::FlowStart(FlowSpec {
+                    id,
+                    src,
+                    dst,
+                    bytes,
+                    start,
+                }))
             }
             1 => {
                 if buf.remaining() < 4 {
@@ -818,7 +928,11 @@ impl Transportable for NetEvent {
                 }
                 let node = NodeId(buf.get_u32());
                 let flow = FlowId(buf.get_u64());
-                let kind = if buf.get_u8() == 1 { TimerKind::DelAck } else { TimerKind::Rto };
+                let kind = if buf.get_u8() == 1 {
+                    TimerKind::DelAck
+                } else {
+                    TimerKind::Rto
+                };
                 Some(NetEvent::Timer { node, flow, kind })
             }
             _ => None,
@@ -832,11 +946,7 @@ mod tests {
     use crate::oracle::{FixedLatencyOracle, IdealOracle};
     use crate::topology::ClosParams;
 
-    fn sim_with_flows(
-        topo: Topology,
-        cfg: NetConfig,
-        flows: &[FlowSpec],
-    ) -> Simulator<Network> {
+    fn sim_with_flows(topo: Topology, cfg: NetConfig, flows: &[FlowSpec]) -> Simulator<Network> {
         let mut sim = Simulator::new(Network::new(Arc::new(topo), cfg));
         schedule_flows(&mut sim, flows);
         sim
@@ -855,7 +965,13 @@ mod tests {
     #[test]
     fn same_rack_flow_completes() {
         let topo = Topology::clos(ClosParams::paper_cluster(2));
-        let flows = [flow(1, HostAddr::new(0, 0, 0), HostAddr::new(0, 0, 1), 100_000, 0)];
+        let flows = [flow(
+            1,
+            HostAddr::new(0, 0, 0),
+            HostAddr::new(0, 0, 1),
+            100_000,
+            0,
+        )];
         let mut sim = sim_with_flows(topo, NetConfig::default(), &flows);
         sim.run_until(SimTime::from_secs(2));
         let st = &sim.world().stats;
@@ -872,12 +988,21 @@ mod tests {
     #[test]
     fn inter_cluster_flow_completes() {
         let topo = Topology::clos(ClosParams::paper_cluster(4));
-        let flows = [flow(1, HostAddr::new(0, 0, 0), HostAddr::new(3, 1, 2), 250_000, 0)];
+        let flows = [flow(
+            1,
+            HostAddr::new(0, 0, 0),
+            HostAddr::new(3, 1, 2),
+            250_000,
+            0,
+        )];
         let mut sim = sim_with_flows(topo, NetConfig::default(), &flows);
         sim.run_until(SimTime::from_secs(2));
         assert_eq!(sim.world().stats.flows_completed, 1);
         assert_eq!(sim.world().stats.delivered_bytes, 250_000);
-        assert!(sim.world().stats.rtt_hist.count() > 0, "RTT samples collected");
+        assert!(
+            sim.world().stats.rtt_hist.count() > 0,
+            "RTT samples collected"
+        );
     }
 
     #[test]
@@ -906,17 +1031,40 @@ mod tests {
     #[test]
     fn capture_collects_both_directions() {
         let topo = Topology::clos(ClosParams::paper_cluster(2));
-        let cfg = NetConfig { capture_cluster: Some(1), ..Default::default() };
+        let cfg = NetConfig {
+            capture_cluster: Some(1),
+            ..Default::default()
+        };
         // Traffic into and out of cluster 1.
         let flows = [
-            flow(1, HostAddr::new(0, 0, 0), HostAddr::new(1, 0, 0), 100_000, 0),
-            flow(2, HostAddr::new(1, 1, 0), HostAddr::new(0, 1, 0), 100_000, 0),
+            flow(
+                1,
+                HostAddr::new(0, 0, 0),
+                HostAddr::new(1, 0, 0),
+                100_000,
+                0,
+            ),
+            flow(
+                2,
+                HostAddr::new(1, 1, 0),
+                HostAddr::new(0, 1, 0),
+                100_000,
+                0,
+            ),
         ];
         let mut sim = sim_with_flows(topo, cfg, &flows);
         sim.run_until(SimTime::from_secs(2));
         let cap = sim.world().capture().expect("capture enabled");
-        let ups = cap.records().iter().filter(|r| r.direction == Direction::Up).count();
-        let downs = cap.records().iter().filter(|r| r.direction == Direction::Down).count();
+        let ups = cap
+            .records()
+            .iter()
+            .filter(|r| r.direction == Direction::Up)
+            .count();
+        let downs = cap
+            .records()
+            .iter()
+            .filter(|r| r.direction == Direction::Down)
+            .count();
         assert!(ups > 0, "upward traversals captured");
         assert!(downs > 0, "downward traversals captured");
         for r in cap.records() {
@@ -933,18 +1081,32 @@ mod tests {
 
     #[test]
     fn hybrid_with_ideal_oracle_completes_flows() {
-        let topo =
-            Topology::clos_with_stubs(ClosParams::paper_cluster(4), &[1, 2, 3]);
+        let topo = Topology::clos_with_stubs(ClosParams::paper_cluster(4), &[1, 2, 3]);
         let flows = [
-            flow(1, HostAddr::new(0, 0, 0), HostAddr::new(2, 1, 3), 200_000, 0),
-            flow(2, HostAddr::new(3, 0, 1), HostAddr::new(0, 1, 1), 200_000, 10),
+            flow(
+                1,
+                HostAddr::new(0, 0, 0),
+                HostAddr::new(2, 1, 3),
+                200_000,
+                0,
+            ),
+            flow(
+                2,
+                HostAddr::new(3, 0, 1),
+                HostAddr::new(0, 1, 1),
+                200_000,
+                10,
+            ),
         ];
         let mut sim = sim_with_flows(topo, NetConfig::default(), &flows);
         sim.world_mut().set_oracle(Box::new(IdealOracle));
         sim.run_until(SimTime::from_secs(2));
         let st = &sim.world().stats;
         assert_eq!(st.flows_completed, 2);
-        assert!(st.oracle_deliveries > 0, "oracle handled boundary crossings");
+        assert!(
+            st.oracle_deliveries > 0,
+            "oracle handled boundary crossings"
+        );
         assert_eq!(st.delivered_bytes, 400_000);
     }
 
@@ -952,9 +1114,14 @@ mod tests {
     fn hybrid_stub_to_stub_also_works() {
         // Not used by the paper's workloads (such traffic is elided), but
         // the engine must not fall over if a flow crosses two stubs.
-        let topo =
-            Topology::clos_with_stubs(ClosParams::paper_cluster(4), &[1, 2, 3]);
-        let flows = [flow(1, HostAddr::new(1, 0, 0), HostAddr::new(2, 0, 0), 50_000, 0)];
+        let topo = Topology::clos_with_stubs(ClosParams::paper_cluster(4), &[1, 2, 3]);
+        let flows = [flow(
+            1,
+            HostAddr::new(1, 0, 0),
+            HostAddr::new(2, 0, 0),
+            50_000,
+            0,
+        )];
         let mut sim = sim_with_flows(topo, NetConfig::default(), &flows);
         sim.world_mut().set_oracle(Box::new(IdealOracle));
         sim.run_until(SimTime::from_secs(2));
@@ -990,7 +1157,15 @@ mod tests {
         let topo = Topology::clos(ClosParams::paper_cluster(2));
         let dst = HostAddr::new(0, 0, 0);
         let flows: Vec<FlowSpec> = (0..8)
-            .map(|i| flow(i + 1, HostAddr::new(1, (i % 2) as u16, (i % 4) as u16), dst, 300_000, 0))
+            .map(|i| {
+                flow(
+                    i + 1,
+                    HostAddr::new(1, (i % 2) as u16, (i % 4) as u16),
+                    dst,
+                    300_000,
+                    0,
+                )
+            })
             .collect();
         let mut sim = sim_with_flows(topo, NetConfig::default(), &flows);
         sim.run_until(SimTime::from_secs(10));
@@ -1016,8 +1191,13 @@ mod tests {
     fn utilization_reflects_traffic() {
         let topo = Topology::clos(ClosParams::paper_cluster(2));
         // One long flow saturating its path for most of the horizon.
-        let flows =
-            [flow(1, HostAddr::new(0, 0, 0), HostAddr::new(1, 0, 0), 10_000_000, 0)];
+        let flows = [flow(
+            1,
+            HostAddr::new(0, 0, 0),
+            HostAddr::new(1, 0, 0),
+            10_000_000,
+            0,
+        )];
         let mut sim = sim_with_flows(topo, NetConfig::default(), &flows);
         let horizon = SimTime::from_millis(10);
         sim.run_until(horizon);
@@ -1032,7 +1212,13 @@ mod tests {
         assert!(util[0] > 0.01, "host layer carried the flow: {}", util[0]);
         assert!(util[3] > 0.0, "core layer crossed: {}", util[3]);
         // Counter iterator covers every port exactly once.
-        let n_ports: usize = sim.world().topo().nodes().iter().map(|n| n.ports.len()).sum();
+        let n_ports: usize = sim
+            .world()
+            .topo()
+            .nodes()
+            .iter()
+            .map(|n| n.ports.len())
+            .sum();
         assert_eq!(sim.world().port_counters().count(), n_ports);
     }
 
@@ -1041,13 +1227,27 @@ mod tests {
         let topo = Topology::clos(ClosParams::paper_cluster(2));
         let dst = HostAddr::new(0, 0, 0);
         let flows: Vec<FlowSpec> = (0..6)
-            .map(|i| flow(i + 1, HostAddr::new(1, (i % 2) as u16, (i % 4) as u16), dst, 400_000, 0))
+            .map(|i| {
+                flow(
+                    i + 1,
+                    HostAddr::new(1, (i % 2) as u16, (i % 4) as u16),
+                    dst,
+                    400_000,
+                    0,
+                )
+            })
             .collect();
-        let cfg = NetConfig { track_queues: true, ..Default::default() };
+        let cfg = NetConfig {
+            track_queues: true,
+            ..Default::default()
+        };
         let mut sim = sim_with_flows(topo, cfg, &flows);
         let horizon = SimTime::from_millis(20);
         sim.run_until(horizon);
-        let layers = sim.world().queue_depth_by_layer(horizon).expect("tracking on");
+        let layers = sim
+            .world()
+            .queue_depth_by_layer(horizon)
+            .expect("tracking on");
         // The incast bottleneck is the victim ToR's host-facing port: the
         // ToR layer must show real occupancy, and every peak is within the
         // configured queue capacity.
@@ -1055,7 +1255,10 @@ mod tests {
         assert!(tor_mean > 100.0, "ToR mean occupancy {tor_mean} bytes");
         assert!(tor_peak > 10_000.0, "ToR peak occupancy {tor_peak} bytes");
         for (layer, &(mean, peak)) in layers.iter().enumerate() {
-            assert!(peak <= 150_000.0, "layer {layer} peak {peak} within capacity");
+            assert!(
+                peak <= 150_000.0,
+                "layer {layer} peak {peak} within capacity"
+            );
             assert!(mean <= peak, "mean below peak");
         }
         // Untracked runs report None.
@@ -1067,7 +1270,13 @@ mod tests {
     #[test]
     fn trace_log_captures_packet_lifecycle() {
         let topo = Topology::clos(ClosParams::paper_cluster(2));
-        let flows = [flow(1, HostAddr::new(0, 0, 0), HostAddr::new(1, 0, 0), 10_000, 0)];
+        let flows = [flow(
+            1,
+            HostAddr::new(0, 0, 0),
+            HostAddr::new(1, 0, 0),
+            10_000,
+            0,
+        )];
         let mut sim = sim_with_flows(topo, NetConfig::default(), &flows);
         sim.world_mut().enable_trace(10_000);
         sim.run_until(SimTime::from_secs(1));
@@ -1081,8 +1290,14 @@ mod tests {
             assert!(w[0].time <= w[1].time);
         }
         use crate::trace_log::TraceKind;
-        let first_tx = entries.iter().find(|e| e.kind == TraceKind::TxStart).unwrap();
-        assert_eq!(first_tx.node, sim.world().topo().host_node(HostAddr::new(0, 0, 0)));
+        let first_tx = entries
+            .iter()
+            .find(|e| e.kind == TraceKind::TxStart)
+            .unwrap();
+        assert_eq!(
+            first_tx.node,
+            sim.world().topo().host_node(HostAddr::new(0, 0, 0))
+        );
         assert!(entries.iter().any(|e| e.kind == TraceKind::Arrive));
         // CSV export is rectangular.
         let rows = trace.to_csv_rows();
@@ -1111,7 +1326,10 @@ mod tests {
                 st.delivered_bytes,
                 st.drops.total(),
                 sim.scheduler().executed_total(),
-                st.fct.iter().map(|f| f.completed.as_nanos()).collect::<Vec<_>>(),
+                st.fct
+                    .iter()
+                    .map(|f| f.completed.as_nanos())
+                    .collect::<Vec<_>>(),
             )
         };
         assert_eq!(run(), run(), "bit-identical replay");
@@ -1120,10 +1338,27 @@ mod tests {
     #[test]
     fn event_transportable_round_trip() {
         let events = vec![
-            NetEvent::FlowStart(flow(9, HostAddr::new(0, 1, 2), HostAddr::new(3, 4, 5), 777, 3)),
-            NetEvent::PortFree { node: NodeId(12), port: PortId(3) },
-            NetEvent::Timer { node: NodeId(5), flow: FlowId(88), kind: TimerKind::DelAck },
-            NetEvent::Timer { node: NodeId(5), flow: FlowId(89), kind: TimerKind::Rto },
+            NetEvent::FlowStart(flow(
+                9,
+                HostAddr::new(0, 1, 2),
+                HostAddr::new(3, 4, 5),
+                777,
+                3,
+            )),
+            NetEvent::PortFree {
+                node: NodeId(12),
+                port: PortId(3),
+            },
+            NetEvent::Timer {
+                node: NodeId(5),
+                flow: FlowId(88),
+                kind: TimerKind::DelAck,
+            },
+            NetEvent::Timer {
+                node: NodeId(5),
+                flow: FlowId(89),
+                kind: TimerKind::Rto,
+            },
         ];
         for ev in events {
             let mut buf = BytesMut::new();

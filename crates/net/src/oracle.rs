@@ -85,7 +85,9 @@ impl IdealOracle {
 
 impl ClusterOracle for IdealOracle {
     fn classify(&mut self, ctx: &OracleCtx<'_>, pkt: &Packet, _now: SimTime) -> OracleVerdict {
-        OracleVerdict::Deliver { latency: Self::base_latency(ctx, pkt) }
+        OracleVerdict::Deliver {
+            latency: Self::base_latency(ctx, pkt),
+        }
     }
 }
 
@@ -127,7 +129,12 @@ mod tests {
             sent_at: SimTime::ZERO,
         };
         let path = topo.fabric_path(HostAddr::new(1, 0, 0), HostAddr::new(0, 0, 0), FlowId(1));
-        let up = OracleCtx { topo: &topo, cluster: 1, direction: Direction::Up, path };
+        let up = OracleCtx {
+            topo: &topo,
+            cluster: 1,
+            direction: Direction::Up,
+            path,
+        };
         let full = mk(1460);
         let ack = mk(0);
         let lat_full = IdealOracle::base_latency(&up, &full);

@@ -30,20 +30,40 @@ pub struct TcpFlags {
 
 impl TcpFlags {
     /// SYN only (client open).
-    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false };
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+    };
     /// SYN+ACK (server open reply).
-    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false };
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+    };
     /// Plain ACK.
-    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false };
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+    };
     /// FIN+ACK (close while acknowledging).
-    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true };
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: true,
+    };
 
     fn to_byte(self) -> u8 {
         (self.syn as u8) | (self.ack as u8) << 1 | (self.fin as u8) << 2
     }
 
     fn from_byte(b: u8) -> Self {
-        TcpFlags { syn: b & 1 != 0, ack: b & 2 != 0, fin: b & 4 != 0 }
+        TcpFlags {
+            syn: b & 1 != 0,
+            ack: b & 2 != 0,
+            fin: b & 4 != 0,
+        }
     }
 }
 

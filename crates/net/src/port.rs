@@ -159,7 +159,10 @@ impl PortState {
                 }
                 self.counters.tx_packets += 1;
                 self.counters.tx_bytes += size;
-                Some((pkt, SimDuration::from_bytes_at_gbps(size, self.spec.link.rate_gbps)))
+                Some((
+                    pkt,
+                    SimDuration::from_bytes_at_gbps(size, self.spec.link.rate_gbps),
+                ))
             }
             None => {
                 self.busy = false;
@@ -175,7 +178,7 @@ mod tests {
     use crate::packet::{TcpFlags, TcpSegment};
     use crate::topology::LinkSpec;
     use crate::types::{FlowId, HostAddr, NodeId, PortId};
-    
+
     const T0: SimTime = SimTime::ZERO;
 
     fn mk_port(cap: u64, ecn: Option<u64>) -> PortState {

@@ -29,10 +29,29 @@
 //! keeps the whole protocol unit-testable without a network.
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 use elephant_des::{SimDuration, SimTime};
 
 use crate::packet::{TcpFlags, TcpSegment};
+
+/// Workspace-global TCP loss counters (per-connection figures stay in
+/// [`ConnStats`]). Handles are lazy statics: the events they count are rare
+/// enough that even the first-use registry lookup is off the fast path.
+struct TcpMetrics {
+    timeouts: elephant_obs::Counter,
+    fast_retransmits: elephant_obs::Counter,
+    retransmits: elephant_obs::Counter,
+}
+
+fn tcp_metrics() -> &'static TcpMetrics {
+    static METRICS: OnceLock<TcpMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| TcpMetrics {
+        timeouts: elephant_obs::counter("net/tcp/rto_fired", ""),
+        fast_retransmits: elephant_obs::counter("net/tcp/fast_retransmits", ""),
+        retransmits: elephant_obs::counter("net/tcp/retransmitted_segments", ""),
+    })
+}
 
 /// How the connection reacts to ECN marks.
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
@@ -98,7 +117,11 @@ impl TcpConfig {
     /// DCTCP configuration: ECN-capable with gain 1/16, per-packet ACKs
     /// (DCTCP's accurate echo needs them).
     pub fn dctcp() -> Self {
-        TcpConfig { ecn: EcnMode::Dctcp { g: 1.0 / 16.0 }, delayed_ack: false, ..Default::default() }
+        TcpConfig {
+            ecn: EcnMode::Dctcp { g: 1.0 / 16.0 },
+            delayed_ack: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -339,7 +362,11 @@ impl TcpConn {
 
     /// Sender entry point: emits the SYN and arms the retransmission timer.
     pub fn open(&mut self, now: SimTime, out: &mut TcpOutput) {
-        assert_eq!(self.state, State::SynSent, "open() on a non-fresh connection");
+        assert_eq!(
+            self.state,
+            State::SynSent,
+            "open() on a non-fresh connection"
+        );
         let s = self.sender.as_ref().expect("sender state");
         out.segments.push(TcpSegment {
             seq: 0,
@@ -531,7 +558,9 @@ impl TcpConn {
                 // RFC 3168: at most one reduction per window of data.
                 let flight = s.snd_nxt.saturating_sub(s.snd_una) as f64;
                 s.ssthresh = (flight / 2.0).max((2 * self.cfg.mss) as f64);
-                s.cwnd = s.ssthresh.max((self.cfg.min_cwnd_mss * self.cfg.mss) as f64);
+                s.cwnd = s
+                    .ssthresh
+                    .max((self.cfg.min_cwnd_mss * self.cfg.mss) as f64);
                 s.ecn_recover = s.snd_nxt;
                 s.cwr_pending = true;
             }
@@ -540,7 +569,9 @@ impl TcpConn {
                 if s.snd_una >= s.recover {
                     // Full acknowledgement: leave recovery, deflate.
                     s.in_recovery = false;
-                    s.cwnd = s.ssthresh.max((self.cfg.min_cwnd_mss * self.cfg.mss) as f64);
+                    s.cwnd = s
+                        .ssthresh
+                        .max((self.cfg.min_cwnd_mss * self.cfg.mss) as f64);
                 } else {
                     // New Reno partial ACK: retransmit the next hole,
                     // deflate by the amount acked, stay in recovery.
@@ -554,7 +585,8 @@ impl TcpConn {
                 let in_cwr = self.cfg.ecn != EcnMode::Off && s.snd_una <= s.ecn_recover;
                 if !in_cwr {
                     if s.cwnd < s.ssthresh {
-                        s.cwnd += (newly_acked.min(self.cfg.mss as u64)) as f64; // slow start, ABC L=1
+                        s.cwnd += (newly_acked.min(self.cfg.mss as u64)) as f64;
+                    // slow start, ABC L=1
                     } else {
                         s.cwnd += (self.cfg.mss as f64) * (self.cfg.mss as f64) / s.cwnd;
                     }
@@ -574,14 +606,22 @@ impl TcpConn {
                 out.segments.push(TcpSegment {
                     seq: s.total,
                     ack: 0,
-                    flags: TcpFlags { syn: false, ack: false, fin: true },
+                    flags: TcpFlags {
+                        syn: false,
+                        ack: false,
+                        fin: true,
+                    },
                     payload_len: 0,
                     ece: false,
                     cwr: false,
                 });
                 s.inflight.insert(
                     s.total,
-                    SegMeta { len: 1, sent_at: now, retransmitted: false },
+                    SegMeta {
+                        len: 1,
+                        sent_at: now,
+                        retransmitted: false,
+                    },
                 );
                 s.snd_nxt = fin_end;
             }
@@ -615,6 +655,7 @@ impl TcpConn {
                 s.in_recovery = true;
                 s.cwnd = s.ssthresh + 3.0 * self.cfg.mss as f64;
                 self.stats.fast_retransmits += 1;
+                tcp_metrics().fast_retransmits.inc();
                 Self::retransmit_front(s, &self.cfg, &mut self.stats, now, out);
                 self.rearm_rto(now, out);
             }
@@ -627,6 +668,7 @@ impl TcpConn {
             return; // nothing outstanding; stale timer
         }
         self.stats.timeouts += 1;
+        tcp_metrics().timeouts.inc();
         let flight = s.snd_nxt.saturating_sub(s.snd_una) as f64;
         s.ssthresh = (flight / 2.0).max((2 * self.cfg.mss) as f64);
         s.cwnd = (self.cfg.min_cwnd_mss * self.cfg.mss) as f64;
@@ -651,15 +693,26 @@ impl TcpConn {
             out.segments.push(TcpSegment {
                 seq: total,
                 ack: 0,
-                flags: TcpFlags { syn: false, ack: false, fin: true },
+                flags: TcpFlags {
+                    syn: false,
+                    ack: false,
+                    fin: true,
+                },
                 payload_len: 0,
                 ece: false,
                 cwr: false,
             });
-            s.inflight
-                .insert(total, SegMeta { len: 1, sent_at: now, retransmitted: true });
+            s.inflight.insert(
+                total,
+                SegMeta {
+                    len: 1,
+                    sent_at: now,
+                    retransmitted: true,
+                },
+            );
             s.snd_nxt = total + 1;
             self.stats.retransmissions += 1;
+            tcp_metrics().retransmits.inc();
         } else {
             self.fill_window(now, out);
             // Everything sent by fill_window after a rewind is a
@@ -693,7 +746,11 @@ impl TcpConn {
             });
             s.inflight.insert(
                 s.snd_nxt,
-                SegMeta { len: len as u32, sent_at: now, retransmitted: false },
+                SegMeta {
+                    len: len as u32,
+                    sent_at: now,
+                    retransmitted: false,
+                },
             );
             s.snd_nxt += len;
             self.stats.data_segments_sent += 1;
@@ -708,13 +765,19 @@ impl TcpConn {
         now: SimTime,
         out: &mut TcpOutput,
     ) {
-        let len = (cfg.mss as u64).min(s.total.saturating_sub(s.snd_una)).max(1) as u32;
+        let len = (cfg.mss as u64)
+            .min(s.total.saturating_sub(s.snd_una))
+            .max(1) as u32;
         if s.snd_una >= s.total {
             // Only the FIN can be outstanding here.
             out.segments.push(TcpSegment {
                 seq: s.total,
                 ack: 0,
-                flags: TcpFlags { syn: false, ack: false, fin: true },
+                flags: TcpFlags {
+                    syn: false,
+                    ack: false,
+                    fin: true,
+                },
                 payload_len: 0,
                 ece: false,
                 cwr: false,
@@ -731,10 +794,15 @@ impl TcpConn {
         }
         s.inflight.insert(
             s.snd_una,
-            SegMeta { len: len.max(1), sent_at: now, retransmitted: true },
+            SegMeta {
+                len: len.max(1),
+                sent_at: now,
+                retransmitted: true,
+            },
         );
         stats.retransmissions += 1;
         stats.data_segments_sent += 1;
+        tcp_metrics().retransmits.inc();
     }
 
     fn rearm_rto(&mut self, now: SimTime, out: &mut TcpOutput) {
@@ -1061,7 +1129,13 @@ mod tests {
 
     #[test]
     fn rtt_samples_match_wire_delay() {
-        let mut h = Harness::new(TcpConfig { delayed_ack: false, ..Default::default() }, 50_000);
+        let mut h = Harness::new(
+            TcpConfig {
+                delayed_ack: false,
+                ..Default::default()
+            },
+            50_000,
+        );
         h.run();
         assert!(!h.rtts.is_empty());
         let rtt = SimDuration::from_micros(100); // 2 x 50us
@@ -1072,7 +1146,13 @@ mod tests {
 
     #[test]
     fn single_loss_recovers_via_fast_retransmit() {
-        let mut h = Harness::new(TcpConfig { delayed_ack: false, ..Default::default() }, 200_000);
+        let mut h = Harness::new(
+            TcpConfig {
+                delayed_ack: false,
+                ..Default::default()
+            },
+            200_000,
+        );
         let mut dropped = false;
         h.drop_pred = Box::new(move |seg| {
             // Drop the data segment at seq 14600 exactly once.
@@ -1085,7 +1165,11 @@ mod tests {
         });
         h.run();
         assert!(h.completed_at.is_some());
-        assert_eq!(h.snd.stats().fast_retransmits, 1, "recovered without timeout");
+        assert_eq!(
+            h.snd.stats().fast_retransmits,
+            1,
+            "recovered without timeout"
+        );
         assert_eq!(h.snd.stats().timeouts, 0);
         assert_eq!(h.snd.stats().retransmissions, 1);
         assert_eq!(h.snd.stats().bytes_acked, 200_000);
@@ -1095,12 +1179,16 @@ mod tests {
     fn burst_loss_recovers_with_newreno_partial_acks() {
         // Drop three consecutive segments once each: New Reno handles the
         // partial ACKs within a single recovery episode.
-        let mut h = Harness::new(TcpConfig { delayed_ack: false, ..Default::default() }, 300_000);
+        let mut h = Harness::new(
+            TcpConfig {
+                delayed_ack: false,
+                ..Default::default()
+            },
+            300_000,
+        );
         let mut remaining: std::collections::HashSet<u64> =
             [14_600, 16_060, 17_520].into_iter().collect();
-        h.drop_pred = Box::new(move |seg| {
-            seg.payload_len > 0 && remaining.remove(&seg.seq)
-        });
+        h.drop_pred = Box::new(move |seg| seg.payload_len > 0 && remaining.remove(&seg.seq));
         h.run();
         assert!(h.completed_at.is_some());
         assert!(h.snd.is_closed());
@@ -1117,7 +1205,13 @@ mod tests {
         // Drop the very last data segment (no dupacks can follow it), so
         // only the RTO can recover.
         let total: u64 = 14_600; // exactly 10 segments
-        let mut h = Harness::new(TcpConfig { delayed_ack: false, ..Default::default() }, total);
+        let mut h = Harness::new(
+            TcpConfig {
+                delayed_ack: false,
+                ..Default::default()
+            },
+            total,
+        );
         let mut dropped = false;
         h.drop_pred = Box::new(move |seg| {
             if !dropped && seg.payload_len > 0 && seg.seq == total - 1460 {
@@ -1153,7 +1247,13 @@ mod tests {
     #[test]
     fn everything_lossy_still_completes() {
         // Drop every 7th segment of any kind: brutal but recoverable.
-        let mut h = Harness::new(TcpConfig { delayed_ack: false, ..Default::default() }, 150_000);
+        let mut h = Harness::new(
+            TcpConfig {
+                delayed_ack: false,
+                ..Default::default()
+            },
+            150_000,
+        );
         let mut n = 0u64;
         h.drop_pred = Box::new(move |_| {
             n += 1;
@@ -1166,9 +1266,21 @@ mod tests {
 
     #[test]
     fn delayed_ack_halves_ack_count() {
-        let mut h1 = Harness::new(TcpConfig { delayed_ack: false, ..Default::default() }, 100_000);
+        let mut h1 = Harness::new(
+            TcpConfig {
+                delayed_ack: false,
+                ..Default::default()
+            },
+            100_000,
+        );
         h1.run();
-        let mut h2 = Harness::new(TcpConfig { delayed_ack: true, ..Default::default() }, 100_000);
+        let mut h2 = Harness::new(
+            TcpConfig {
+                delayed_ack: true,
+                ..Default::default()
+            },
+            100_000,
+        );
         h2.run();
         // Can't count ACKs directly here, but delayed ACK must not break
         // completion and should not slow the transfer catastrophically.
@@ -1177,7 +1289,10 @@ mod tests {
 
     #[test]
     fn slow_start_grows_cwnd_exponentially() {
-        let cfg = TcpConfig { delayed_ack: false, ..Default::default() };
+        let cfg = TcpConfig {
+            delayed_ack: false,
+            ..Default::default()
+        };
         let mut h = Harness::new(cfg, 1_000_000);
         h.run();
         // After a megabyte with no loss, cwnd must far exceed IW.
@@ -1192,7 +1307,10 @@ mod tests {
     fn min_window_floor_is_respected() {
         // Hammer the sender with timeouts; cwnd must never drop below
         // one MSS (the §2.1 pathology floor).
-        let cfg = TcpConfig { delayed_ack: false, ..Default::default() };
+        let cfg = TcpConfig {
+            delayed_ack: false,
+            ..Default::default()
+        };
         let mut h = Harness::new(cfg, 100_000);
         let mut n = 0u64;
         h.drop_pred = Box::new(move |seg| {
@@ -1208,7 +1326,13 @@ mod tests {
     fn receiver_reassembles_out_of_order() {
         // Covered implicitly by loss tests; here verify delivered bytes
         // equal the flow size exactly once completion is reported.
-        let mut h = Harness::new(TcpConfig { delayed_ack: false, ..Default::default() }, 87_654);
+        let mut h = Harness::new(
+            TcpConfig {
+                delayed_ack: false,
+                ..Default::default()
+            },
+            87_654,
+        );
         let mut dropped = false;
         h.drop_pred = Box::new(move |seg| {
             if !dropped && seg.payload_len > 0 && seg.seq == 0 {
@@ -1234,7 +1358,14 @@ mod tests {
         out.clear();
         // Handshake.
         c.on_segment(
-            &TcpSegment { seq: 0, ack: 0, flags: TcpFlags::SYN_ACK, payload_len: 0, ece: false, cwr: false },
+            &TcpSegment {
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::SYN_ACK,
+                payload_len: 0,
+                ece: false,
+                cwr: false,
+            },
             false,
             SimTime::from_micros(100),
             &mut out,
@@ -1244,10 +1375,21 @@ mod tests {
         let cwnd_before = c.cwnd().unwrap();
         // ACK everything sent so far with ECE set, crossing the first
         // DCTCP observation window.
-        let acked = sent.iter().map(|s| s.seq + s.payload_len as u64).max().unwrap();
+        let acked = sent
+            .iter()
+            .map(|s| s.seq + s.payload_len as u64)
+            .max()
+            .unwrap();
         out.clear();
         c.on_segment(
-            &TcpSegment { seq: 0, ack: acked, flags: TcpFlags::ACK, payload_len: 0, ece: true, cwr: false },
+            &TcpSegment {
+                seq: 0,
+                ack: acked,
+                flags: TcpFlags::ACK,
+                payload_len: 0,
+                ece: true,
+                cwr: false,
+            },
             false,
             SimTime::from_micros(200),
             &mut out,
@@ -1261,7 +1403,11 @@ mod tests {
 
     #[test]
     fn classic_ecn_halves_once_per_window() {
-        let cfg = TcpConfig { ecn: EcnMode::Classic, delayed_ack: false, ..Default::default() };
+        let cfg = TcpConfig {
+            ecn: EcnMode::Classic,
+            delayed_ack: false,
+            ..Default::default()
+        };
         let mut h = Harness::new(cfg, 500_000);
         h.run();
         // No CE marks on this wire, so ECN must not perturb anything.
@@ -1271,7 +1417,13 @@ mod tests {
 
     #[test]
     fn fin_loss_is_recovered() {
-        let mut h = Harness::new(TcpConfig { delayed_ack: false, ..Default::default() }, 20_000);
+        let mut h = Harness::new(
+            TcpConfig {
+                delayed_ack: false,
+                ..Default::default()
+            },
+            20_000,
+        );
         let mut dropped = false;
         h.drop_pred = Box::new(move |seg| {
             if !dropped && seg.flags.fin {
@@ -1291,27 +1443,65 @@ mod tests {
     fn closed_receiver_re_acks_retransmitted_fin() {
         // TIME_WAIT behaviour: after the receiver closes, a retransmitted
         // FIN (whose final ACK was lost) must still be acknowledged.
-        let cfg = TcpConfig { delayed_ack: false, ..Default::default() };
+        let cfg = TcpConfig {
+            delayed_ack: false,
+            ..Default::default()
+        };
         let mut rcv = TcpConn::receiver(cfg);
         let mut out = TcpOutput::default();
         let t = SimTime::from_micros(1);
         // Data then FIN, in order.
         rcv.on_segment(
-            &TcpSegment { seq: 0, ack: 0, flags: TcpFlags::default(), payload_len: 1000, ece: false, cwr: false },
-            false, t, &mut out,
+            &TcpSegment {
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::default(),
+                payload_len: 1000,
+                ece: false,
+                cwr: false,
+            },
+            false,
+            t,
+            &mut out,
         );
         out.clear();
         rcv.on_segment(
-            &TcpSegment { seq: 1000, ack: 0, flags: TcpFlags { syn: false, ack: false, fin: true }, payload_len: 0, ece: false, cwr: false },
-            false, t, &mut out,
+            &TcpSegment {
+                seq: 1000,
+                ack: 0,
+                flags: TcpFlags {
+                    syn: false,
+                    ack: false,
+                    fin: true,
+                },
+                payload_len: 0,
+                ece: false,
+                cwr: false,
+            },
+            false,
+            t,
+            &mut out,
         );
         assert!(rcv.is_closed());
         assert_eq!(out.segments.len(), 1, "final ACK emitted");
         // The FIN arrives again: the closed receiver re-ACKs it.
         out.clear();
         rcv.on_segment(
-            &TcpSegment { seq: 1000, ack: 0, flags: TcpFlags { syn: false, ack: false, fin: true }, payload_len: 0, ece: false, cwr: false },
-            false, t, &mut out,
+            &TcpSegment {
+                seq: 1000,
+                ack: 0,
+                flags: TcpFlags {
+                    syn: false,
+                    ack: false,
+                    fin: true,
+                },
+                payload_len: 0,
+                ece: false,
+                cwr: false,
+            },
+            false,
+            t,
+            &mut out,
         );
         assert_eq!(out.segments.len(), 1, "FIN re-ACKed after close");
         assert_eq!(out.segments[0].ack, 1001);
@@ -1328,7 +1518,14 @@ mod tests {
         // re-delivering a final ACK.
         let mut out = TcpOutput::default();
         h.snd.on_segment(
-            &TcpSegment { seq: 0, ack: 30_001, flags: TcpFlags::ACK, payload_len: 0, ece: false, cwr: false },
+            &TcpSegment {
+                seq: 0,
+                ack: 30_001,
+                flags: TcpFlags::ACK,
+                payload_len: 0,
+                ece: false,
+                cwr: false,
+            },
             false,
             h.now,
             &mut out,

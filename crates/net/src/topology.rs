@@ -191,9 +191,15 @@ impl Topology {
     pub fn clos_with_stubs(params: ClosParams, stub_clusters: &[u16]) -> Self {
         assert!(params.clusters >= 1, "need at least one cluster");
         assert!(params.racks_per_cluster >= 1 && params.hosts_per_rack >= 1);
-        assert!(params.aggs_per_cluster >= 1, "need at least one cluster switch");
+        assert!(
+            params.aggs_per_cluster >= 1,
+            "need at least one cluster switch"
+        );
         if params.clusters > 1 {
-            assert!(params.cores_per_group >= 1, "multi-cluster Clos needs core switches");
+            assert!(
+                params.cores_per_group >= 1,
+                "multi-cluster Clos needs core switches"
+            );
         }
         let mut stub = vec![false; params.clusters as usize];
         for &c in stub_clusters {
@@ -210,7 +216,11 @@ impl Topology {
         let r = params.racks_per_cluster as u32;
         let h = params.hosts_per_rack as u32;
         let a = params.aggs_per_cluster as u32;
-        let k = if params.clusters > 1 { params.cores_per_group as u32 } else { 0 };
+        let k = if params.clusters > 1 {
+            params.cores_per_group as u32
+        } else {
+            0
+        };
 
         // Id layout: hosts first (dense over all clusters), then per-cluster
         // fabric (tors, aggs) for non-stub clusters, then cores, then
@@ -261,10 +271,20 @@ impl Topology {
             p.hosts_per_rack as usize,
             p.aggs_per_cluster as usize,
         );
-        let k = if p.clusters > 1 { p.cores_per_group as usize } else { 0 };
+        let k = if p.clusters > 1 {
+            p.cores_per_group as usize
+        } else {
+            0
+        };
 
         // Pre-create empty nodes so we can wire by index.
-        self.nodes = vec![Node { kind: NodeKind::Core { group: 0, index: 0 }, ports: vec![] }; total as usize];
+        self.nodes = vec![
+            Node {
+                kind: NodeKind::Core { group: 0, index: 0 },
+                ports: vec![]
+            };
+            total as usize
+        ];
 
         // Hosts.
         for ci in 0..c {
@@ -286,8 +306,10 @@ impl Topology {
                             link: p.host_link,
                         }
                     };
-                    self.nodes[id.idx()] =
-                        Node { kind: NodeKind::Host { addr }, ports: vec![peer] };
+                    self.nodes[id.idx()] = Node {
+                        kind: NodeKind::Host { addr },
+                        ports: vec![peer],
+                    };
                 }
             }
         }
@@ -314,8 +336,13 @@ impl Topology {
                         link: p.fabric_link,
                     });
                 }
-                self.nodes[id.idx()] =
-                    Node { kind: NodeKind::Tor { cluster: ci as u16, rack: ri as u16 }, ports };
+                self.nodes[id.idx()] = Node {
+                    kind: NodeKind::Tor {
+                        cluster: ci as u16,
+                        rack: ri as u16,
+                    },
+                    ports,
+                };
             }
             for ai in 0..a {
                 let id = self.agg_node(ci as u16, ai as u16).expect("full cluster");
@@ -334,8 +361,13 @@ impl Topology {
                         link: p.core_link,
                     });
                 }
-                self.nodes[id.idx()] =
-                    Node { kind: NodeKind::Agg { cluster: ci as u16, index: ai as u16 }, ports };
+                self.nodes[id.idx()] = Node {
+                    kind: NodeKind::Agg {
+                        cluster: ci as u16,
+                        index: ai as u16,
+                    },
+                    ports,
+                };
             }
         }
 
@@ -359,8 +391,13 @@ impl Topology {
                         });
                     }
                 }
-                self.nodes[id.idx()] =
-                    Node { kind: NodeKind::Core { group: g as u16, index: i as u16 }, ports };
+                self.nodes[id.idx()] = Node {
+                    kind: NodeKind::Core {
+                        group: g as u16,
+                        index: i as u16,
+                    },
+                    ports,
+                };
             }
         }
 
@@ -368,8 +405,10 @@ impl Topology {
         // packets past the missing fabric.
         for ci in 0..c {
             if let Some(b) = self.boundary[ci] {
-                self.nodes[b as usize] =
-                    Node { kind: NodeKind::Boundary { cluster: ci as u16 }, ports: vec![] };
+                self.nodes[b as usize] = Node {
+                    kind: NodeKind::Boundary { cluster: ci as u16 },
+                    ports: vec![],
+                };
             }
         }
     }
@@ -388,8 +427,16 @@ impl Topology {
                     .ports
                     .get(port.peer_port.idx())
                     .unwrap_or_else(|| panic!("node {i} port {pi}: peer port out of range"));
-                assert_eq!(back.peer_node.idx(), i, "asymmetric wiring at node {i} port {pi}");
-                assert_eq!(back.peer_port.idx(), pi, "asymmetric wiring at node {i} port {pi}");
+                assert_eq!(
+                    back.peer_node.idx(),
+                    i,
+                    "asymmetric wiring at node {i} port {pi}"
+                );
+                assert_eq!(
+                    back.peer_port.idx(),
+                    pi,
+                    "asymmetric wiring at node {i} port {pi}"
+                );
             }
         }
     }
@@ -450,7 +497,10 @@ impl Topology {
 
     /// NodeId of a core switch.
     pub fn core_node(&self, group: u16, index: u16) -> NodeId {
-        debug_assert!(self.params.clusters > 1, "single-cluster networks have no cores");
+        debug_assert!(
+            self.params.clusters > 1,
+            "single-cluster networks have no cores"
+        );
         NodeId(self.core_base + group as u32 * self.params.cores_per_group as u32 + index as u32)
     }
 
@@ -682,22 +732,40 @@ mod tests {
     #[test]
     fn same_rack_route_is_two_hops() {
         let t = Topology::clos(ClosParams::paper_cluster(2));
-        let path = walk(&t, HostAddr::new(0, 0, 0), HostAddr::new(0, 0, 3), FlowId(9));
+        let path = walk(
+            &t,
+            HostAddr::new(0, 0, 0),
+            HostAddr::new(0, 0, 3),
+            FlowId(9),
+        );
         assert_eq!(path.len(), 3); // host, tor, host
     }
 
     #[test]
     fn intra_cluster_route_goes_via_agg() {
         let t = Topology::clos(ClosParams::paper_cluster(2));
-        let path = walk(&t, HostAddr::new(0, 0, 0), HostAddr::new(0, 1, 0), FlowId(9));
+        let path = walk(
+            &t,
+            HostAddr::new(0, 0, 0),
+            HostAddr::new(0, 1, 0),
+            FlowId(9),
+        );
         assert_eq!(path.len(), 5); // host tor agg tor host
-        assert!(matches!(t.node(path[2]).kind, NodeKind::Agg { cluster: 0, .. }));
+        assert!(matches!(
+            t.node(path[2]).kind,
+            NodeKind::Agg { cluster: 0, .. }
+        ));
     }
 
     #[test]
     fn inter_cluster_route_goes_via_core() {
         let t = Topology::clos(ClosParams::paper_cluster(4));
-        let path = walk(&t, HostAddr::new(0, 0, 0), HostAddr::new(3, 1, 2), FlowId(77));
+        let path = walk(
+            &t,
+            HostAddr::new(0, 0, 0),
+            HostAddr::new(3, 1, 2),
+            FlowId(77),
+        );
         assert_eq!(path.len(), 7); // host tor agg core agg tor host
         assert!(matches!(t.node(path[3]).kind, NodeKind::Core { .. }));
         // Both agg hops sit in the same plane (same group).
@@ -834,7 +902,10 @@ mod tests {
         }
         // The only cut links are core<->boundary: min cut latency is the
         // core link's propagation delay.
-        assert_eq!(t.min_cut_latency(&map).unwrap(), LinkSpec::ten_gbe().prop_delay);
+        assert_eq!(
+            t.min_cut_latency(&map).unwrap(),
+            LinkSpec::ten_gbe().prop_delay
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ pub struct TraceLog {
 impl TraceLog {
     /// Creates a trace keeping the first `limit` entries.
     pub fn new(limit: usize) -> Self {
-        TraceLog { entries: Vec::with_capacity(limit.min(4096)), limit, observed: 0 }
+        TraceLog {
+            entries: Vec::with_capacity(limit.min(4096)),
+            limit,
+            observed: 0,
+        }
     }
 
     /// Records an entry (dropped silently once full; `observed` still
@@ -146,14 +150,17 @@ mod tests {
         let mut log = TraceLog::new(10);
         log.record(entry(5, TraceKind::OracleDeliver));
         let rows = log.to_csv_rows();
-        assert_eq!(rows, vec![vec![
-            "5".to_string(),
-            "oracle_deliver".to_string(),
-            "3".to_string(),
-            "9".to_string(),
-            "2".to_string(),
-            "1460".to_string(),
-        ]]);
+        assert_eq!(
+            rows,
+            vec![vec![
+                "5".to_string(),
+                "oracle_deliver".to_string(),
+                "3".to_string(),
+                "9".to_string(),
+                "2".to_string(),
+                "1460".to_string(),
+            ]]
+        );
         assert!(!log.truncated());
     }
 }

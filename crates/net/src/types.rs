@@ -75,7 +75,11 @@ pub struct HostAddr {
 impl HostAddr {
     /// Convenience constructor.
     pub const fn new(cluster: u16, rack: u16, host: u16) -> Self {
-        HostAddr { cluster, rack, host }
+        HostAddr {
+            cluster,
+            rack,
+            host,
+        }
     }
 
     /// True if both addresses are under the same ToR.
@@ -146,7 +150,10 @@ impl NodeKind {
 
     /// True for any switch role (ToR, Agg, Core).
     pub fn is_switch(&self) -> bool {
-        matches!(self, NodeKind::Tor { .. } | NodeKind::Agg { .. } | NodeKind::Core { .. })
+        matches!(
+            self,
+            NodeKind::Tor { .. } | NodeKind::Agg { .. } | NodeKind::Core { .. }
+        )
     }
 }
 
@@ -187,8 +194,21 @@ mod tests {
 
     #[test]
     fn kind_cluster() {
-        assert_eq!(NodeKind::Host { addr: HostAddr::new(4, 0, 0) }.cluster(), Some(4));
-        assert_eq!(NodeKind::Tor { cluster: 2, rack: 0 }.cluster(), Some(2));
+        assert_eq!(
+            NodeKind::Host {
+                addr: HostAddr::new(4, 0, 0)
+            }
+            .cluster(),
+            Some(4)
+        );
+        assert_eq!(
+            NodeKind::Tor {
+                cluster: 2,
+                rack: 0
+            }
+            .cluster(),
+            Some(2)
+        );
         assert_eq!(NodeKind::Core { group: 0, index: 1 }.cluster(), None);
         assert!(NodeKind::Core { group: 0, index: 1 }.is_switch());
         assert!(!NodeKind::Boundary { cluster: 1 }.is_switch());

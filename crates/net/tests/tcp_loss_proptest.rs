@@ -22,7 +22,10 @@ struct Outcome {
 
 /// Runs one transfer of `bytes` with i.i.d. segment loss at `drop_rate`.
 fn run_lossy(bytes: u64, drop_rate: f64, seed: u64) -> Outcome {
-    let cfg = TcpConfig { delayed_ack: seed.is_multiple_of(2), ..Default::default() };
+    let cfg = TcpConfig {
+        delayed_ack: seed.is_multiple_of(2),
+        ..Default::default()
+    };
     let mut snd = TcpConn::sender(cfg, bytes);
     let mut rcv = TcpConn::receiver(cfg);
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -43,13 +46,13 @@ fn run_lossy(bytes: u64, drop_rate: f64, seed: u64) -> Outcome {
     };
 
     let apply = |from_sender: bool,
-                     out: &mut TcpOutput,
-                     wire: &mut Vec<(SimTime, bool, TcpSegment)>,
-                     rto_snd: &mut Option<SimTime>,
-                     delack: &mut Option<SimTime>,
-                     rng: &mut SmallRng,
-                     now: SimTime,
-                     outcome: &mut Outcome| {
+                 out: &mut TcpOutput,
+                 wire: &mut Vec<(SimTime, bool, TcpSegment)>,
+                 rto_snd: &mut Option<SimTime>,
+                 delack: &mut Option<SimTime>,
+                 rng: &mut SmallRng,
+                 now: SimTime,
+                 outcome: &mut Outcome| {
         for seg in out.segments.drain(..) {
             if rng.gen::<f64>() >= drop_rate {
                 wire.push((now + delay, !from_sender, seg));
@@ -75,7 +78,16 @@ fn run_lossy(bytes: u64, drop_rate: f64, seed: u64) -> Outcome {
     };
 
     snd.open(now, &mut out);
-    apply(true, &mut out, &mut wire, &mut rto_snd, &mut delack, &mut rng, now, &mut outcome);
+    apply(
+        true,
+        &mut out,
+        &mut wire,
+        &mut rto_snd,
+        &mut delack,
+        &mut rng,
+        now,
+        &mut outcome,
+    );
 
     for _ in 0..5_000_000u64 {
         outcome.steps += 1;
@@ -107,21 +119,57 @@ fn run_lossy(bytes: u64, drop_rate: f64, seed: u64) -> Outcome {
                 let (_, to_sender, seg) = wire.remove(idx);
                 if to_sender {
                     snd.on_segment(&seg, false, now, &mut out);
-                    apply(true, &mut out, &mut wire, &mut rto_snd, &mut delack, &mut rng, now, &mut outcome);
+                    apply(
+                        true,
+                        &mut out,
+                        &mut wire,
+                        &mut rto_snd,
+                        &mut delack,
+                        &mut rng,
+                        now,
+                        &mut outcome,
+                    );
                 } else {
                     rcv.on_segment(&seg, false, now, &mut out);
-                    apply(false, &mut out, &mut wire, &mut rto_snd, &mut delack, &mut rng, now, &mut outcome);
+                    apply(
+                        false,
+                        &mut out,
+                        &mut wire,
+                        &mut rto_snd,
+                        &mut delack,
+                        &mut rng,
+                        now,
+                        &mut outcome,
+                    );
                 }
             }
             1 => {
                 rto_snd = None;
                 snd.on_rto(now, &mut out);
-                apply(true, &mut out, &mut wire, &mut rto_snd, &mut delack, &mut rng, now, &mut outcome);
+                apply(
+                    true,
+                    &mut out,
+                    &mut wire,
+                    &mut rto_snd,
+                    &mut delack,
+                    &mut rng,
+                    now,
+                    &mut outcome,
+                );
             }
             _ => {
                 delack = None;
                 rcv.on_delack(now, &mut out);
-                apply(false, &mut out, &mut wire, &mut rto_snd, &mut delack, &mut rng, now, &mut outcome);
+                apply(
+                    false,
+                    &mut out,
+                    &mut wire,
+                    &mut rto_snd,
+                    &mut delack,
+                    &mut rng,
+                    now,
+                    &mut outcome,
+                );
             }
         }
         if snd.is_closed() && rcv.is_closed() {

@@ -137,7 +137,14 @@ impl GruCell {
         for k in 0..hd {
             h_new[k] = (1.0 - z[k]) * n[k] + z[k] * h[k];
         }
-        let cache = StepCache { a, a_n, z, r, n, h_prev: h.to_vec() };
+        let cache = StepCache {
+            a,
+            a_n,
+            z,
+            r,
+            n,
+            h_prev: h.to_vec(),
+        };
         (h_new, cache)
     }
 
@@ -267,7 +274,13 @@ impl Gru {
     /// Allocation-free inference step; writes the top hidden vector into
     /// `out`.
     pub fn step_infer(&self, x: &[f32], state: &mut GruState, out: &mut [f32]) {
-        let InferScratch { a, zr, a_n, n, x: x_buf } = &mut state.scratch;
+        let InferScratch {
+            a,
+            zr,
+            a_n,
+            n,
+            x: x_buf,
+        } = &mut state.scratch;
         x_buf.clear();
         x_buf.extend_from_slice(x);
         for (cell, h) in self.cells.iter().zip(state.layers.iter_mut()) {
@@ -301,8 +314,7 @@ impl Gru {
 
     /// Training window from a zero state: top hidden vectors + cache.
     pub fn forward_seq(&self, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, GruSeqCache) {
-        let mut hs: Vec<Vec<f32>> =
-            self.cells.iter().map(|c| vec![0.0; c.hidden()]).collect();
+        let mut hs: Vec<Vec<f32>> = self.cells.iter().map(|c| vec![0.0; c.hidden()]).collect();
         let mut tops = Vec::with_capacity(xs.len());
         let mut steps = Vec::with_capacity(xs.len());
         for x in xs {
@@ -330,8 +342,7 @@ impl Gru {
         assert_eq!(dh_top.len(), cache.steps.len());
         assert_eq!(grads.len(), self.cells.len());
         let nl = self.cells.len();
-        let mut dh_next: Vec<Vec<f32>> =
-            self.cells.iter().map(|c| vec![0.0; c.hidden()]).collect();
+        let mut dh_next: Vec<Vec<f32>> = self.cells.iter().map(|c| vec![0.0; c.hidden()]).collect();
         for t in (0..cache.steps.len()).rev() {
             let mut dx_down: Vec<f32> = Vec::new();
             for l in (0..nl).rev() {
@@ -347,8 +358,7 @@ impl Gru {
                     }
                 }
                 let mut dx = vec![0.0f32; cell.input()];
-                let dh_prev =
-                    cell.backward_step(&cache.steps[t][l], &dh, &mut grads[l], &mut dx);
+                let dh_prev = cell.backward_step(&cache.steps[t][l], &dh, &mut grads[l], &mut dx);
                 dh_next[l] = dh_prev;
                 dx_down = dx;
             }
@@ -364,7 +374,11 @@ mod tests {
 
     fn seq(t: usize, dim: usize) -> Vec<Vec<f32>> {
         (0..t)
-            .map(|i| (0..dim).map(|d| ((i * dim + d) as f32 * 0.9).cos() * 0.4).collect())
+            .map(|i| {
+                (0..dim)
+                    .map(|d| ((i * dim + d) as f32 * 0.9).cos() * 0.4)
+                    .collect()
+            })
             .collect()
     }
 
@@ -405,9 +419,17 @@ mod tests {
             // Spot-check the gate matrix, candidate matrix, and biases.
             let checks: Vec<(&str, usize, usize)> = vec![
                 ("zr", 0, 0),
-                ("zr", gru.cells[layer].w_zr.rows() - 1, gru.cells[layer].w_zr.cols() - 1),
+                (
+                    "zr",
+                    gru.cells[layer].w_zr.rows() - 1,
+                    gru.cells[layer].w_zr.cols() - 1,
+                ),
                 ("n", 0, 1),
-                ("n", gru.cells[layer].w_n.rows() - 1, gru.cells[layer].w_n.cols() / 2),
+                (
+                    "n",
+                    gru.cells[layer].w_n.rows() - 1,
+                    gru.cells[layer].w_n.cols() / 2,
+                ),
             ];
             for (which, r, c) in checks {
                 let mut gp = gru.clone();

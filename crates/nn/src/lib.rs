@@ -49,10 +49,10 @@ mod sgd;
 pub use gru::{Gru, GruCell, GruCellGrad, GruSeqCache, GruState};
 pub use linear::{Linear, LinearGrad};
 pub use lstm::{CellState, Lstm, LstmCell, LstmCellGrad, LstmSeqCache, LstmState};
-pub use rnn::{Rnn, RnnGrads, RnnKind, RnnSeqCache, RnnState};
 pub use matrix::{add_assign, dot, sigmoid, sigmoid_inplace, tanh_inplace, Matrix};
 pub use model::{
     MicroNet, MicroNetConfig, MicroNetGrads, MicroNetState, Prediction, Sample, TrainConfig,
     Trainer, WindowLoss,
 };
+pub use rnn::{Rnn, RnnGrads, RnnKind, RnnSeqCache, RnnState};
 pub use sgd::{clip_global_norm, Sgd};

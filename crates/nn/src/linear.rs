@@ -26,7 +26,10 @@ pub struct LinearGrad {
 impl Linear {
     /// Xavier-initialized layer.
     pub fn new(input: usize, output: usize, rng: &mut impl Rng) -> Self {
-        Linear { w: Matrix::xavier(output, input, rng), b: vec![0.0; output] }
+        Linear {
+            w: Matrix::xavier(output, input, rng),
+            b: vec![0.0; output],
+        }
     }
 
     /// Input width.
@@ -60,7 +63,10 @@ impl Linear {
 
     /// Matching zeroed gradient buffers.
     pub fn grad_buffer(&self) -> LinearGrad {
-        LinearGrad { w: Matrix::zeros(self.w.rows(), self.w.cols()), b: vec![0.0; self.b.len()] }
+        LinearGrad {
+            w: Matrix::zeros(self.w.rows(), self.w.cols()),
+            b: vec![0.0; self.b.len()],
+        }
     }
 }
 

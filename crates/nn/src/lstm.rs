@@ -77,7 +77,12 @@ impl LstmCell {
         for v in &mut b[hidden..2 * hidden] {
             *v = 1.0;
         }
-        LstmCell { w: Matrix::xavier(4 * hidden, input + hidden, rng), b, input, hidden }
+        LstmCell {
+            w: Matrix::xavier(4 * hidden, input + hidden, rng),
+            b,
+            input,
+            hidden,
+        }
     }
 
     /// Hidden width.
@@ -92,12 +97,18 @@ impl LstmCell {
 
     /// Zeroed state.
     pub fn init_state(&self) -> CellState {
-        CellState { h: vec![0.0; self.hidden], c: vec![0.0; self.hidden] }
+        CellState {
+            h: vec![0.0; self.hidden],
+            c: vec![0.0; self.hidden],
+        }
     }
 
     /// Matching zeroed gradient buffers.
     pub fn grad_buffer(&self) -> LstmCellGrad {
-        LstmCellGrad { w: Matrix::zeros(self.w.rows(), self.w.cols()), b: vec![0.0; self.b.len()] }
+        LstmCellGrad {
+            w: Matrix::zeros(self.w.rows(), self.w.cols()),
+            b: vec![0.0; self.b.len()],
+        }
     }
 
     /// Advances `state` by one step; optionally captures the activations.
@@ -133,7 +144,15 @@ impl LstmCell {
             state.h[k] = o[k] * tanh_c[k];
         }
 
-        capture.then_some(StepCache { a, i, f, g, o, tanh_c, c_prev })
+        capture.then_some(StepCache {
+            a,
+            i,
+            f,
+            g,
+            o,
+            tanh_c,
+            c_prev,
+        })
     }
 
     /// One BPTT step. `dh`/`dc` are gradients flowing in from above and
@@ -307,10 +326,8 @@ impl Lstm {
         assert_eq!(dh_top.len(), cache.steps.len(), "gradient per timestep");
         assert_eq!(grads.len(), self.cells.len(), "gradient buffer per layer");
         let nl = self.cells.len();
-        let mut dh_next: Vec<Vec<f32>> =
-            self.cells.iter().map(|c| vec![0.0; c.hidden()]).collect();
-        let mut dc_next: Vec<Vec<f32>> =
-            self.cells.iter().map(|c| vec![0.0; c.hidden()]).collect();
+        let mut dh_next: Vec<Vec<f32>> = self.cells.iter().map(|c| vec![0.0; c.hidden()]).collect();
+        let mut dc_next: Vec<Vec<f32>> = self.cells.iter().map(|c| vec![0.0; c.hidden()]).collect();
 
         for t in (0..cache.steps.len()).rev() {
             // `dx_down` carries the gradient flowing into the layer below.
@@ -351,7 +368,11 @@ mod tests {
 
     fn seq(t: usize, dim: usize) -> Vec<Vec<f32>> {
         (0..t)
-            .map(|i| (0..dim).map(|d| ((i * dim + d) as f32 * 0.7).sin() * 0.5).collect())
+            .map(|i| {
+                (0..dim)
+                    .map(|d| ((i * dim + d) as f32 * 0.7).sin() * 0.5)
+                    .collect()
+            })
             .collect()
     }
 

@@ -20,14 +20,20 @@ pub struct Matrix {
 impl Matrix {
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Xavier/Glorot-uniform initialization: `U(-b, b)` with
     /// `b = sqrt(6 / (fan_in + fan_out))`.
     pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
         let bound = (6.0 / (rows + cols) as f64).sqrt() as f32;
-        let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
         Matrix { rows, cols, data }
     }
 

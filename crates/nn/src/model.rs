@@ -38,14 +38,26 @@ pub struct MicroNetConfig {
 impl MicroNetConfig {
     /// The paper's prototype: two layers of 128 hidden nodes, α = 0.5.
     pub fn paper(input: usize) -> Self {
-        MicroNetConfig { input, hidden: 128, layers: 2, alpha: 0.5, rnn: RnnKind::Lstm }
+        MicroNetConfig {
+            input,
+            hidden: 128,
+            layers: 2,
+            alpha: 0.5,
+            rnn: RnnKind::Lstm,
+        }
     }
 
     /// A smaller, CPU-friendly configuration used by the workspace's
     /// default experiments (see DESIGN.md: absolute model capacity is not
     /// load-bearing for the reproduction's shape targets).
     pub fn compact(input: usize) -> Self {
-        MicroNetConfig { input, hidden: 32, layers: 2, alpha: 0.5, rnn: RnnKind::Lstm }
+        MicroNetConfig {
+            input,
+            hidden: 32,
+            layers: 2,
+            alpha: 0.5,
+            rnn: RnnKind::Lstm,
+        }
     }
 }
 
@@ -158,7 +170,10 @@ impl MicroNet {
 
     /// Zeroed inference state.
     pub fn init_state(&self) -> MicroNetState {
-        MicroNetState { rnn: self.rnn.init_state(), top: vec![0.0; self.cfg.hidden] }
+        MicroNetState {
+            rnn: self.rnn.init_state(),
+            top: vec![0.0; self.cfg.hidden],
+        }
     }
 
     /// Matching zeroed gradient buffers.
@@ -174,12 +189,16 @@ impl MicroNet {
     /// "prediction only involves a few matrix multiplications and
     /// non-linear transformations" (§4.2).
     pub fn predict(&self, features: &[f32], state: &mut MicroNetState) -> Prediction {
-        self.rnn.step_infer(features, &mut state.rnn, &mut state.top);
+        self.rnn
+            .step_infer(features, &mut state.rnn, &mut state.top);
         let mut lat = [0.0f32];
         let mut logit = [0.0f32];
         self.latency_head.forward(&state.top, &mut lat);
         self.drop_head.forward(&state.top, &mut logit);
-        Prediction { drop_prob: sigmoid(logit[0]), latency: lat[0] }
+        Prediction {
+            drop_prob: sigmoid(logit[0]),
+            latency: lat[0],
+        }
     }
 
     /// Evaluates a window without touching gradients.
@@ -199,7 +218,10 @@ impl MicroNet {
         let (tops, cache) = self.rnn.forward_seq(&xs);
 
         let n = samples.len() as f32;
-        let mut loss = WindowLoss { samples: samples.len(), ..Default::default() };
+        let mut loss = WindowLoss {
+            samples: samples.len(),
+            ..Default::default()
+        };
         let mut dh_top: Vec<Vec<f32>> = Vec::with_capacity(samples.len());
         let mut head_grads: Option<&mut MicroNetGrads> = grads;
 
@@ -236,7 +258,8 @@ impl MicroNet {
             if let Some(g) = head_grads.as_deref_mut() {
                 self.drop_head.backward(h, &dlogit, &mut g.drop, &mut dh);
                 if !sample.dropped {
-                    self.latency_head.backward(h, &dlat, &mut g.latency, &mut dh);
+                    self.latency_head
+                        .backward(h, &dlat, &mut g.latency, &mut dh);
                 }
             }
             dh_top.push(dh);
@@ -301,7 +324,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { lr: 1e-4, momentum: 0.9, batch: 64, clip: 5.0 }
+        TrainConfig {
+            lr: 1e-4,
+            momentum: 0.9,
+            batch: 64,
+            clip: 5.0,
+        }
     }
 }
 
@@ -411,14 +439,25 @@ mod tests {
 
     #[test]
     fn training_reduces_loss_on_learnable_task() {
-        let cfg = MicroNetConfig { input: 3, hidden: 16, layers: 2, alpha: 0.5, rnn: RnnKind::Lstm };
+        let cfg = MicroNetConfig {
+            input: 3,
+            hidden: 16,
+            layers: 2,
+            alpha: 0.5,
+            rnn: RnnKind::Lstm,
+        };
         let mut rng = SmallRng::seed_from_u64(11);
         let model = MicroNet::new(cfg, &mut rng);
         let windows = synth_windows(32, 16, 99);
 
         let mut trainer = Trainer::new(
             model,
-            TrainConfig { lr: 0.5, momentum: 0.9, batch: 4, clip: 5.0 },
+            TrainConfig {
+                lr: 0.5,
+                momentum: 0.9,
+                batch: 4,
+                clip: 5.0,
+            },
         );
         let first = trainer.train_epoch(&windows);
         let mut last = WindowLoss::default();
@@ -456,7 +495,13 @@ mod tests {
 
     #[test]
     fn dropped_samples_contribute_no_latency_gradient() {
-        let cfg = MicroNetConfig { input: 2, hidden: 8, layers: 1, alpha: 1.0, rnn: RnnKind::Lstm };
+        let cfg = MicroNetConfig {
+            input: 2,
+            hidden: 8,
+            layers: 1,
+            alpha: 1.0,
+            rnn: RnnKind::Lstm,
+        };
         let mut rng = SmallRng::seed_from_u64(3);
         let model = MicroNet::new(cfg, &mut rng);
         let mut grads = model.grad_buffers();
@@ -514,16 +559,37 @@ mod tests {
 
     #[test]
     fn trainer_flush_applies_partial_batches() {
-        let cfg = MicroNetConfig { input: 2, hidden: 4, layers: 1, alpha: 0.5, rnn: RnnKind::Lstm };
+        let cfg = MicroNetConfig {
+            input: 2,
+            hidden: 4,
+            layers: 1,
+            alpha: 0.5,
+            rnn: RnnKind::Lstm,
+        };
         let mut rng = SmallRng::seed_from_u64(31);
         let model = MicroNet::new(cfg, &mut rng);
         let before = model.to_json();
         // Batch of 64 but only one window accumulated: without flush the
         // weights would not move.
-        let mut trainer = Trainer::new(model, TrainConfig { batch: 64, lr: 0.5, ..Default::default() });
+        let mut trainer = Trainer::new(
+            model,
+            TrainConfig {
+                batch: 64,
+                lr: 0.5,
+                ..Default::default()
+            },
+        );
         let window = vec![
-            Sample { features: vec![0.3, 0.7], dropped: false, latency: 0.9 },
-            Sample { features: vec![0.1, 0.2], dropped: true, latency: 0.0 },
+            Sample {
+                features: vec![0.3, 0.7],
+                dropped: false,
+                latency: 0.9,
+            },
+            Sample {
+                features: vec![0.1, 0.2],
+                dropped: true,
+                latency: 0.0,
+            },
         ];
         trainer.train_window(&window);
         trainer.flush();
@@ -534,16 +600,29 @@ mod tests {
     #[test]
     fn alpha_scales_latency_gradient() {
         let mk = |alpha| {
-            let cfg = MicroNetConfig { input: 2, hidden: 4, layers: 1, alpha, rnn: RnnKind::Lstm };
+            let cfg = MicroNetConfig {
+                input: 2,
+                hidden: 4,
+                layers: 1,
+                alpha,
+                rnn: RnnKind::Lstm,
+            };
             let mut rng = SmallRng::seed_from_u64(9);
             let model = MicroNet::new(cfg, &mut rng);
             let mut grads = model.grad_buffers();
-            let window = vec![Sample { features: vec![0.5, 0.5], dropped: false, latency: 10.0 }];
+            let window = vec![Sample {
+                features: vec![0.5, 0.5],
+                dropped: false,
+                latency: 10.0,
+            }];
             model.train_window(&window, &mut grads);
             grads.latency.w.sq_norm()
         };
         let g_small = mk(0.1);
         let g_big = mk(1.0);
-        assert!(g_big > g_small * 50.0, "alpha=1 gradient {g_big} vs alpha=0.1 {g_small}");
+        assert!(
+            g_big > g_small * 50.0,
+            "alpha=1 gradient {g_big} vs alpha=0.1 {g_small}"
+        );
     }
 }

@@ -58,7 +58,13 @@ pub enum RnnGrads {
 
 impl Rnn {
     /// Builds a trunk of the requested kind.
-    pub fn new(kind: RnnKind, input: usize, hidden: usize, layers: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        kind: RnnKind,
+        input: usize,
+        hidden: usize,
+        layers: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         match kind {
             RnnKind::Lstm => Rnn::Lstm(Lstm::new(input, hidden, layers, rng)),
             RnnKind::Gru => Rnn::Gru(Gru::new(input, hidden, layers, rng)),

@@ -19,7 +19,11 @@ impl Sgd {
     pub fn new(lr: f32, momentum: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
-        Sgd { lr, momentum, velocities: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocities: Vec::new(),
+        }
     }
 
     /// The paper's settings: lr 1e-4, momentum 0.9.
@@ -41,12 +45,24 @@ impl Sgd {
     /// Applies one update. `params[i]` and `grads[i]` must be parallel
     /// slices, presented in the same order on every call.
     pub fn step(&mut self, params: &mut [&mut [f32]], grads: &[&[f32]]) {
-        assert_eq!(params.len(), grads.len(), "params/grads slice count mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "params/grads slice count mismatch"
+        );
         if self.velocities.is_empty() {
             self.velocities = params.iter().map(|p| vec![0.0; p.len()]).collect();
         }
-        assert_eq!(self.velocities.len(), params.len(), "parameter layout changed");
-        for ((p, g), v) in params.iter_mut().zip(grads.iter()).zip(self.velocities.iter_mut()) {
+        assert_eq!(
+            self.velocities.len(),
+            params.len(),
+            "parameter layout changed"
+        );
+        for ((p, g), v) in params
+            .iter_mut()
+            .zip(grads.iter())
+            .zip(self.velocities.iter_mut())
+        {
             assert_eq!(p.len(), g.len(), "param/grad length mismatch");
             assert_eq!(p.len(), v.len(), "parameter layout changed");
             for k in 0..p.len() {
@@ -105,7 +121,10 @@ mod tests {
             }
             (w[0] - 3.0).abs()
         };
-        assert!(run(0.9, 50) < run(0.0, 50), "momentum converges faster here");
+        assert!(
+            run(0.9, 50) < run(0.0, 50),
+            "momentum converges faster here"
+        );
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Observability for the elephant workspace: a global low-overhead
+//! metrics registry, a hierarchical phase profiler, shared statistics
+//! kernels (histograms / CDFs / running summaries), and exportable run
+//! reports.
+//!
+//! This crate is a dependency root (alongside `elephant-des`): every other
+//! crate may depend on it, and it depends only on the serde shims. Metric
+//! names follow the `subsystem/area/metric` convention documented in
+//! DESIGN.md — e.g. `des/kernel/events_executed`,
+//! `pdes/epoch/barrier_wait`, `net/port/drops`, `hybrid/oracle/infer`.
+
+pub mod hist;
+pub mod profile;
+pub mod registry;
+pub mod report;
+
+pub use hist::{EmpiricalCdf, LogHistogram, Summary};
+pub use profile::{profiler, render_tree, span, tree_from_rows, ProfileNode, Profiler, SpanGuard};
+pub use registry::{
+    counter, enabled, gauge, histogram, registry, set_enabled, Counter, Gauge, HistogramHandle,
+    Registry,
+};
+pub use report::{MetricRow, PartitionRow, ProfileRow, RunReport};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! The global enabled flag is process-wide state; unit tests that flip
+    //! it serialize on one mutex and restore the previous value on drop.
+    use std::sync::{Mutex, MutexGuard};
+
+    static FLAG_LOCK: Mutex<()> = Mutex::new(());
+
+    pub struct EnableScope(bool, #[allow(dead_code)] MutexGuard<'static, ()>);
+
+    impl EnableScope {
+        pub fn with(on: bool) -> Self {
+            let guard = FLAG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            let prev = crate::registry::enabled();
+            crate::registry::set_enabled(on);
+            EnableScope(prev, guard)
+        }
+
+        pub fn new() -> Self {
+            Self::with(true)
+        }
+    }
+
+    impl Drop for EnableScope {
+        fn drop(&mut self) {
+            crate::registry::set_enabled(self.0);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Scoped wall-time profiling with hierarchical aggregation.
+//!
+//! [`span`] returns an RAII guard; while it lives, further spans on the
+//! same thread nest under it. On drop, the elapsed wall time is added to a
+//! global aggregate keyed by the `/`-joined path of active span names —
+//! e.g. `pdes/epoch/barrier_wait` — so repeated scopes accumulate counts
+//! and totals rather than producing a trace. Collection follows the global
+//! observability switch ([`crate::set_enabled`]); a disabled span is a
+//! no-op guard.
+//!
+//! Span names should be short static segments (`epoch`, `infer`,
+//! `backward`); the subsystem prefix comes from the outermost span.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::registry::enabled;
+use crate::report::ProfileRow;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Agg {
+    count: u64,
+    total_ns: u128,
+}
+
+/// Global accumulator of span timings, keyed by hierarchical path.
+#[derive(Default)]
+pub struct Profiler {
+    paths: Mutex<BTreeMap<String, Agg>>,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Profiler {
+    fn add(&self, path: String, elapsed_ns: u128) {
+        let mut map = self.paths.lock().expect("profiler lock");
+        let agg = map.entry(path).or_default();
+        agg.count += 1;
+        agg.total_ns += elapsed_ns;
+    }
+
+    /// Discards all aggregated timings.
+    pub fn reset(&self) {
+        self.paths.lock().expect("profiler lock").clear();
+    }
+
+    /// Flat rows sorted by path (parents sort before children).
+    pub fn snapshot(&self) -> Vec<ProfileRow> {
+        self.paths
+            .lock()
+            .expect("profiler lock")
+            .iter()
+            .map(|(path, agg)| ProfileRow {
+                path: path.clone(),
+                count: agg.count,
+                seconds: agg.total_ns as f64 * 1e-9,
+            })
+            .collect()
+    }
+
+    /// The aggregate tree, children ordered by path.
+    pub fn tree(&self) -> Vec<ProfileNode> {
+        tree_from_rows(&self.snapshot())
+    }
+}
+
+/// The process-wide profiler.
+pub fn profiler() -> &'static Profiler {
+    static PROFILER: OnceLock<Profiler> = OnceLock::new();
+    PROFILER.get_or_init(Profiler::default)
+}
+
+/// An active profiling scope; dropping it records the elapsed time.
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct SpanGuard {
+    /// `None` when profiling was disabled at entry (no-op guard).
+    armed: Option<(String, Instant)>,
+    /// Ties the guard to its thread: the span stack is thread-local.
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Opens a span named `name` nested under the thread's active spans.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            armed: None,
+            _not_send: PhantomData,
+        };
+    }
+    let path = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(name);
+        s.join("/")
+    });
+    SpanGuard {
+        armed: Some((path, Instant::now())),
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((path, start)) = self.armed.take() {
+            let elapsed = start.elapsed().as_nanos();
+            STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+            profiler().add(path, elapsed);
+        }
+    }
+}
+
+/// One node of the aggregated span tree.
+#[derive(Clone, Debug)]
+pub struct ProfileNode {
+    /// Last path segment (span name).
+    pub name: String,
+    /// Times this exact path was entered.
+    pub count: u64,
+    /// Total wall time spent in this path (including children).
+    pub seconds: f64,
+    /// Nested spans.
+    pub children: Vec<ProfileNode>,
+}
+
+/// Rebuilds the span tree from flat rows (as stored in a [`crate::RunReport`]).
+pub fn tree_from_rows(rows: &[ProfileRow]) -> Vec<ProfileNode> {
+    let mut roots: Vec<ProfileNode> = Vec::new();
+    for row in rows {
+        let mut level = &mut roots;
+        let segments: Vec<&str> = row.path.split('/').collect();
+        for (depth, seg) in segments.iter().enumerate() {
+            let pos = match level.iter().position(|n| n.name == *seg) {
+                Some(p) => p,
+                None => {
+                    level.push(ProfileNode {
+                        name: (*seg).to_string(),
+                        count: 0,
+                        seconds: 0.0,
+                        children: Vec::new(),
+                    });
+                    level.len() - 1
+                }
+            };
+            if depth == segments.len() - 1 {
+                level[pos].count = row.count;
+                level[pos].seconds = row.seconds;
+            }
+            level = &mut level[pos].children;
+        }
+    }
+    roots
+}
+
+/// Renders the tree as an indented table (name, count, total, share of
+/// parent), suitable for terminal output.
+pub fn render_tree(nodes: &[ProfileNode]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<40} {:>10} {:>12} {:>7}\n",
+        "span", "count", "total", "share"
+    ));
+    fn walk(nodes: &[ProfileNode], depth: usize, parent_secs: Option<f64>, out: &mut String) {
+        for n in nodes {
+            let label = format!("{}{}", "  ".repeat(depth), n.name);
+            let share = match parent_secs {
+                Some(p) if p > 0.0 => format!("{:.1}%", 100.0 * n.seconds / p),
+                _ => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "{:<40} {:>10} {:>12} {:>7}\n",
+                label,
+                n.count,
+                format_secs(n.seconds),
+                share
+            ));
+            walk(&n.children, depth + 1, Some(n.seconds), out);
+        }
+    }
+    walk(nodes, 0, None, &mut out);
+    out
+}
+
+fn format_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.3}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::EnableScope;
+
+    #[test]
+    fn nested_spans_aggregate_by_path() {
+        let _on = EnableScope::new();
+        profiler().reset();
+        {
+            let _outer = span("outer_agg");
+            for _ in 0..3 {
+                let _inner = span("inner");
+                std::hint::black_box(0u64);
+            }
+        }
+        let rows = profiler().snapshot();
+        let outer = rows
+            .iter()
+            .find(|r| r.path == "outer_agg")
+            .expect("outer row");
+        let inner = rows
+            .iter()
+            .find(|r| r.path == "outer_agg/inner")
+            .expect("inner row");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 3);
+        assert!(outer.seconds >= inner.seconds, "parent includes child time");
+
+        let tree = profiler().tree();
+        let node = tree
+            .iter()
+            .find(|n| n.name == "outer_agg")
+            .expect("tree root");
+        assert_eq!(node.children.len(), 1);
+        assert_eq!(node.children[0].name, "inner");
+        assert_eq!(node.children[0].count, 3);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _off = EnableScope::with(false);
+        profiler().reset();
+        {
+            let _s = span("disabled_root");
+        }
+        assert!(profiler()
+            .snapshot()
+            .iter()
+            .all(|r| r.path != "disabled_root"));
+    }
+
+    #[test]
+    fn sibling_spans_do_not_nest() {
+        let _on = EnableScope::new();
+        profiler().reset();
+        {
+            let _a = span("sib_a");
+        }
+        {
+            let _b = span("sib_b");
+        }
+        let rows = profiler().snapshot();
+        assert!(rows.iter().any(|r| r.path == "sib_a"));
+        assert!(rows.iter().any(|r| r.path == "sib_b"));
+        assert!(rows.iter().all(|r| r.path != "sib_a/sib_b"));
+    }
+
+    #[test]
+    fn render_tree_mentions_every_span() {
+        let _on = EnableScope::new();
+        profiler().reset();
+        {
+            let _a = span("render_root");
+            let _b = span("child");
+        }
+        let text = render_tree(&profiler().tree());
+        assert!(text.contains("render_root"));
+        assert!(text.contains("  child"));
+    }
+}

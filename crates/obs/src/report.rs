@@ -1,0 +1,509 @@
+//! Exportable run reports: one serializable struct capturing a run's
+//! throughput figures, registry metrics, per-partition timing, and
+//! profiler breakdown, with human-table / JSON / JSON-lines / CSV
+//! renderers. Bench binaries emit these as `BENCH_<name>.json`.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::LogHistogram;
+use crate::profile::{profiler, render_tree, tree_from_rows};
+use crate::registry::registry;
+
+/// One exported metric (counter, gauge, or histogram summary).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MetricRow {
+    /// Metric name (`subsystem/area/metric`).
+    pub name: String,
+    /// Instance label ("" when unlabelled).
+    pub label: String,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: String,
+    /// Counter/gauge value; for histograms, the observation count.
+    pub value: f64,
+    /// Observation count (histograms; equals `value` for counters).
+    pub count: u64,
+    /// Mean observation (histograms only, else 0).
+    pub mean: f64,
+    /// 50th percentile (histograms only, else 0).
+    pub p50: f64,
+    /// 90th percentile (histograms only, else 0).
+    pub p90: f64,
+    /// 99th percentile (histograms only, else 0).
+    pub p99: f64,
+}
+
+impl MetricRow {
+    /// Row for a counter value.
+    pub fn counter(name: &str, label: &str, value: u64) -> Self {
+        MetricRow {
+            name: name.to_string(),
+            label: label.to_string(),
+            kind: "counter".to_string(),
+            value: value as f64,
+            count: value,
+            ..Default::default()
+        }
+    }
+
+    /// Row for a gauge level.
+    pub fn gauge(name: &str, label: &str, value: i64) -> Self {
+        MetricRow {
+            name: name.to_string(),
+            label: label.to_string(),
+            kind: "gauge".to_string(),
+            value: value as f64,
+            ..Default::default()
+        }
+    }
+
+    /// Row summarizing a histogram.
+    pub fn histogram(name: &str, label: &str, h: &LogHistogram) -> Self {
+        MetricRow {
+            name: name.to_string(),
+            label: label.to_string(),
+            kind: "histogram".to_string(),
+            value: h.count() as f64,
+            count: h.count(),
+            mean: h.mean(),
+            p50: h.quantile(0.5),
+            p90: h.quantile(0.9),
+            p99: h.quantile(0.99),
+        }
+    }
+}
+
+/// One aggregated profiler path.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ProfileRow {
+    /// `/`-joined span path, e.g. `pdes/epoch/barrier_wait`.
+    pub path: String,
+    /// Times the path was entered.
+    pub count: u64,
+    /// Total wall seconds spent (including nested spans).
+    pub seconds: f64,
+}
+
+/// Per-partition timing breakdown of a parallel (PDES) run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PartitionRow {
+    /// Partition index.
+    pub partition: usize,
+    /// Events executed by this partition.
+    pub events: u64,
+    /// Wall seconds spent executing events.
+    pub work_seconds: f64,
+    /// Wall seconds spent blocked on epoch barriers.
+    pub barrier_wait_seconds: f64,
+    /// `barrier_wait / (barrier_wait + work + marshal)`, in [0,1].
+    pub barrier_wait_share: f64,
+    /// Wall seconds spent marshalling cross-partition events.
+    pub marshal_seconds: f64,
+    /// Cross-partition events sent.
+    pub remote_events_sent: u64,
+    /// Cross-partition bytes sent (encoded envelope payloads).
+    pub remote_bytes_sent: u64,
+}
+
+impl PartitionRow {
+    /// Fills in `barrier_wait_share` from the timing fields.
+    pub fn finish(mut self) -> Self {
+        let busy = self.work_seconds + self.barrier_wait_seconds + self.marshal_seconds;
+        self.barrier_wait_share = if busy > 0.0 {
+            self.barrier_wait_seconds / busy
+        } else {
+            0.0
+        };
+        self
+    }
+}
+
+/// A complete, serializable description of one run's performance.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Short machine-friendly run name (used in `BENCH_<name>.json`).
+    pub name: String,
+    /// Human description of the scenario/configuration.
+    pub scenario: String,
+    /// Wall-clock duration of the measured run.
+    pub wall_seconds: f64,
+    /// Simulated time covered.
+    pub sim_seconds: f64,
+    /// Events executed.
+    pub events: u64,
+    /// Events per wall second.
+    pub events_per_second: f64,
+    /// Simulated seconds per wall second (the paper's speed metric).
+    pub sim_seconds_per_second: f64,
+    /// Named scalar results (loss, accuracy, overhead fractions, ...).
+    pub scalars: BTreeMap<String, f64>,
+    /// Per-partition breakdown (one zero-wait row for sequential runs).
+    pub partitions: Vec<PartitionRow>,
+    /// Registry snapshot.
+    pub metrics: Vec<MetricRow>,
+    /// Profiler snapshot.
+    pub profile: Vec<ProfileRow>,
+}
+
+fn finite(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
+impl RunReport {
+    /// Creates an empty report.
+    pub fn new(name: impl Into<String>, scenario: impl Into<String>) -> Self {
+        RunReport {
+            name: name.into(),
+            scenario: scenario.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the throughput figures, deriving the rates.
+    pub fn set_run(&mut self, wall_seconds: f64, events: u64, sim_seconds: f64) {
+        self.wall_seconds = wall_seconds;
+        self.events = events;
+        self.sim_seconds = sim_seconds;
+        self.events_per_second = finite(events as f64 / wall_seconds);
+        self.sim_seconds_per_second = finite(sim_seconds / wall_seconds);
+    }
+
+    /// Records a named scalar result.
+    pub fn scalar(&mut self, key: impl Into<String>, value: f64) {
+        self.scalars.insert(key.into(), finite(value));
+    }
+
+    /// Captures the current global registry and profiler contents.
+    pub fn gather(&mut self) {
+        self.metrics = registry().snapshot();
+        self.profile = profiler().snapshot();
+    }
+
+    /// Renders a human-readable table (run line, scalars, partitions,
+    /// metrics, profile tree).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.name));
+        if !self.scenario.is_empty() {
+            out.push_str(&format!("{}\n", self.scenario));
+        }
+        if self.wall_seconds > 0.0 {
+            out.push_str(&format!(
+                "wall {:.3}s  sim {:.3}s  events {}  {:.0} events/s  {:.2} sim-s/s\n",
+                self.wall_seconds,
+                self.sim_seconds,
+                self.events,
+                self.events_per_second,
+                self.sim_seconds_per_second,
+            ));
+        }
+        if !self.scalars.is_empty() {
+            out.push_str("-- scalars --\n");
+            for (k, v) in &self.scalars {
+                out.push_str(&format!("{k:<44} {v:.6}\n"));
+            }
+        }
+        if !self.partitions.is_empty() {
+            out.push_str("-- partitions --\n");
+            out.push_str(&format!(
+                "{:>4} {:>12} {:>10} {:>12} {:>8} {:>10} {:>12} {:>12}\n",
+                "part",
+                "events",
+                "work",
+                "barrier",
+                "share",
+                "marshal",
+                "remote_evts",
+                "remote_bytes"
+            ));
+            for p in &self.partitions {
+                out.push_str(&format!(
+                    "{:>4} {:>12} {:>9.3}s {:>11.3}s {:>7.1}% {:>9.3}s {:>12} {:>12}\n",
+                    p.partition,
+                    p.events,
+                    p.work_seconds,
+                    p.barrier_wait_seconds,
+                    p.barrier_wait_share * 100.0,
+                    p.marshal_seconds,
+                    p.remote_events_sent,
+                    p.remote_bytes_sent,
+                ));
+            }
+        }
+        if !self.metrics.is_empty() {
+            out.push_str("-- metrics --\n");
+            out.push_str(&format!(
+                "{:<44} {:>10} {:>12} {:>12} {:>12} {:>12}\n",
+                "name", "kind", "value", "p50", "p90", "p99"
+            ));
+            for m in &self.metrics {
+                let name = if m.label.is_empty() {
+                    m.name.clone()
+                } else {
+                    format!("{}[{}]", m.name, m.label)
+                };
+                if m.kind == "histogram" {
+                    out.push_str(&format!(
+                        "{:<44} {:>10} {:>12} {:>12.3e} {:>12.3e} {:>12.3e}\n",
+                        name, m.kind, m.count, m.p50, m.p90, m.p99
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "{:<44} {:>10} {:>12} {:>12} {:>12} {:>12}\n",
+                        name, m.kind, m.value as i64, "-", "-", "-"
+                    ));
+                }
+            }
+        }
+        if !self.profile.is_empty() {
+            out.push_str("-- profile --\n");
+            out.push_str(&render_tree(&tree_from_rows(&self.profile)));
+        }
+        out
+    }
+
+    /// Compact single-line JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serializes")
+    }
+
+    /// Indented JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// JSON-lines: a `run` record, then one record per metric and profile
+    /// row — friendly to `grep`/`jq -c` pipelines over many runs.
+    pub fn to_jsonl(&self) -> String {
+        #[derive(Serialize)]
+        struct RunLine {
+            record: String,
+            name: String,
+            scenario: String,
+            wall_seconds: f64,
+            sim_seconds: f64,
+            events: u64,
+            events_per_second: f64,
+            sim_seconds_per_second: f64,
+        }
+        #[derive(Serialize)]
+        struct MetricLine {
+            record: String,
+            run: String,
+            name: String,
+            label: String,
+            kind: String,
+            value: f64,
+            mean: f64,
+            p50: f64,
+            p90: f64,
+            p99: f64,
+        }
+        #[derive(Serialize)]
+        struct ProfileLine {
+            record: String,
+            run: String,
+            path: String,
+            count: u64,
+            seconds: f64,
+        }
+        let mut out = String::new();
+        let run = RunLine {
+            record: "run".into(),
+            name: self.name.clone(),
+            scenario: self.scenario.clone(),
+            wall_seconds: self.wall_seconds,
+            sim_seconds: self.sim_seconds,
+            events: self.events,
+            events_per_second: self.events_per_second,
+            sim_seconds_per_second: self.sim_seconds_per_second,
+        };
+        out.push_str(&serde_json::to_string(&run).expect("run line"));
+        out.push('\n');
+        for m in &self.metrics {
+            let line = MetricLine {
+                record: "metric".into(),
+                run: self.name.clone(),
+                name: m.name.clone(),
+                label: m.label.clone(),
+                kind: m.kind.clone(),
+                value: m.value,
+                mean: m.mean,
+                p50: m.p50,
+                p90: m.p90,
+                p99: m.p99,
+            };
+            out.push_str(&serde_json::to_string(&line).expect("metric line"));
+            out.push('\n');
+        }
+        for p in &self.profile {
+            let line = ProfileLine {
+                record: "profile".into(),
+                run: self.name.clone(),
+                path: p.path.clone(),
+                count: p.count,
+                seconds: p.seconds,
+            };
+            out.push_str(&serde_json::to_string(&line).expect("profile line"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV over the metric rows (header + one line per metric).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,label,kind,value,count,mean,p50,p90,p99\n");
+        for m in &self.metrics {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                csv_field(&m.name),
+                csv_field(&m.label),
+                csv_field(&m.kind),
+                m.value,
+                m.count,
+                m.mean,
+                m.p50,
+                m.p90,
+                m.p99
+            ));
+        }
+        out
+    }
+
+    /// Writes the pretty JSON to `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json_pretty())
+    }
+
+    /// Writes `BENCH_<name>.json` into `dir`, returning the path.
+    pub fn write_bench(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        self.save(&path)?;
+        Ok(path)
+    }
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        let mut r = RunReport::new("unit", "2 clusters, 10ms");
+        r.set_run(2.0, 10_000, 0.5);
+        r.scalar("overhead_fraction", 0.013);
+        let mut h = LogHistogram::for_latency_seconds();
+        for i in 1..=100 {
+            h.record(i as f64 * 1e-5);
+        }
+        r.metrics = vec![
+            MetricRow::counter("net/port/drops", "tor", 17),
+            MetricRow::histogram("hybrid/oracle/infer", "", &h),
+        ];
+        r.profile = vec![
+            ProfileRow {
+                path: "run".into(),
+                count: 1,
+                seconds: 2.0,
+            },
+            ProfileRow {
+                path: "run/epoch".into(),
+                count: 10,
+                seconds: 1.5,
+            },
+        ];
+        r.partitions = vec![PartitionRow {
+            partition: 0,
+            events: 10_000,
+            work_seconds: 1.2,
+            barrier_wait_seconds: 0.4,
+            marshal_seconds: 0.4,
+            remote_events_sent: 55,
+            remote_bytes_sent: 3520,
+            ..Default::default()
+        }
+        .finish()];
+        r
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample_report();
+        let back: RunReport = serde_json::from_str(&r.to_json()).expect("parses");
+        assert_eq!(back.name, "unit");
+        assert_eq!(back.events, 10_000);
+        assert_eq!(back.metrics.len(), 2);
+        assert_eq!(back.metrics[0].count, 17);
+        assert!((back.metrics[1].p50 - r.metrics[1].p50).abs() < 1e-12);
+        assert_eq!(back.partitions[0].remote_events_sent, 55);
+        assert!((back.partitions[0].barrier_wait_share - 0.2).abs() < 1e-12);
+        assert!((back.scalars["overhead_fraction"] - 0.013).abs() < 1e-12);
+        let pretty: RunReport = serde_json::from_str(&r.to_json_pretty()).expect("parses");
+        assert_eq!(pretty.profile.len(), 2);
+    }
+
+    #[test]
+    fn table_mentions_key_figures() {
+        let t = sample_report().to_table();
+        assert!(t.contains("== unit =="));
+        assert!(t.contains("net/port/drops[tor]"));
+        assert!(t.contains("hybrid/oracle/infer"));
+        assert!(t.contains("overhead_fraction"));
+        assert!(t.contains("epoch"));
+        assert!(t.contains("20.0%"), "barrier share rendered: {t}");
+    }
+
+    #[test]
+    fn jsonl_one_record_per_line() {
+        let text = sample_report().to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 2 + 2);
+        assert!(
+            lines[0].contains("\"record\": \"run\"") || lines[0].contains("\"record\":\"run\"")
+        );
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let text = sample_report().to_csv();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("name,label,kind"));
+        assert!(lines[1].starts_with("net/port/drops,tor,counter,17"));
+    }
+
+    #[test]
+    fn gather_pulls_global_state() {
+        let _on = crate::testutil::EnableScope::new();
+        crate::profiler().reset();
+        crate::registry().reset();
+        crate::counter("test/report/gathered", "").add(4);
+        {
+            let _s = crate::span("gather_span");
+        }
+        let mut r = RunReport::new("gather", "");
+        r.gather();
+        assert!(r
+            .metrics
+            .iter()
+            .any(|m| m.name == "test/report/gathered" && m.count == 4));
+        assert!(r.profile.iter().any(|p| p.path == "gather_span"));
+    }
+}

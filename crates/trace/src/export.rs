@@ -12,18 +12,37 @@ use std::path::Path;
 /// quotes, or newlines are quoted.
 pub fn write_csv<P: AsRef<Path>>(path: P, header: &[&str], rows: &[Vec<String>]) -> Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
-    writeln!(w, "{}", header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","))?;
+    writeln!(
+        w,
+        "{}",
+        header
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
     for row in rows {
         debug_assert_eq!(row.len(), header.len(), "row width mismatch");
-        writeln!(w, "{}", row.iter().map(|f| escape(f)).collect::<Vec<_>>().join(","))?;
+        writeln!(
+            w,
+            "{}",
+            row.iter().map(|f| escape(f)).collect::<Vec<_>>().join(",")
+        )?;
     }
     w.flush()
 }
 
 /// Writes `(x, y)` points (e.g. a CDF) to `path`.
-pub fn write_xy<P: AsRef<Path>>(path: P, x_name: &str, y_name: &str, points: &[(f64, f64)]) -> Result<()> {
-    let rows: Vec<Vec<String>> =
-        points.iter().map(|&(x, y)| vec![format!("{x}"), format!("{y}")]).collect();
+pub fn write_xy<P: AsRef<Path>>(
+    path: P,
+    x_name: &str,
+    y_name: &str,
+    points: &[(f64, f64)],
+) -> Result<()> {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|&(x, y)| vec![format!("{x}"), format!("{y}")])
+        .collect();
     write_csv(path, &[x_name, y_name], &rows)
 }
 
@@ -55,10 +74,7 @@ mod tests {
         )
         .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(
-            text,
-            "a,b\n1,plain\n2,\"has,comma\"\n3,\"has\"\"quote\"\n"
-        );
+        assert_eq!(text, "a,b\n1,plain\n2,\"has,comma\"\n3,\"has\"\"quote\"\n");
     }
 
     #[test]

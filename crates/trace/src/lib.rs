@@ -22,6 +22,5 @@ pub use export::{write_csv, write_xy};
 pub use profile::LoadProfile;
 pub use sizes::SizeDist;
 pub use workload::{
-    filter_touching_cluster, generate, incast, permutation, realized_load, Locality,
-    WorkloadConfig,
+    filter_touching_cluster, generate, incast, permutation, realized_load, Locality, WorkloadConfig,
 };

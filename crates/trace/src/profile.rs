@@ -64,10 +64,7 @@ impl LoadProfile {
         match self {
             LoadProfile::Constant => 1.0,
             LoadProfile::Sinusoid { max, .. } => *max,
-            LoadProfile::Steps(steps) => steps
-                .iter()
-                .map(|&(_, m)| m)
-                .fold(1.0f64, f64::max),
+            LoadProfile::Steps(steps) => steps.iter().map(|&(_, m)| m).fold(1.0f64, f64::max),
         }
     }
 }
@@ -104,7 +101,8 @@ mod tests {
         assert!(hi > 1.35, "crest reached: {hi}");
         // Periodicity.
         let a = p.multiplier(SimTime::from_micros(1234));
-        let b = p.multiplier(SimTime::from_micros(1234) + elephant_des::SimDuration::from_millis(10));
+        let b =
+            p.multiplier(SimTime::from_micros(1234) + elephant_des::SimDuration::from_millis(10));
         assert!((a - b).abs() < 1e-9);
         assert_eq!(p.peak(), 1.4);
     }

@@ -33,7 +33,9 @@ impl SizeDist {
         assert!(points[0].1 >= 0.0);
         let last = points.last().expect("non-empty");
         assert!((last.1 - 1.0).abs() < 1e-9, "CDF must end at 1.0");
-        SizeDist { points: points.to_vec() }
+        SizeDist {
+            points: points.to_vec(),
+        }
     }
 
     /// The DCTCP web-search workload (paper reference \[3\]): mice dominate
@@ -138,8 +140,7 @@ mod tests {
         let d = SizeDist::web_search();
         let mut rng = SmallRng::seed_from_u64(1);
         let samples: Vec<u64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
-        let mice = samples.iter().filter(|&&s| s < 100_000).count() as f64
-            / samples.len() as f64;
+        let mice = samples.iter().filter(|&&s| s < 100_000).count() as f64 / samples.len() as f64;
         assert!(mice > 0.5, "most flows are mice: {mice}");
         let total: u64 = samples.iter().sum();
         let elephant_bytes: u64 = samples.iter().filter(|&&s| s >= 1_000_000).sum();

@@ -32,12 +32,20 @@ impl Locality {
     /// The mix used by the multi-cluster experiments: mostly cross-cluster
     /// so the approximated fabrics actually carry traffic.
     pub fn cluster_heavy() -> Self {
-        Locality { rack_local: 0.1, intra_cluster: 0.3, inter_cluster: 0.6 }
+        Locality {
+            rack_local: 0.1,
+            intra_cluster: 0.3,
+            inter_cluster: 0.6,
+        }
     }
 
     /// A classic intra-DC mix for single-cluster (leaf-spine) networks.
     pub fn leaf_spine() -> Self {
-        Locality { rack_local: 0.2, intra_cluster: 0.8, inter_cluster: 0.0 }
+        Locality {
+            rack_local: 0.2,
+            intra_cluster: 0.8,
+            inter_cluster: 0.0,
+        }
     }
 }
 
@@ -110,7 +118,13 @@ pub fn generate(params: &ClosParams, cfg: &WorkloadConfig) -> Vec<FlowSpec> {
                 continue; // no eligible destination in this category
             };
             let bytes = cfg.sizes.sample(&mut rng).max(1);
-            flows.push(FlowSpec { id: FlowId(next_id), src, dst, bytes, start });
+            flows.push(FlowSpec {
+                id: FlowId(next_id),
+                src,
+                dst,
+                bytes,
+                start,
+            });
             next_id += 1;
         }
     }
@@ -144,19 +158,20 @@ pub fn incast(
         .enumerate()
         .map(|(i, &src)| {
             assert_ne!(src, dst, "incast sender cannot be the destination");
-            FlowSpec { id: FlowId(first_id + i as u64), src, dst, bytes, start }
+            FlowSpec {
+                id: FlowId(first_id + i as u64),
+                src,
+                dst,
+                bytes,
+                start,
+            }
         })
         .collect()
 }
 
 /// Every host sends one flow to a fixed permutation partner (stress test
 /// with no shared endpoints).
-pub fn permutation(
-    params: &ClosParams,
-    bytes: u64,
-    start: SimTime,
-    seed: u64,
-) -> Vec<FlowSpec> {
+pub fn permutation(params: &ClosParams, bytes: u64, start: SimTime, seed: u64) -> Vec<FlowSpec> {
     let hosts = all_hosts(params);
     let n = hosts.len();
     let factory = RngFactory::new(seed);
@@ -190,9 +205,7 @@ fn all_hosts(params: &ClosParams) -> Vec<HostAddr> {
 
 fn host_index(params: &ClosParams, a: HostAddr) -> u64 {
     let per_cluster = params.racks_per_cluster as u64 * params.hosts_per_rack as u64;
-    a.cluster as u64 * per_cluster
-        + a.rack as u64 * params.hosts_per_rack as u64
-        + a.host as u64
+    a.cluster as u64 * per_cluster + a.rack as u64 * params.hosts_per_rack as u64 + a.host as u64
 }
 
 /// Picks a destination for `src` according to the locality mix. Returns
@@ -265,8 +278,8 @@ fn pick_destination(
 /// fraction of what all host links could carry over `horizon`.
 pub fn realized_load(params: &ClosParams, flows: &[FlowSpec], horizon: SimDuration) -> f64 {
     let bytes: u64 = flows.iter().map(|f| f.bytes).sum();
-    let capacity =
-        params.total_hosts() as f64 * params.host_link.rate_gbps * 1e9 / 8.0 * horizon.as_secs_f64();
+    let capacity = params.total_hosts() as f64 * params.host_link.rate_gbps * 1e9 / 8.0
+        * horizon.as_secs_f64();
     bytes as f64 * 1.0 / capacity
 }
 
@@ -285,7 +298,10 @@ mod tests {
         let b = generate(&params(), &cfg);
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b.iter()) {
-            assert_eq!((x.id, x.src, x.dst, x.bytes, x.start), (y.id, y.src, y.dst, y.bytes, y.start));
+            assert_eq!(
+                (x.id, x.src, x.dst, x.bytes, x.start),
+                (y.id, y.src, y.dst, y.bytes, y.start)
+            );
         }
         assert!(!a.is_empty());
     }
@@ -318,8 +334,7 @@ mod tests {
             profile: crate::LoadProfile::Constant,
         };
         let flows = generate(&params(), &cfg);
-        let realized =
-            realized_load(&params(), &flows, SimDuration::from_millis(200));
+        let realized = realized_load(&params(), &flows, SimDuration::from_millis(200));
         assert!(
             (realized - 0.3).abs() < 0.1,
             "realized load {realized} should approximate 0.3"
@@ -331,7 +346,11 @@ mod tests {
         let cfg = WorkloadConfig {
             load: 0.3,
             sizes: SizeDist::fixed(10_000),
-            locality: Locality { rack_local: 0.0, intra_cluster: 0.0, inter_cluster: 1.0 },
+            locality: Locality {
+                rack_local: 0.0,
+                intra_cluster: 0.0,
+                inter_cluster: 1.0,
+            },
             horizon: SimTime::from_millis(100),
             seed: 3,
             profile: crate::LoadProfile::Constant,
@@ -347,14 +366,20 @@ mod tests {
         let cfg = WorkloadConfig {
             load: 0.2,
             sizes: SizeDist::fixed(10_000),
-            locality: Locality { rack_local: 0.5, intra_cluster: 0.5, inter_cluster: 10.0 },
+            locality: Locality {
+                rack_local: 0.5,
+                intra_cluster: 0.5,
+                inter_cluster: 10.0,
+            },
             horizon: SimTime::from_millis(20),
             seed: 5,
             profile: crate::LoadProfile::Constant,
         };
         let flows = generate(&p, &cfg);
         assert!(!flows.is_empty());
-        assert!(flows.iter().all(|f| f.src.cluster == 0 && f.dst.cluster == 0));
+        assert!(flows
+            .iter()
+            .all(|f| f.src.cluster == 0 && f.dst.cluster == 0));
     }
 
     #[test]
@@ -364,7 +389,9 @@ mod tests {
         let kept = filter_touching_cluster(&flows, 0);
         assert!(!kept.is_empty());
         assert!(kept.len() < flows.len(), "something was elided");
-        assert!(kept.iter().all(|f| f.src.cluster == 0 || f.dst.cluster == 0));
+        assert!(kept
+            .iter()
+            .all(|f| f.src.cluster == 0 || f.dst.cluster == 0));
     }
 
     #[test]
@@ -425,7 +452,13 @@ mod tests {
     #[test]
     fn incast_builder() {
         let senders: Vec<HostAddr> = (0..8).map(|h| HostAddr::new(1, h % 2, h / 2)).collect();
-        let flows = incast(&senders, HostAddr::new(0, 0, 0), 20_000, SimTime::from_micros(5), 100);
+        let flows = incast(
+            &senders,
+            HostAddr::new(0, 0, 0),
+            20_000,
+            SimTime::from_micros(5),
+            100,
+        );
         assert_eq!(flows.len(), 8);
         assert!(flows.iter().all(|f| f.dst == HostAddr::new(0, 0, 0)));
         assert_eq!(flows[0].id, FlowId(100));

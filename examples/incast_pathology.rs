@@ -52,10 +52,19 @@ fn main() {
                 }
             }
         }
-        let flows = incast(&senders, victim, 100_000_000 / n as u64, SimTime::from_micros(10), 1);
+        let flows = incast(
+            &senders,
+            victim,
+            100_000_000 / n as u64,
+            SimTime::from_micros(10),
+            1,
+        );
 
         let cfg = NetConfig {
-            tcp: TcpConfig { rto_min: SimDuration::from_millis(10), ..Default::default() },
+            tcp: TcpConfig {
+                rto_min: SimDuration::from_millis(10),
+                ..Default::default()
+            },
             rtt_scope: RttScope::None,
             ..Default::default()
         };

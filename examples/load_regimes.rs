@@ -31,7 +31,11 @@ fn main() {
         flows.len()
     );
 
-    let cfg = NetConfig { rtt_scope: RttScope::None, track_queues: true, ..Default::default() };
+    let cfg = NetConfig {
+        rtt_scope: RttScope::None,
+        track_queues: true,
+        ..Default::default()
+    };
     let (net, _) = run_ground_truth(params, cfg, Some(1), &flows, horizon);
 
     if let Some(layers) = net.queue_depth_by_layer(horizon) {
@@ -52,7 +56,11 @@ fn main() {
     let mut buckets: Vec<([u64; 4], f64, u64)> = vec![([0; 4], 0.0, 0); 20];
     for r in &records {
         let s = model.observe(
-            if r.dropped { None } else { Some(r.latency.as_secs_f64()) },
+            if r.dropped {
+                None
+            } else {
+                Some(r.latency.as_secs_f64())
+            },
             r.dropped,
         );
         let b = ((r.t_in.as_nanos() / window) as usize).min(buckets.len() - 1);
@@ -79,9 +87,18 @@ fn main() {
         }
         let dominant = (0..4).max_by_key(|&k| counts[k]).unwrap_or(0);
         let name = ["Minimal", "Increasing", "High", "Decreasing"][dominant];
-        let mean_us = if *lat_n > 0 { lat_sum / *lat_n as f64 * 1e6 } else { 0.0 };
+        let mean_us = if *lat_n > 0 {
+            lat_sum / *lat_n as f64 * 1e6
+        } else {
+            0.0
+        };
         let bar = "=".repeat((mean_us / 10.0).min(60.0) as usize);
-        println!("  {:>5.1}ms {:>8.1}us {:<10} {bar}", i as f64 * 3.0, mean_us, name);
+        println!(
+            "  {:>5.1}ms {:>8.1}us {:<10} {bar}",
+            i as f64 * 3.0,
+            mean_us,
+            name
+        );
     }
     println!(
         "\nthe macro states track the load swing — the structure the paper's\n\

@@ -12,7 +12,7 @@
 
 use elephant::des::SimTime;
 use elephant::net::{ClosParams, NetConfig, RttScope};
-use elephant::trace::{LoadProfile, generate, Locality, SizeDist, WorkloadConfig};
+use elephant::trace::{generate, LoadProfile, Locality, SizeDist, WorkloadConfig};
 use elephant_bench::run_pdes;
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
         locality: Locality::leaf_spine(),
         horizon,
         seed: 7,
-            profile: LoadProfile::Constant,
+        profile: LoadProfile::Constant,
     };
     let flows = generate(&params, &wl);
     println!(
@@ -35,7 +35,10 @@ fn main() {
     );
 
     // Sequential reference.
-    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+    let cfg = NetConfig {
+        rtt_scope: RttScope::None,
+        ..Default::default()
+    };
     let (_, meta) = elephant::core::run_ground_truth(params, cfg, None, &flows, horizon);
     println!(
         "sequential : {:>9} events  {:>8.3}s wall  {:.4} sim-s/s",

@@ -38,7 +38,10 @@ fn main() {
     let stats = &sim.world().stats;
     println!("\nsimulated {horizon} in {:.2}s wall", wall.as_secs_f64());
     println!("  events executed : {}", sim.scheduler().executed_total());
-    println!("  flows completed : {}/{}", stats.flows_completed, stats.flows_started);
+    println!(
+        "  flows completed : {}/{}",
+        stats.flows_completed, stats.flows_started
+    );
     println!("  bytes delivered : {}", stats.delivered_bytes);
     println!(
         "  drops           : {} (host {}, tor {}, agg {}, core {})",

@@ -26,8 +26,14 @@ fn main() {
     let small = ClosParams::paper_cluster(2);
     let horizon = SimTime::from_millis(40);
     let train_flows = generate(&small, &WorkloadConfig::paper_default(horizon, 1));
-    println!("[1/3] simulating 2 clusters at full fidelity ({} flows) ...", train_flows.len());
-    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+    println!(
+        "[1/3] simulating 2 clusters at full fidelity ({} flows) ...",
+        train_flows.len()
+    );
+    let cfg = NetConfig {
+        rtt_scope: RttScope::None,
+        ..Default::default()
+    };
     let (net, meta) = run_ground_truth(small, cfg, Some(1), &train_flows, horizon);
     let records = net.into_capture().expect("capture enabled").into_records();
     println!(
@@ -51,15 +57,17 @@ fn main() {
     // ---- Step 3: deploy at 8 clusters ---------------------------------
     let big = ClosParams::paper_cluster(8);
     let eval_flows = generate(&big, &WorkloadConfig::paper_default(horizon, 2));
-    let measured = NetConfig { rtt_scope: RttScope::Cluster(0), ..Default::default() };
+    let measured = NetConfig {
+        rtt_scope: RttScope::Cluster(0),
+        ..Default::default()
+    };
 
     println!("[3/3] eight clusters: full fidelity vs hybrid ...");
     let (truth, truth_meta) = run_ground_truth(big, measured, None, &eval_flows, horizon);
 
     let elided = filter_touching_cluster(&eval_flows, 0);
     let oracle = LearnedOracle::new(model, big, DropPolicy::Sample, 7);
-    let (hybrid, hybrid_meta) =
-        run_hybrid(big, 0, Box::new(oracle), measured, &elided, horizon);
+    let (hybrid, hybrid_meta) = run_hybrid(big, 0, Box::new(oracle), measured, &elided, horizon);
 
     let speedup = truth_meta.wall.as_secs_f64() / hybrid_meta.wall.as_secs_f64().max(1e-9);
     println!("\n                 full fidelity     hybrid");

@@ -14,6 +14,8 @@
 //! * [`net`] — packet-level Clos simulator (switches, ECMP, TCP New
 //!   Reno / DCTCP) with the oracle seam and boundary capture;
 //! * [`nn`] — the LSTM/linear/SGD substrate the micro models run on;
+//! * [`obs`] — opt-in observability: metrics registry, phase profiler,
+//!   and exportable run reports;
 //! * [`trace`] — workload synthesis (DCTCP web-search sizes, Poisson
 //!   arrivals, locality mixes) and CSV export;
 //! * [`flow`] — max-min fair fluid simulation, the related-work baseline;
@@ -30,4 +32,5 @@ pub use elephant_des as des;
 pub use elephant_flow as flow;
 pub use elephant_net as net;
 pub use elephant_nn as nn;
+pub use elephant_obs as obs;
 pub use elephant_trace as trace;

@@ -27,6 +27,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
     let opts = Opts::parse(&args[1..]);
+    if opts.observing() {
+        elephant::obs::set_enabled(true);
+    }
     match cmd.as_str() {
         "run" => cmd_run(&opts),
         "train" => cmd_train(&opts),
@@ -65,7 +68,9 @@ fn usage() -> ! {
          --layers N        LSTM depth for train (2)\n\
          --epochs N        training epochs (8)\n\
          --gru             GRU trunk instead of LSTM\n\
-         --trace N         retain the first N raw events and print a sample"
+         --trace N         retain the first N raw events and print a sample\n\
+         --profile         collect metrics + span timings; print the report\n\
+         --metrics-out P   write the run report as JSON to P (implies collection)"
     );
     exit(2)
 }
@@ -85,6 +90,8 @@ struct Opts {
     epochs: usize,
     gru: bool,
     trace: Option<usize>,
+    profile: bool,
+    metrics_out: Option<String>,
 }
 
 impl Opts {
@@ -103,6 +110,8 @@ impl Opts {
             epochs: 8,
             gru: false,
             trace: None,
+            profile: false,
+            metrics_out: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -126,6 +135,8 @@ impl Opts {
                 "--epochs" => o.epochs = parse(&val(), a),
                 "--gru" => o.gru = true,
                 "--trace" => o.trace = Some(parse(&val(), a)),
+                "--profile" => o.profile = true,
+                "--metrics-out" => o.metrics_out = Some(val()),
                 other => {
                     eprintln!("unknown option: {other}\n");
                     usage()
@@ -147,7 +158,11 @@ impl Opts {
 
     fn net_config(&self, scope: RttScope) -> NetConfig {
         NetConfig {
-            tcp: if self.dctcp { TcpConfig::dctcp() } else { TcpConfig::default() },
+            tcp: if self.dctcp {
+                TcpConfig::dctcp()
+            } else {
+                TcpConfig::default()
+            },
             rtt_scope: scope,
             ..Default::default()
         }
@@ -157,6 +172,10 @@ impl Opts {
         let mut wl = WorkloadConfig::paper_default(self.horizon, seed);
         wl.load = self.load;
         generate(params, &wl)
+    }
+
+    fn observing(&self) -> bool {
+        self.profile || self.metrics_out.is_some()
     }
 
     fn load_model(&self) -> ClusterModel {
@@ -182,15 +201,64 @@ fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
     })
 }
 
+/// Builds the run report from the global registry/profiler, prints it when
+/// `--profile` is set, and writes JSON when `--metrics-out` is set.
+/// Sequential runs get one zero-wait partition row so the schema matches
+/// PDES reports.
+fn emit_metrics(o: &Opts, name: &str, scenario: String, meta: Option<&elephant::core::RunMeta>) {
+    if !o.observing() {
+        return;
+    }
+    let mut report = elephant::obs::RunReport::new(name, scenario);
+    if let Some(m) = meta {
+        report.set_run(m.wall.as_secs_f64(), m.events, m.sim_seconds);
+        report.partitions = vec![elephant::obs::PartitionRow {
+            partition: 0,
+            events: m.events,
+            work_seconds: m.wall.as_secs_f64(),
+            ..Default::default()
+        }
+        .finish()];
+    }
+    report.gather();
+    if o.profile {
+        println!("\n{}", report.to_table());
+    }
+    if let Some(path) = &o.metrics_out {
+        match report.save(std::path::Path::new(path)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                exit(1)
+            }
+        }
+    }
+}
+
 fn print_summary(net: &Network, meta: &elephant::core::RunMeta) {
     let s = &net.stats;
-    println!("\nsimulated {:.3}s in {:.2}s wall ({} events)",
-        meta.sim_seconds, meta.wall.as_secs_f64(), meta.events);
-    println!("  flows     : {}/{} completed", s.flows_completed, s.flows_started);
-    println!("  goodput   : {:.3} GB delivered", s.delivered_bytes as f64 / 1e9);
+    println!(
+        "\nsimulated {:.3}s in {:.2}s wall ({} events)",
+        meta.sim_seconds,
+        meta.wall.as_secs_f64(),
+        meta.events
+    );
+    println!(
+        "  flows     : {}/{} completed",
+        s.flows_completed, s.flows_started
+    );
+    println!(
+        "  goodput   : {:.3} GB delivered",
+        s.delivered_bytes as f64 / 1e9
+    );
     println!(
         "  drops     : {} (host {}, tor {}, agg {}, core {}, oracle {})",
-        s.drops.total(), s.drops.host, s.drops.tor, s.drops.agg, s.drops.core, s.drops.oracle
+        s.drops.total(),
+        s.drops.host,
+        s.drops.tor,
+        s.drops.agg,
+        s.drops.core,
+        s.drops.oracle
     );
     if s.rtt_hist.count() > 0 {
         println!(
@@ -217,7 +285,10 @@ fn print_trace_sample(net: &Network) {
             trace.observed(),
             if trace.truncated() { ", truncated" } else { "" }
         );
-        println!("  {:>12}  {:<14} {:>6} {:>8} {:>8} {:>10}", "time", "kind", "node", "packet", "flow", "seq");
+        println!(
+            "  {:>12}  {:<14} {:>6} {:>8} {:>8} {:>10}",
+            "time", "kind", "node", "packet", "flow", "seq"
+        );
         for e in trace.entries().iter().take(20) {
             println!(
                 "  {:>12}  {:<14} {:>6} {:>8} {:>8} {:>10}",
@@ -244,8 +315,7 @@ fn cmd_run(o: &Opts) {
     );
     // Tracing needs direct Simulator access rather than the runner helper.
     let topo = std::sync::Arc::new(elephant::net::Topology::clos(params));
-    let mut sim =
-        elephant::des::Simulator::new(Network::new(topo, o.net_config(RttScope::All)));
+    let mut sim = elephant::des::Simulator::new(Network::new(topo, o.net_config(RttScope::All)));
     if let Some(n) = o.trace {
         sim.world_mut().enable_trace(n);
     }
@@ -259,6 +329,38 @@ fn cmd_run(o: &Opts) {
     };
     print_summary(sim.world(), &meta);
     print_trace_sample(sim.world());
+    emit_metrics(
+        o,
+        "run",
+        format!("full fidelity, {} clusters, seed {}", o.clusters, o.seed),
+        Some(&meta),
+    );
+}
+
+/// Captures a short two-cluster ground truth and trains a deliberately
+/// small model — the `hybrid` fallback when no `--model` is supplied.
+fn quick_default_model(o: &Opts) -> ClusterModel {
+    let params = ClosParams::paper_cluster(2);
+    let horizon = SimTime::from_millis(30);
+    let mut wl = WorkloadConfig::paper_default(horizon, o.seed);
+    wl.load = o.load;
+    let flows = generate(&params, &wl);
+    let (net, _) = run_ground_truth(
+        params,
+        o.net_config(RttScope::None),
+        Some(1),
+        &flows,
+        horizon,
+    );
+    let records = net.into_capture().expect("capture enabled").into_records();
+    let opts = TrainingOptions {
+        hidden: 16,
+        layers: 1,
+        epochs: 4,
+        ..Default::default()
+    };
+    let (model, _) = train_cluster_model(&records, &params, &opts);
+    model
 }
 
 fn cmd_train(o: &Opts) {
@@ -277,10 +379,19 @@ fn cmd_train(o: &Opts) {
         flows.len(),
         o.horizon
     );
-    let (net, meta) =
-        run_ground_truth(params, o.net_config(RttScope::None), Some(1), &flows, o.horizon);
+    let (net, meta) = run_ground_truth(
+        params,
+        o.net_config(RttScope::None),
+        Some(1),
+        &flows,
+        o.horizon,
+    );
     let records = net.into_capture().expect("capture enabled").into_records();
-    println!("  {} events, {} boundary records", meta.events, records.len());
+    println!(
+        "  {} events, {} boundary records",
+        meta.events,
+        records.len()
+    );
 
     let opts = TrainingOptions {
         hidden: o.hidden,
@@ -310,14 +421,31 @@ fn cmd_train(o: &Opts) {
         exit(1)
     });
     println!("wrote {}", o.out);
+    emit_metrics(
+        o,
+        "train",
+        format!(
+            "capture + {}x{} {} training, seed {}",
+            o.layers,
+            o.hidden,
+            if o.gru { "GRU" } else { "LSTM" },
+            o.seed
+        ),
+        Some(&meta),
+    );
 }
 
 fn cmd_hybrid(o: &Opts) {
-    let model = o.load_model();
+    let model = match &o.model {
+        Some(_) => o.load_model(),
+        None => {
+            println!("no --model given; capturing + training a small default model first ...");
+            quick_default_model(o)
+        }
+    };
     let params = o.params();
     assert!(o.full_cluster < o.clusters, "--full-cluster out of range");
-    let flows =
-        filter_touching_cluster(&o.workload(&params, o.seed), o.full_cluster);
+    let flows = filter_touching_cluster(&o.workload(&params, o.seed), o.full_cluster);
     println!(
         "hybrid run: {} clusters ({} approximated), {} flows after elision, horizon {}",
         params.clusters,
@@ -335,6 +463,17 @@ fn cmd_hybrid(o: &Opts) {
         o.horizon,
     );
     print_summary(&net, &meta);
+    emit_metrics(
+        o,
+        "hybrid",
+        format!(
+            "{} clusters ({} approximated), seed {}",
+            o.clusters,
+            o.clusters - 1,
+            o.seed
+        ),
+        Some(&meta),
+    );
 }
 
 fn cmd_compare(o: &Opts) {
@@ -348,8 +487,14 @@ fn cmd_compare(o: &Opts) {
     let elided = filter_touching_cluster(&flows, o.full_cluster);
     println!("hybrid ({} flows after elision) ...", elided.len());
     let oracle = LearnedOracle::new(model, params, DropPolicy::Sample, o.seed ^ 0xE1E);
-    let (hybrid, hmeta) =
-        run_hybrid(params, o.full_cluster, Box::new(oracle), cfg, &elided, o.horizon);
+    let (hybrid, hmeta) = run_hybrid(
+        params,
+        o.full_cluster,
+        Box::new(oracle),
+        cfg,
+        &elided,
+        o.horizon,
+    );
 
     let cmp = compare_cdfs(&truth.stats.rtt_cdf(), &hybrid.stats.rtt_cdf());
     println!("\n  quantile   truth       hybrid      error");
@@ -369,5 +514,11 @@ fn cmd_compare(o: &Opts) {
         hmeta.wall.as_secs_f64(),
         tmeta.wall.as_secs_f64() / hmeta.wall.as_secs_f64().max(1e-9),
         tmeta.events as f64 / hmeta.events.max(1) as f64,
+    );
+    emit_metrics(
+        o,
+        "compare",
+        format!("truth vs hybrid, {} clusters, seed {}", o.clusters, o.seed),
+        Some(&hmeta),
     );
 }

@@ -40,28 +40,64 @@ fn cli_workflow_train_hybrid_compare() {
         "--out",
         model,
     ]);
-    assert!(out.contains("boundary records"), "training reported capture:\n{out}");
+    assert!(
+        out.contains("boundary records"),
+        "training reported capture:\n{out}"
+    );
     assert!(out.contains("drop accuracy"), "training reported metrics");
     let json = std::fs::read_to_string(model).expect("model file written");
-    assert!(json.contains("macro_cfg"), "model JSON has expected structure");
+    assert!(
+        json.contains("macro_cfg"),
+        "model JSON has expected structure"
+    );
 
     // Hybrid deployment of that model.
-    let out = run_ok(&["hybrid", "--model", model, "--clusters", "4", "--horizon-ms", "5"]);
-    assert!(out.contains("oracle"), "hybrid exercised the oracle:\n{out}");
+    let out = run_ok(&[
+        "hybrid",
+        "--model",
+        model,
+        "--clusters",
+        "4",
+        "--horizon-ms",
+        "5",
+    ]);
+    assert!(
+        out.contains("oracle"),
+        "hybrid exercised the oracle:\n{out}"
+    );
     assert!(out.contains("flows"), "hybrid printed flow summary");
 
     // Side-by-side comparison table.
-    let out = run_ok(&["compare", "--model", model, "--clusters", "2", "--horizon-ms", "5"]);
+    let out = run_ok(&[
+        "compare",
+        "--model",
+        model,
+        "--clusters",
+        "2",
+        "--horizon-ms",
+        "5",
+    ]);
     assert!(out.contains("KS distance"), "compare printed KS:\n{out}");
     assert!(out.contains("p50"), "compare printed quantile table");
 }
 
 #[test]
 fn cli_run_with_trace() {
-    let out = run_ok(&["run", "--clusters", "2", "--horizon-ms", "3", "--trace", "50"]);
+    let out = run_ok(&[
+        "run",
+        "--clusters",
+        "2",
+        "--horizon-ms",
+        "3",
+        "--trace",
+        "50",
+    ]);
     assert!(out.contains("events"), "run summary printed:\n{out}");
     assert!(out.contains("tx_start"), "raw trace printed");
-    assert!(out.contains("truncated"), "trace reports truncation beyond 50 events");
+    assert!(
+        out.contains("truncated"),
+        "trace reports truncation beyond 50 events"
+    );
 }
 
 #[test]
@@ -86,13 +122,46 @@ fn cli_gru_training_works() {
     ]);
     assert!(out.contains("GRU"), "GRU trunk announced:\n{out}");
     let json = std::fs::read_to_string(model).unwrap();
-    assert!(json.contains("Gru"), "serialized model records the trunk kind");
+    assert!(
+        json.contains("Gru"),
+        "serialized model records the trunk kind"
+    );
 }
 
 #[test]
 fn cli_rejects_bad_usage() {
     let out = elephant().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());
-    let out = elephant().args(["hybrid"]).output().unwrap(); // missing --model
+    let out = elephant().args(["run", "--frobnicate"]).output().unwrap();
     assert!(!out.status.success());
+    let out = elephant().args(["hybrid", "--model"]).output().unwrap(); // flag missing its value
+    assert!(!out.status.success());
+}
+
+/// `hybrid` without `--model` falls back to capturing and training a small
+/// model on the spot, so `--profile`/`--metrics-out` work standalone.
+#[test]
+fn cli_hybrid_without_model_trains_fallback() {
+    let dir = std::env::temp_dir().join("elephant_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let report = dir.join("fallback_report.json");
+    let report = report.to_str().unwrap();
+    let out = run_ok(&[
+        "hybrid",
+        "--clusters",
+        "2",
+        "--horizon-ms",
+        "5",
+        "--metrics-out",
+        report,
+    ]);
+    assert!(
+        out.contains("default model"),
+        "fallback training announced:\n{out}"
+    );
+    let json = std::fs::read_to_string(report).expect("metrics report written");
+    assert!(
+        json.contains("events_per_second") && json.contains("\"metrics\""),
+        "report has run stats and a registry snapshot:\n{json}"
+    );
 }

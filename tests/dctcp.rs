@@ -17,7 +17,11 @@ fn run(ecn: bool, seed: u64) -> (u64, u64, f64, u64) {
     let horizon = SimTime::from_millis(25);
     let flows = generate(&params, &WorkloadConfig::paper_default(horizon, seed));
     let cfg = NetConfig {
-        tcp: if ecn { TcpConfig::dctcp() } else { TcpConfig::default() },
+        tcp: if ecn {
+            TcpConfig::dctcp()
+        } else {
+            TcpConfig::default()
+        },
         rtt_scope: RttScope::All,
         ..Default::default()
     };
@@ -46,5 +50,8 @@ fn dctcp_marks_instead_of_dropping() {
         dctcp_p99 < reno_p99,
         "shorter queues: p99 {dctcp_p99} < {reno_p99}"
     );
-    assert!(dctcp_done >= reno_done * 9 / 10, "throughput not sacrificed");
+    assert!(
+        dctcp_done >= reno_done * 9 / 10,
+        "throughput not sacrificed"
+    );
 }

@@ -31,16 +31,27 @@ struct Fingerprint {
 fn pipeline(seed: u64) -> Fingerprint {
     let params = ClosParams::paper_cluster(2);
     let flows = generate(&params, &WorkloadConfig::paper_default(HORIZON, seed));
-    let cfg = NetConfig { rtt_scope: RttScope::Cluster(0), ..Default::default() };
+    let cfg = NetConfig {
+        rtt_scope: RttScope::Cluster(0),
+        ..Default::default()
+    };
     let (net, meta) = run_ground_truth(params, cfg, Some(1), &flows, HORIZON);
-    let rtt_samples: Vec<u64> =
-        net.stats.raw_rtt().iter().take(500).map(|&s| (s * 1e12) as u64).collect();
+    let rtt_samples: Vec<u64> = net
+        .stats
+        .raw_rtt()
+        .iter()
+        .take(500)
+        .map(|&s| (s * 1e12) as u64)
+        .collect();
     let stats_completed = net.stats.flows_completed;
     let delivered = net.stats.delivered_bytes;
     let drops = net.stats.drops.total();
     let records = net.into_capture().expect("capture").into_records();
 
-    let opts = TrainingOptions { epochs: 2, ..Default::default() };
+    let opts = TrainingOptions {
+        epochs: 2,
+        ..Default::default()
+    };
     let (model, _) = train_cluster_model(&records, &params, &opts);
     let json = model.to_json();
 
@@ -68,6 +79,21 @@ fn same_seed_same_everything() {
     let a = pipeline(7);
     let b = pipeline(7);
     assert_eq!(a, b);
+}
+
+/// Observability is read-only: running the same pipeline with metric and
+/// span collection enabled yields the bit-identical fingerprint (wall
+/// clocks are sampled for reporting but never feed simulated time).
+#[test]
+fn instrumentation_does_not_perturb_results() {
+    let baseline = pipeline(7);
+    elephant::obs::set_enabled(true);
+    let instrumented = pipeline(7);
+    elephant::obs::set_enabled(false);
+    assert_eq!(
+        baseline, instrumented,
+        "instrumented run must match uninstrumented run"
+    );
 }
 
 #[test]

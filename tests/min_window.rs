@@ -32,9 +32,18 @@ fn run_incast(n: usize, total_bytes: u64, horizon: SimTime) -> (f64, u64, u64) {
             }
         }
     }
-    let flows = incast(&senders, victim, total_bytes / n as u64, SimTime::from_micros(10), 1);
+    let flows = incast(
+        &senders,
+        victim,
+        total_bytes / n as u64,
+        SimTime::from_micros(10),
+        1,
+    );
     let cfg = NetConfig {
-        tcp: TcpConfig { rto_min: SimDuration::from_millis(10), ..Default::default() },
+        tcp: TcpConfig {
+            rto_min: SimDuration::from_millis(10),
+            ..Default::default()
+        },
         rtt_scope: RttScope::None,
         ..Default::default()
     };
@@ -82,5 +91,8 @@ fn cwnd_never_below_one_mss() {
     // the whole engine by verifying the sim makes progress rather than
     // deadlocking at zero window).
     let (_, _, done) = run_incast(64, 4_000_000, SimTime::from_secs(2));
-    assert_eq!(done, 64, "all flows eventually complete — the floor keeps TCP live");
+    assert_eq!(
+        done, 64,
+        "all flows eventually complete — the floor keeps TCP live"
+    );
 }

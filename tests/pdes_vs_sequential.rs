@@ -10,8 +10,8 @@
 
 use elephant::des::SimTime;
 use elephant::net::{ClosParams, NetConfig, RttScope};
-use elephant::trace::{generate, Locality, LoadProfile, SizeDist, WorkloadConfig};
-use elephant_bench::{run_pdes, run_hybrid_pdes, train_default_model};
+use elephant::trace::{generate, LoadProfile, Locality, SizeDist, WorkloadConfig};
+use elephant_bench::{run_hybrid_pdes, run_pdes, train_default_model};
 
 #[test]
 fn pdes_matches_sequential_outcomes() {
@@ -23,7 +23,7 @@ fn pdes_matches_sequential_outcomes() {
         locality: Locality::leaf_spine(),
         horizon: gen_horizon,
         seed: 31,
-            profile: LoadProfile::Constant,
+        profile: LoadProfile::Constant,
     };
     let flows = generate(&params, &wl);
     assert!(flows.len() >= 10);
@@ -31,9 +31,16 @@ fn pdes_matches_sequential_outcomes() {
     // Long horizon: everything drains.
     let horizon = SimTime::from_secs(30);
 
-    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+    let cfg = NetConfig {
+        rtt_scope: RttScope::None,
+        ..Default::default()
+    };
     let (net, meta) = elephant::core::run_ground_truth(params, cfg, None, &flows, horizon);
-    assert_eq!(net.stats.flows_completed as usize, flows.len(), "sequential drains");
+    assert_eq!(
+        net.stats.flows_completed as usize,
+        flows.len(),
+        "sequential drains"
+    );
     assert_eq!(net.stats.delivered_bytes, total_bytes);
 
     for (partitions, machines) in [(2usize, 1usize), (4, 2), (4, 4)] {
@@ -66,7 +73,7 @@ fn pdes_event_totals_are_reproducible() {
         locality: Locality::leaf_spine(),
         horizon: SimTime::from_millis(3),
         seed: 77,
-            profile: LoadProfile::Constant,
+        profile: LoadProfile::Constant,
     };
     let flows = generate(&params, &wl);
     let horizon = SimTime::from_secs(10);
@@ -80,7 +87,6 @@ fn pdes_event_totals_are_reproducible() {
     assert!(rel < 0.01, "repeat runs diverged: {a:?} vs {b:?}");
 }
 
-
 #[test]
 fn hybrid_pdes_smoke() {
     // The hybrid simulator under conservative PDES: cluster-wise
@@ -91,7 +97,10 @@ fn hybrid_pdes_smoke() {
     let (model, _, _) = train_default_model(
         SimTime::from_millis(15),
         3,
-        &elephant::core::TrainingOptions { epochs: 2, ..Default::default() },
+        &elephant::core::TrainingOptions {
+            epochs: 2,
+            ..Default::default()
+        },
     );
     let params = ClosParams::paper_cluster(4);
     let flows = elephant::trace::filter_touching_cluster(
@@ -100,7 +109,17 @@ fn hybrid_pdes_smoke() {
     );
     assert!(!flows.is_empty());
     let (out, oracle_pkts) = run_hybrid_pdes(params, 0, &model, &flows, horizon, 2, 64, 9);
-    assert!(out.report.events_executed > 10_000, "events {}", out.report.events_executed);
-    assert!(out.report.remote_messages > 100, "cross-partition traffic flows");
-    assert!(oracle_pkts > 100, "oracles exercised in their partitions: {oracle_pkts}");
+    assert!(
+        out.report.events_executed > 10_000,
+        "events {}",
+        out.report.events_executed
+    );
+    assert!(
+        out.report.remote_messages > 100,
+        "cross-partition traffic flows"
+    );
+    assert!(
+        oracle_pkts > 100,
+        "oracles exercised in their partitions: {oracle_pkts}"
+    );
 }

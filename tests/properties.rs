@@ -12,8 +12,8 @@ use std::sync::Arc;
 use elephant::des::{EmpiricalCdf, SimTime, Simulator};
 use elephant::flow::max_min_allocation;
 use elephant::net::{
-    schedule_flows, ClosParams, FlowId, FlowSpec, HostAddr, NetConfig, Network, NodeKind,
-    RttScope, Topology,
+    schedule_flows, ClosParams, FlowId, FlowSpec, HostAddr, NetConfig, Network, NodeKind, RttScope,
+    Topology,
 };
 use elephant::trace::SizeDist;
 use proptest::prelude::*;
@@ -222,7 +222,10 @@ fn fluid_lower_bounds_packet_fct() {
         start: SimTime::ZERO,
     }];
     let fluid = elephant::flow::simulate(&topo, &flows, SimTime::from_secs(5));
-    let cfg = NetConfig { rtt_scope: RttScope::None, ..Default::default() };
+    let cfg = NetConfig {
+        rtt_scope: RttScope::None,
+        ..Default::default()
+    };
     let (net, _) =
         elephant::core::run_ground_truth(params, cfg, None, &flows, SimTime::from_secs(5));
     let fluid_fct = fluid.fct[0].fct().as_secs_f64();
@@ -233,6 +236,12 @@ fn fluid_lower_bounds_packet_fct() {
         .map(|r| (r.flow.0, r.fct().as_secs_f64()))
         .collect();
     let p = packet_fct[&1];
-    assert!(p >= fluid_fct * 0.95, "fluid {fluid_fct} lower-bounds packet {p}");
-    assert!(p <= fluid_fct * 2.0, "packet {p} within 2x of fluid {fluid_fct}");
+    assert!(
+        p >= fluid_fct * 0.95,
+        "fluid {fluid_fct} lower-bounds packet {p}"
+    );
+    assert!(
+        p <= fluid_fct * 2.0,
+        "packet {p} within 2x of fluid {fluid_fct}"
+    );
 }
