@@ -57,7 +57,8 @@ fn main() {
         model.macro_cfg,
         LatencyCodec::default(),
         &params,
-    );
+    )
+    .unwrap_or_else(|e| panic!("macro confusion diagnostic failed: {e}"));
     println!(
         "  macro-state agreement (auto-regressive vs truth-fed): {:.1}%",
         macro_agreement(&confusion) * 100.0

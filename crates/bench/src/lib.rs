@@ -203,7 +203,9 @@ pub fn run_pdes(
         PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes),
     );
     let t0 = Instant::now();
-    let report = runner.run_until(horizon);
+    let report = runner
+        .run_until(horizon)
+        .unwrap_or_else(|e| panic!("PDES run failed: {e}"));
     PdesOutcome {
         report,
         wall: t0.elapsed(),
@@ -271,7 +273,9 @@ pub fn run_hybrid_pdes(
         PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes),
     );
     let t0 = Instant::now();
-    let report = runner.run_until(horizon);
+    let report = runner
+        .run_until(horizon)
+        .unwrap_or_else(|e| panic!("PDES run failed: {e}"));
     let wall = t0.elapsed();
     let oracle_total: u64 = runner
         .partitions()

@@ -111,6 +111,11 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Shortens the buffer to `len` bytes; no-op if already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
     /// Converts into an immutable, cheaply cloneable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes {
@@ -134,6 +139,12 @@ impl std::ops::Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 

@@ -11,6 +11,7 @@ use elephant_des::EmpiricalCdf;
 use elephant_net::BoundaryRecord;
 use elephant_nn::MicroNet;
 
+use crate::error::ElephantError;
 use crate::features::LatencyCodec;
 use crate::macro_model::{MacroConfig, MacroModel};
 use crate::train::build_samples;
@@ -88,7 +89,7 @@ impl CdfComparison {
         if errs.is_empty() {
             return f64::INFINITY;
         }
-        errs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        errs.sort_by(f64::total_cmp);
         errs[errs.len() / 2]
     }
 }
@@ -102,6 +103,10 @@ impl CdfComparison {
 /// `records` twice — once feeding ground truth, once feeding the micro
 /// models' teacher-forced predictions — and counts state agreements.
 /// `confusion[truth][predicted]` in [`crate::MacroState`] index order.
+///
+/// Errors with [`ElephantError::StreamMisaligned`] if the feature-sample
+/// streams built from `records` run out before the records do — which can
+/// only happen when the two inputs were produced from different captures.
 pub fn macro_confusion(
     records: &[BoundaryRecord],
     up: &MicroNet,
@@ -109,7 +114,7 @@ pub fn macro_confusion(
     macro_cfg: MacroConfig,
     codec: LatencyCodec,
     params: &elephant_net::ClosParams,
-) -> [[u64; 4]; 4] {
+) -> Result<[[u64; 4]; 4], ElephantError> {
     let mut order: Vec<usize> = (0..records.len()).collect();
     order.sort_by_key(|&i| records[i].t_in);
 
@@ -142,11 +147,21 @@ pub fn macro_confusion(
         );
         // …and the deployed-style classifier on the model's prediction.
         let (sample, net, state) = match r.direction {
-            elephant_net::Direction::Up => {
-                (up_iter.next().expect("streams align"), up, &mut up_state)
-            }
+            elephant_net::Direction::Up => (
+                up_iter
+                    .next()
+                    .ok_or_else(|| ElephantError::StreamMisaligned {
+                        detail: "up-direction sample stream shorter than record stream".into(),
+                    })?,
+                up,
+                &mut up_state,
+            ),
             elephant_net::Direction::Down => (
-                down_iter.next().expect("streams align"),
+                down_iter
+                    .next()
+                    .ok_or_else(|| ElephantError::StreamMisaligned {
+                        detail: "down-direction sample stream shorter than record stream".into(),
+                    })?,
                 down,
                 &mut down_state,
             ),
@@ -159,7 +174,7 @@ pub fn macro_confusion(
             pred_macro.observe(Some(lat.as_secs_f64()), false);
         }
     }
-    confusion
+    Ok(confusion)
 }
 
 /// Agreement rate of a [`macro_confusion`] matrix (trace over total).
@@ -231,7 +246,8 @@ mod tests {
             MacroConfig::default(),
             LatencyCodec::default(),
             &params,
-        );
+        )
+        .expect("aligned streams");
         let total: u64 = c.iter().flatten().sum();
         assert_eq!(total, 200, "one cell per record");
         let a = macro_agreement(&c);
@@ -244,7 +260,8 @@ mod tests {
             MacroConfig::default(),
             LatencyCodec::default(),
             &params,
-        );
+        )
+        .expect("aligned streams");
         assert_eq!(c, c2);
     }
 
@@ -287,6 +304,48 @@ mod tests {
             );
         }
         assert!((c.median_abs_rel_error() - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn nan_quantiles_do_not_panic_the_summary() {
+        // A degenerate comparison whose quantiles contain NaN must not
+        // panic the median (the old partial_cmp comparator aborted here);
+        // NaN rows are non-finite and thus excluded from the summary.
+        let rows = vec![
+            PercentileRow {
+                q: 0.5,
+                truth: f64::NAN,
+                approx: 1.0,
+            },
+            PercentileRow {
+                q: 0.9,
+                truth: 2.0,
+                approx: f64::NAN,
+            },
+            PercentileRow {
+                q: 0.99,
+                truth: 10.0,
+                approx: 11.0,
+            },
+        ];
+        let c = CdfComparison {
+            ks: 0.0,
+            rows,
+            truth_samples: 3,
+            approx_samples: 3,
+        };
+        assert!((c.median_abs_rel_error() - 0.1).abs() < 1e-12);
+        let all_nan = CdfComparison {
+            ks: 0.0,
+            rows: vec![PercentileRow {
+                q: 0.5,
+                truth: f64::NAN,
+                approx: f64::NAN,
+            }],
+            truth_samples: 1,
+            approx_samples: 1,
+        };
+        assert!(all_nan.median_abs_rel_error().is_infinite());
     }
 
     #[test]

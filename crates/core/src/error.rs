@@ -1,0 +1,163 @@
+//! The workspace's typed error vocabulary.
+//!
+//! Hand-rolled `thiserror`-style enum (no proc-macro deps): every fallible
+//! seam in the pipeline — model files on disk, capture retrieval, stream
+//! alignment — reports one of these instead of `expect`-panicking, and the
+//! CLI maps each family onto a distinct process exit code so scripts can
+//! tell "bad model artifact" from "I/O problem" from "simulation fault".
+
+use std::fmt;
+
+/// Why a pipeline step failed.
+#[derive(Debug)]
+pub enum ElephantError {
+    /// Reading or writing a file failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// Model JSON did not parse at all (truncated, mangled, not JSON).
+    ModelParse {
+        /// Parser diagnostic.
+        detail: String,
+    },
+    /// The file parsed but is not an elephant model artifact.
+    ModelMagic {
+        /// The magic string actually present.
+        found: String,
+    },
+    /// The artifact's format version is not one this build understands.
+    ModelVersion {
+        /// Version in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        expected: u32,
+    },
+    /// The weight checksum does not match the header (bit rot, truncation
+    /// that still parses, or hand-editing).
+    ModelChecksum {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum recomputed over the weights.
+        actual: u64,
+    },
+    /// The model contains NaN or infinite weights and would poison every
+    /// prediction.
+    ModelNonFinite {
+        /// Number of non-finite parameters found.
+        count: usize,
+    },
+    /// A capture was requested from a network that was not configured to
+    /// record one.
+    CaptureMissing,
+    /// Two record streams that must advance in lockstep did not (internal
+    /// invariant; indicates corrupt or inconsistent training data).
+    StreamMisaligned {
+        /// What diverged.
+        detail: String,
+    },
+}
+
+impl ElephantError {
+    /// The process exit code the CLI uses for this error family:
+    /// `3` = I/O, `4` = invalid model artifact, `5` = simulation/pipeline
+    /// fault. (`2` is reserved for usage errors, `1` for generic failure.)
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            ElephantError::Io { .. } => 3,
+            ElephantError::ModelParse { .. }
+            | ElephantError::ModelMagic { .. }
+            | ElephantError::ModelVersion { .. }
+            | ElephantError::ModelChecksum { .. }
+            | ElephantError::ModelNonFinite { .. } => 4,
+            ElephantError::CaptureMissing | ElephantError::StreamMisaligned { .. } => 5,
+        }
+    }
+}
+
+impl fmt::Display for ElephantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElephantError::Io { path, source } => write!(f, "{path}: {source}"),
+            ElephantError::ModelParse { detail } => {
+                write!(f, "cannot parse model file: {detail}")
+            }
+            ElephantError::ModelMagic { found } => write!(
+                f,
+                "not an elephant model file (magic {found:?}); \
+                 expected a header written by `elephant train`"
+            ),
+            ElephantError::ModelVersion { found, expected } => write!(
+                f,
+                "unsupported model format version {found} (this build reads version {expected})"
+            ),
+            ElephantError::ModelChecksum { expected, actual } => write!(
+                f,
+                "model weight checksum mismatch: header says {expected:#018x}, \
+                 weights hash to {actual:#018x} — the file is corrupt"
+            ),
+            ElephantError::ModelNonFinite { count } => write!(
+                f,
+                "model contains {count} non-finite weight(s); refusing to load"
+            ),
+            ElephantError::CaptureMissing => {
+                write!(
+                    f,
+                    "no boundary capture: the run was not configured to record one"
+                )
+            }
+            ElephantError::StreamMisaligned { detail } => {
+                write!(f, "record streams misaligned: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ElephantError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ElephantError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_partition_the_families() {
+        let io = ElephantError::Io {
+            path: "x".into(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        assert_eq!(io.exit_code(), 3);
+        assert_eq!(
+            ElephantError::ModelParse { detail: "".into() }.exit_code(),
+            4
+        );
+        assert_eq!(
+            ElephantError::ModelVersion {
+                found: 9,
+                expected: 1
+            }
+            .exit_code(),
+            4
+        );
+        assert_eq!(ElephantError::CaptureMissing.exit_code(), 5);
+    }
+
+    #[test]
+    fn messages_name_the_problem() {
+        let e = ElephantError::ModelChecksum {
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("checksum"));
+        let e = ElephantError::ModelNonFinite { count: 3 };
+        assert!(e.to_string().contains("3 non-finite"));
+    }
+}

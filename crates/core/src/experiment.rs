@@ -15,6 +15,8 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::error::ElephantError;
+
 use elephant_des::{SimTime, Simulator};
 use elephant_net::{
     schedule_flows, ClosParams, ClusterOracle, FlowSpec, NetConfig, Network, RttScope, Topology,
@@ -93,6 +95,15 @@ pub fn run_hybrid(
     finish(sim, horizon)
 }
 
+/// Extracts the boundary capture from a finished network, or a typed
+/// [`ElephantError::CaptureMissing`] if the run was not configured to
+/// record one — the fallible replacement for `into_capture().expect(…)`.
+pub fn capture_records(net: Network) -> Result<Vec<elephant_net::BoundaryRecord>, ElephantError> {
+    net.into_capture()
+        .map(|c| c.into_records())
+        .ok_or(ElephantError::CaptureMissing)
+}
+
 fn finish(mut sim: Simulator<Network>, horizon: SimTime) -> (Network, RunMeta) {
     let _span = elephant_obs::span("run");
     let start = Instant::now();
@@ -130,7 +141,7 @@ mod tests {
         // Step 1: ground truth with capture around cluster 1.
         let (net, meta) = run_ground_truth(params, NetConfig::default(), Some(1), &flows, horizon);
         assert!(meta.events > 1000, "events {}", meta.events);
-        let records = net.into_capture().expect("capture enabled").into_records();
+        let records = capture_records(net).expect("capture enabled");
         assert!(records.len() > 100, "records {}", records.len());
 
         // Step 2: train (tiny settings; this is a smoke test).

@@ -54,9 +54,17 @@ impl LatencyCodec {
     /// Decodes a regression output back to a latency (clamped to the
     /// codec's physical range).
     pub fn decode(&self, target: f32) -> SimDuration {
+        SimDuration::from_secs_f64(self.decode_secs(target))
+    }
+
+    /// The seconds value a model output decodes to, *before* conversion to
+    /// integer simulation time. NaN input yields NaN output (`clamp`
+    /// passes NaN through), so callers validating untrusted predictions
+    /// must check finiteness before constructing a [`SimDuration`] —
+    /// that construction panics on non-finite input.
+    pub fn decode_secs(&self, target: f32) -> f64 {
         let t = (target as f64).clamp(0.0, 1.0);
-        let secs = self.lo * (self.hi / self.lo).powf(t);
-        SimDuration::from_secs_f64(secs)
+        self.lo * (self.hi / self.lo).powf(t)
     }
 }
 

@@ -14,14 +14,41 @@
 use std::collections::HashMap;
 
 use elephant_des::SimTime;
-use elephant_net::{ClosParams, ClusterOracle, Direction, OracleCtx, OracleVerdict, Packet};
+use elephant_net::{
+    ClosParams, ClusterOracle, Direction, OracleCtx, OracleVerdict, Packet, RawVerdict,
+};
 use elephant_nn::{MicroNet, MicroNetState};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::error::ElephantError;
 use crate::features::{FeatureExtractor, LatencyCodec};
 use crate::macro_model::{MacroConfig, MacroModel, MacroState};
+
+/// Magic string identifying a versioned elephant model artifact.
+pub const MODEL_MAGIC: &str = "ELEPHANT-MODEL";
+/// Model artifact format version this build writes and reads.
+pub const MODEL_VERSION: u32 = 1;
+
+/// Training-time statistics embedded in the model, used at deployment to
+/// derive guardrail tolerance bands (e.g. the expected drop rate for
+/// [`elephant_net::GuardConfig`]).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct ModelMeta {
+    /// Overall drop rate of the training capture.
+    #[serde(default)]
+    pub train_drop_rate: f64,
+    /// Median delivered latency of the training capture, seconds.
+    #[serde(default)]
+    pub train_latency_p50: f64,
+    /// 99th-percentile delivered latency of the training capture, seconds.
+    #[serde(default)]
+    pub train_latency_p99: f64,
+    /// Number of boundary records the model was trained on.
+    #[serde(default)]
+    pub train_records: u64,
+}
 
 /// Everything learned from one training run, serializable as JSON.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -34,17 +61,107 @@ pub struct ClusterModel {
     pub macro_cfg: MacroConfig,
     /// Latency target codec.
     pub codec: LatencyCodec,
+    /// Training-time stats for deployment guardrails (absent in legacy
+    /// artifacts; defaults to zeros, which disables derived bands).
+    #[serde(default)]
+    pub meta: ModelMeta,
+}
+
+/// On-disk envelope for a [`ClusterModel`]: versioned, checksummed header
+/// plus the model itself. [`ClusterModel::to_file_json`] writes one;
+/// [`ClusterModel::load_json`] validates magic, version, checksum, and
+/// weight finiteness before handing the model out.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelFile {
+    /// Must equal [`MODEL_MAGIC`].
+    pub magic: String,
+    /// Must equal [`MODEL_VERSION`].
+    pub version: u32,
+    /// FNV-1a over both micro models' weight bits, in parameter order.
+    pub checksum: u64,
+    /// The payload.
+    pub model: ClusterModel,
+}
+
+impl ModelFile {
+    /// Validates the header and payload, yielding the model.
+    pub fn into_model(self) -> Result<ClusterModel, ElephantError> {
+        if self.magic != MODEL_MAGIC {
+            return Err(ElephantError::ModelMagic { found: self.magic });
+        }
+        if self.version != MODEL_VERSION {
+            return Err(ElephantError::ModelVersion {
+                found: self.version,
+                expected: MODEL_VERSION,
+            });
+        }
+        let actual = self.model.weight_checksum();
+        if actual != self.checksum {
+            return Err(ElephantError::ModelChecksum {
+                expected: self.checksum,
+                actual,
+            });
+        }
+        self.model.validate_weights()?;
+        Ok(self.model)
+    }
 }
 
 impl ClusterModel {
-    /// Serializes to JSON.
+    /// Serializes the bare model to JSON (no header; used inside
+    /// fingerprints and legacy paths).
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("model serializes")
     }
 
-    /// Deserializes from JSON.
+    /// Deserializes a bare (headerless) model from JSON.
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(s)
+    }
+
+    /// Serializes to the versioned, checksummed on-disk format.
+    pub fn to_file_json(&self) -> String {
+        let file = ModelFile {
+            magic: MODEL_MAGIC.to_string(),
+            version: MODEL_VERSION,
+            checksum: self.weight_checksum(),
+            model: self.clone(),
+        };
+        serde_json::to_string(&file).expect("model file serializes")
+    }
+
+    /// Loads a model from JSON, accepting both the versioned format (with
+    /// full header validation) and legacy bare-model JSON (weight
+    /// finiteness is still checked). All failure modes are typed.
+    pub fn load_json(s: &str) -> Result<Self, ElephantError> {
+        match serde_json::from_str::<ModelFile>(s) {
+            Ok(file) => file.into_model(),
+            Err(_) => {
+                let model: ClusterModel =
+                    serde_json::from_str(s).map_err(|e| ElephantError::ModelParse {
+                        detail: e.to_string(),
+                    })?;
+                model.validate_weights()?;
+                Ok(model)
+            }
+        }
+    }
+
+    /// Combined checksum over both directional micro models' weights.
+    pub fn weight_checksum(&self) -> u64 {
+        self.up
+            .weight_checksum()
+            .wrapping_mul(0x0000_0100_0000_01b3)
+            ^ self.down.weight_checksum()
+    }
+
+    /// Fails if either micro model carries NaN or infinite weights.
+    pub fn validate_weights(&self) -> Result<(), ElephantError> {
+        let count = self.up.non_finite_params() + self.down.non_finite_params();
+        if count > 0 {
+            return Err(ElephantError::ModelNonFinite { count });
+        }
+        Ok(())
     }
 }
 
@@ -162,6 +279,18 @@ fn runtime<'a>(
 
 impl ClusterOracle for LearnedOracle {
     fn classify(&mut self, ctx: &OracleCtx<'_>, pkt: &Packet, now: SimTime) -> OracleVerdict {
+        // The unguarded path: convert the raw prediction directly. A model
+        // emitting NaN or negative latency panics here — deploy behind an
+        // [`elephant_net::GuardedOracle`] to degrade gracefully instead.
+        match self.classify_raw(ctx, pkt, now) {
+            RawVerdict::Drop => OracleVerdict::Drop,
+            RawVerdict::Deliver { latency_secs } => OracleVerdict::Deliver {
+                latency: elephant_des::SimDuration::from_secs_f64(latency_secs),
+            },
+        }
+    }
+
+    fn classify_raw(&mut self, ctx: &OracleCtx<'_>, pkt: &Packet, now: SimTime) -> RawVerdict {
         let LearnedOracle {
             model,
             params,
@@ -213,13 +342,20 @@ impl ClusterOracle for LearnedOracle {
             stats.drops += 1;
             metrics.drops.inc();
             rt.macro_model.observe(None, true);
-            return OracleVerdict::Drop;
+            return RawVerdict::Drop;
         }
-        let latency = model.codec.decode(pred.latency);
+        let latency_secs = model.codec.decode_secs(pred.latency);
         // Auto-regression: the macro model advances on the oracle's own
         // output, since ground truth does not exist at simulation time.
-        rt.macro_model.observe(Some(latency.as_secs_f64()), false);
-        OracleVerdict::Deliver { latency }
+        // The observed value is rounded to nanoseconds — identical to the
+        // SimDuration round-trip the validated path performs — so guarded
+        // and unguarded runs evolve the same macro state. A non-finite
+        // prediction is skipped here; the caller decides the verdict.
+        if latency_secs.is_finite() && latency_secs >= 0.0 {
+            rt.macro_model
+                .observe(Some((latency_secs * 1e9).round() / 1e9), false);
+        }
+        RawVerdict::Deliver { latency_secs }
     }
 }
 
@@ -245,6 +381,7 @@ mod tests {
             down: MicroNet::new(cfg, &mut rng),
             macro_cfg: MacroConfig::default(),
             codec: LatencyCodec::default(),
+            meta: ModelMeta::default(),
         }
     }
 
@@ -363,5 +500,85 @@ mod tests {
         let b = back.up.predict(&x, &mut back.up.init_state());
         assert_eq!(a.drop_prob, b.drop_prob);
         assert_eq!(a.latency, b.latency);
+    }
+
+    #[test]
+    fn versioned_file_round_trips_and_validates() {
+        let m = tiny_model();
+        let json = m.to_file_json();
+        let back = ClusterModel::load_json(&json).expect("valid file loads");
+        assert_eq!(back.weight_checksum(), m.weight_checksum());
+        // Legacy bare-model JSON still loads.
+        let legacy = ClusterModel::load_json(&m.to_json()).expect("legacy loads");
+        assert_eq!(legacy.weight_checksum(), m.weight_checksum());
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_typed_errors() {
+        let m = tiny_model();
+        let file = ModelFile {
+            magic: "NOT-A-MODEL".to_string(),
+            version: MODEL_VERSION,
+            checksum: m.weight_checksum(),
+            model: m.clone(),
+        };
+        let err = ClusterModel::load_json(&serde_json::to_string(&file).unwrap()).unwrap_err();
+        assert!(matches!(err, ElephantError::ModelMagic { .. }), "{err}");
+
+        let file = ModelFile {
+            magic: MODEL_MAGIC.to_string(),
+            version: MODEL_VERSION + 7,
+            checksum: m.weight_checksum(),
+            model: m,
+        };
+        let err = ClusterModel::load_json(&serde_json::to_string(&file).unwrap()).unwrap_err();
+        assert!(
+            matches!(err, ElephantError::ModelVersion { found, .. } if found == MODEL_VERSION + 7)
+        );
+    }
+
+    #[test]
+    fn checksum_mismatch_is_detected() {
+        let m = tiny_model();
+        let file = ModelFile {
+            magic: MODEL_MAGIC.to_string(),
+            version: MODEL_VERSION,
+            checksum: m.weight_checksum() ^ 1,
+            model: m,
+        };
+        let err = ClusterModel::load_json(&serde_json::to_string(&file).unwrap()).unwrap_err();
+        assert!(matches!(err, ElephantError::ModelChecksum { .. }), "{err}");
+    }
+
+    #[test]
+    fn nan_weights_refuse_to_load() {
+        let mut m = tiny_model();
+        m.up.param_slices()[0][0] = f32::NAN;
+        // At the envelope layer (checksum covers the NaN bits, so it
+        // matches) the finiteness validator is what rejects the model.
+        let file = ModelFile {
+            magic: MODEL_MAGIC.to_string(),
+            version: MODEL_VERSION,
+            checksum: m.weight_checksum(),
+            model: m.clone(),
+        };
+        let err = file.into_model().unwrap_err();
+        assert!(
+            matches!(err, ElephantError::ModelNonFinite { count } if count == 1),
+            "{err}"
+        );
+        // Through JSON the NaN serializes as `null` (serde_json's
+        // behaviour for non-finite floats), so the artifact fails one
+        // layer earlier — but it still refuses to load.
+        let err = ClusterModel::load_json(&m.to_file_json()).unwrap_err();
+        assert!(matches!(err, ElephantError::ModelParse { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_json_is_a_parse_error() {
+        let m = tiny_model();
+        let json = m.to_file_json();
+        let err = ClusterModel::load_json(&json[..json.len() / 2]).unwrap_err();
+        assert!(matches!(err, ElephantError::ModelParse { .. }), "{err}");
     }
 }

@@ -33,7 +33,7 @@
 //! let horizon = SimTime::from_millis(200);
 //! let flows = generate(&small, &WorkloadConfig::paper_default(horizon, 1));
 //! let (net, _) = run_ground_truth(small, NetConfig::default(), Some(1), &flows, horizon);
-//! let records = net.into_capture().unwrap().into_records();
+//! let records = elephant_core::capture_records(net).expect("capture was enabled");
 //!
 //! // 2. Train the macro + micro models from the capture.
 //! let (model, report) = train_cluster_model(&records, &small, &TrainingOptions::default());
@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod accuracy;
+mod error;
 mod experiment;
 mod features;
 mod learned;
@@ -62,11 +63,15 @@ mod train;
 pub use accuracy::{
     compare_cdfs, macro_agreement, macro_confusion, CdfComparison, PercentileRow, REPORT_QUANTILES,
 };
-pub use experiment::{run_ground_truth, run_hybrid, RunMeta};
+pub use error::ElephantError;
+pub use experiment::{capture_records, run_ground_truth, run_hybrid, RunMeta};
 pub use features::{FeatureExtractor, LatencyCodec, FEATURE_DIM};
-pub use learned::{ClusterModel, DropPolicy, LearnedOracle, OracleStats};
+pub use learned::{
+    ClusterModel, DropPolicy, LearnedOracle, ModelFile, ModelMeta, OracleStats, MODEL_MAGIC,
+    MODEL_VERSION,
+};
 pub use macro_model::{MacroConfig, MacroModel, MacroState};
 pub use train::{
-    build_samples, calibrate_macro, evaluate, train_cluster_model, DirectionReport, EvalMetrics,
-    TrainReport, TrainingOptions,
+    build_samples, calibrate_macro, evaluate, model_meta, train_cluster_model, DirectionReport,
+    EvalMetrics, TrainReport, TrainingOptions,
 };

@@ -87,12 +87,18 @@ impl Default for MacroConfig {
 impl MacroConfig {
     /// Calibrates thresholds from training observations: `latency_low` is
     /// the 40th percentile of delivered latencies (seconds); `drop_high`
-    /// is twice the overall drop rate, floored at 1%.
+    /// is twice the overall drop rate, floored at 1%. Non-finite latency
+    /// samples (NaN, ±∞) are ignored rather than panicking the sort —
+    /// corrupt captures degrade to the defaults instead of aborting.
     pub fn calibrate(latencies: &[f64], drop_rate: f64) -> Self {
         let mut cfg = MacroConfig::default();
-        if !latencies.is_empty() {
-            let mut sorted = latencies.to_vec();
-            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let mut sorted: Vec<f64> = latencies
+            .iter()
+            .copied()
+            .filter(|l| l.is_finite())
+            .collect();
+        if !sorted.is_empty() {
+            sorted.sort_by(f64::total_cmp);
             cfg.latency_low = sorted[(sorted.len() - 1) * 2 / 5];
         }
         cfg.drop_high = (2.0 * drop_rate).max(0.01);
@@ -273,6 +279,25 @@ mod tests {
         assert_eq!(cfg.drop_high, 0.01, "floored at 1%");
         let cfg2 = MacroConfig::calibrate(&lats, 0.2);
         assert!((cfg2.drop_high - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibrate_ignores_non_finite_latencies() {
+        // The old comparator panicked on NaN; now corrupt samples are
+        // dropped and the percentile comes from the finite remainder.
+        let mut lats: Vec<f64> = (1..=100).map(|i| i as f64 * 1e-6).collect();
+        lats.push(f64::NAN);
+        lats.push(f64::INFINITY);
+        lats.push(f64::NEG_INFINITY);
+        let cfg = MacroConfig::calibrate(&lats, 0.001);
+        assert!(
+            (cfg.latency_low - 40e-6).abs() < 2e-6,
+            "p40 over finite samples = {}",
+            cfg.latency_low
+        );
+        // All-NaN input degrades to the default threshold.
+        let cfg_nan = MacroConfig::calibrate(&[f64::NAN, f64::NAN], 0.0);
+        assert_eq!(cfg_nan.latency_low, MacroConfig::default().latency_low);
     }
 
     #[test]

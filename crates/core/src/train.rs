@@ -17,7 +17,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::features::{FeatureExtractor, LatencyCodec, FEATURE_DIM};
-use crate::learned::ClusterModel;
+use crate::learned::{ClusterModel, ModelMeta};
 use crate::macro_model::{MacroConfig, MacroModel};
 
 /// Hyper-parameters of a training run.
@@ -197,6 +197,36 @@ pub fn calibrate_macro(records: &[BoundaryRecord]) -> MacroConfig {
     MacroConfig::calibrate(&latencies, drop_rate)
 }
 
+/// Training-time statistics embedded in the model artifact, from which
+/// deployment derives guardrail tolerance bands (drop-rate drift, latency
+/// ceilings).
+pub fn model_meta(records: &[BoundaryRecord]) -> ModelMeta {
+    let mut latencies: Vec<f64> = records
+        .iter()
+        .filter(|r| !r.dropped)
+        .map(|r| r.latency.as_secs_f64())
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+    let quantile = |p: f64| {
+        if latencies.is_empty() {
+            0.0
+        } else {
+            latencies[(((latencies.len() - 1) as f64) * p).round() as usize]
+        }
+    };
+    let drops = records.iter().filter(|r| r.dropped).count();
+    ModelMeta {
+        train_drop_rate: if records.is_empty() {
+            0.0
+        } else {
+            drops as f64 / records.len() as f64
+        },
+        train_latency_p50: quantile(0.5),
+        train_latency_p99: quantile(0.99),
+        train_records: records.len() as u64,
+    }
+}
+
 /// Runs the full §3 pipeline over captured records: calibrate the macro
 /// model, build feature streams, train both directional micro models,
 /// evaluate on the held-out tail.
@@ -230,6 +260,7 @@ pub fn train_cluster_model(
             down: down_model,
             macro_cfg,
             codec,
+            meta: model_meta(records),
         },
         TrainReport {
             up: up_report,

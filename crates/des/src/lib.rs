@@ -53,6 +53,7 @@
 
 #![warn(missing_docs)]
 
+mod fault;
 mod pdes;
 mod rng;
 mod sched;
@@ -60,9 +61,10 @@ mod sim;
 mod stats;
 mod time;
 
+pub use fault::{FaultCounts, FaultPlan};
 pub use pdes::{
-    PartitionId, PartitionSim, PartitionStats, PartitionWorld, PdesConfig, PdesReport, PdesRunner,
-    RemoteSink, Transportable,
+    PartitionId, PartitionSim, PartitionStats, PartitionWorld, PdesConfig, PdesError, PdesReport,
+    PdesRunner, RemoteSink, Transportable, DEFAULT_STALL_EPOCHS,
 };
 pub use rng::{splitmix64, RngFactory};
 pub use sched::{EventKey, Scheduler};

@@ -35,8 +35,16 @@ use std::time::Instant;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parking_lot::Mutex;
 
+use crate::fault::{FaultCounts, FaultPlan, FaultRng};
 use crate::sched::Scheduler;
 use crate::time::{SimDuration, SimTime};
+
+/// Default watchdog bound: abort if the global minimum event time fails to
+/// advance for this many consecutive epochs. A healthy conservative model
+/// *strictly* advances every epoch (all events in `[start, start+L)` execute
+/// and new remote events land at `>= start+L`), so any stagnation at all is
+/// a stall; the slack only exists to keep diagnostics unambiguous.
+pub const DEFAULT_STALL_EPOCHS: u64 = 64;
 
 /// Identifies a partition (logical process) in a PDES run.
 pub type PartitionId = usize;
@@ -147,6 +155,13 @@ pub struct PdesConfig {
     /// MPI headers plus kernel copy overhead. 0 disables the envelope but
     /// marshalling still occurs.
     pub envelope_bytes: usize,
+    /// Stall watchdog bound: if the global minimum pending event time fails
+    /// to advance for this many consecutive epochs, the run aborts with
+    /// [`PdesError::Stalled`] naming the stuck partition. `0` disables the
+    /// watchdog (a stalled partition then hangs the barrier loop forever).
+    pub stall_epochs: u64,
+    /// Optional deterministic fault injection (see [`FaultPlan`]).
+    pub faults: Option<FaultPlan>,
 }
 
 impl PdesConfig {
@@ -156,6 +171,8 @@ impl PdesConfig {
             lookahead,
             machine_of: vec![0; partitions],
             envelope_bytes: 0,
+            stall_epochs: DEFAULT_STALL_EPOCHS,
+            faults: None,
         }
     }
 
@@ -172,8 +189,95 @@ impl PdesConfig {
             lookahead,
             machine_of: (0..partitions).map(|p| p % machines).collect(),
             envelope_bytes,
+            stall_epochs: DEFAULT_STALL_EPOCHS,
+            faults: None,
         }
     }
+
+    /// Returns `self` with the given fault plan installed.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+}
+
+/// Structured failure from a PDES run, replacing hangs and worker panics.
+///
+/// Both variants carry the partial [`PdesReport`] assembled at abort time,
+/// so callers can inspect per-partition diagnostics (each partition's event
+/// count and frozen [`PartitionStats::next_time`]) even for a failed run.
+#[derive(Debug)]
+pub enum PdesError {
+    /// A partition stopped advancing: the global minimum pending event time
+    /// sat at `at` for `epochs` consecutive epochs. Without the watchdog
+    /// this is an infinite barrier loop.
+    Stalled {
+        /// The partition holding the frozen minimum event time.
+        partition: PartitionId,
+        /// The simulated time the run is stuck at.
+        at: SimTime,
+        /// Consecutive non-advancing epochs observed before aborting.
+        epochs: u64,
+        /// Partial statistics gathered up to the abort.
+        report: PdesReport,
+    },
+    /// A marshalled cross-machine message failed to decode on the far side.
+    Corrupt {
+        /// The partition that sent the undecodable message.
+        partition: PartitionId,
+        /// Scheduled delivery time of the lost message.
+        at: SimTime,
+        /// Partial statistics gathered up to the abort.
+        report: PdesReport,
+    },
+}
+
+impl PdesError {
+    /// The partial report assembled when the run aborted.
+    pub fn report(&self) -> &PdesReport {
+        match self {
+            PdesError::Stalled { report, .. } | PdesError::Corrupt { report, .. } => report,
+        }
+    }
+}
+
+impl std::fmt::Display for PdesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PdesError::Stalled {
+                partition,
+                at,
+                epochs,
+                ..
+            } => write!(
+                f,
+                "PDES stalled: partition {partition} failed to advance past {at} \
+                 for {epochs} consecutive epochs"
+            ),
+            PdesError::Corrupt { partition, at, .. } => write!(
+                f,
+                "PDES transport corruption: message from partition {partition} \
+                 due at {at} failed to decode"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PdesError {}
+
+/// Which failure a worker thread observed; folded into [`PdesError`] with
+/// the final report once all threads have drained.
+#[derive(Clone, Copy, Debug)]
+enum FailureCause {
+    Stalled { epochs: u64 },
+    Corrupt,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Failure {
+    partition: PartitionId,
+    at: SimTime,
+    cause: FailureCause,
 }
 
 /// Aggregate statistics from a PDES run.
@@ -189,6 +293,8 @@ pub struct PdesReport {
     pub marshalled_messages: u64,
     /// Total bytes pushed through the marshalling path (payload + envelope).
     pub bytes_marshalled: u64,
+    /// Faults injected by the configured [`FaultPlan`] (all zero without one).
+    pub faults: FaultCounts,
     /// Wall-time and traffic breakdown, one row per partition.
     pub partitions: Vec<PartitionStats>,
 }
@@ -214,6 +320,9 @@ pub struct PartitionStats {
     pub remote_events_sent: u64,
     /// Bytes this partition pushed through the marshalling path.
     pub remote_bytes_sent: u64,
+    /// Earliest event still pending when the partition thread exited —
+    /// the key stall diagnostic: a stuck partition's clock freezes here.
+    pub next_time: Option<SimTime>,
 }
 
 /// Drives a set of [`PartitionSim`]s in parallel, one OS thread each.
@@ -243,7 +352,26 @@ struct Shared<E> {
     remote_msgs: AtomicU64,
     marshalled_msgs: AtomicU64,
     marshalled_bytes: AtomicU64,
+    fault_dropped: AtomicU64,
+    fault_duplicated: AtomicU64,
+    fault_corrupted: AtomicU64,
     poisoned: AtomicBool,
+    /// Set by any thread that observes a failure; thread 0 converts it into
+    /// a terminating epoch plan at the next planning phase, so every thread
+    /// exits through the normal barrier sequence instead of deadlocking.
+    abort: AtomicBool,
+    /// First failure observed (kept; later ones are dropped).
+    failure: Mutex<Option<Failure>>,
+}
+
+impl<E> Shared<E> {
+    fn record_failure(&self, failure: Failure) {
+        let mut slot = self.failure.lock();
+        if slot.is_none() {
+            *slot = Some(failure);
+        }
+        self.abort.store(true, Ordering::SeqCst);
+    }
 }
 
 impl<W: PartitionWorld> PdesRunner<W> {
@@ -264,8 +392,11 @@ impl<W: PartitionWorld> PdesRunner<W> {
     }
 
     /// Runs all partitions until every event with time ≤ `horizon` has been
-    /// executed (or the model drains). Returns aggregate statistics.
-    pub fn run_until(&mut self, horizon: SimTime) -> PdesReport {
+    /// executed (or the model drains). Returns aggregate statistics, or a
+    /// structured [`PdesError`] if the stall watchdog fired or a marshalled
+    /// message failed to decode — in both cases the error carries the
+    /// partial report for per-partition diagnostics.
+    pub fn run_until(&mut self, horizon: SimTime) -> Result<PdesReport, PdesError> {
         let n = self.partitions.len();
         let shared: Shared<W::Event> = Shared {
             barrier: Barrier::new(n),
@@ -288,7 +419,12 @@ impl<W: PartitionWorld> PdesRunner<W> {
             remote_msgs: AtomicU64::new(0),
             marshalled_msgs: AtomicU64::new(0),
             marshalled_bytes: AtomicU64::new(0),
+            fault_dropped: AtomicU64::new(0),
+            fault_duplicated: AtomicU64::new(0),
+            fault_corrupted: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
+            abort: AtomicBool::new(false),
+            failure: Mutex::new(None),
         };
         let config = &self.config;
 
@@ -311,10 +447,36 @@ impl<W: PartitionWorld> PdesRunner<W> {
             remote_messages: shared.remote_msgs.load(Ordering::Relaxed),
             marshalled_messages: shared.marshalled_msgs.load(Ordering::Relaxed),
             bytes_marshalled: shared.marshalled_bytes.load(Ordering::Relaxed),
+            faults: FaultCounts {
+                dropped: shared.fault_dropped.load(Ordering::Relaxed),
+                duplicated: shared.fault_duplicated.load(Ordering::Relaxed),
+                corrupted: shared.fault_corrupted.load(Ordering::Relaxed),
+            },
             partitions: shared.per_partition.into_inner(),
         };
         publish_metrics(&report);
-        report
+        match shared.failure.into_inner() {
+            Some(Failure {
+                partition,
+                at,
+                cause: FailureCause::Stalled { epochs },
+            }) => Err(PdesError::Stalled {
+                partition,
+                at,
+                epochs,
+                report,
+            }),
+            Some(Failure {
+                partition,
+                at,
+                cause: FailureCause::Corrupt,
+            }) => Err(PdesError::Corrupt {
+                partition,
+                at,
+                report,
+            }),
+            None => Ok(report),
+        }
     }
 
     /// Consumes the runner, returning the partitions for inspection.
@@ -338,6 +500,11 @@ fn publish_metrics(report: &PdesReport) {
     elephant_obs::counter("pdes/remote/messages", "").add(report.remote_messages);
     elephant_obs::counter("pdes/marshal/messages", "").add(report.marshalled_messages);
     elephant_obs::counter("pdes/marshal/bytes", "").add(report.bytes_marshalled);
+    if report.faults.total() > 0 {
+        elephant_obs::counter("pdes/fault/dropped", "").add(report.faults.dropped);
+        elephant_obs::counter("pdes/fault/duplicated", "").add(report.faults.duplicated);
+        elephant_obs::counter("pdes/fault/corrupted", "").add(report.faults.corrupted);
+    }
     for p in &report.partitions {
         let label = p.partition.to_string();
         elephant_obs::counter("pdes/partition/events", label.clone()).add(p.events);
@@ -380,6 +547,29 @@ fn partition_main<W: PartitionWorld>(
     };
     let _pdes_span = elephant_obs::span("pdes");
 
+    // Fault-injection state: deterministic per-partition RNG stream plus
+    // the two partition-level faults, resolved once up front.
+    let mut fault_rng: Option<FaultRng> = config.faults.as_ref().map(|f| f.rng_for(id));
+    let slow_here: Option<std::time::Duration> = config
+        .faults
+        .as_ref()
+        .and_then(|f| f.slow_partition)
+        .filter(|&(p, _)| p == id)
+        .map(|(_, d)| d);
+    let stall_after: Option<u64> = config
+        .faults
+        .as_ref()
+        .and_then(|f| f.stall_partition)
+        .filter(|&(p, _)| p == id)
+        .map(|(_, k)| k);
+    let mut my_epochs: u64 = 0;
+
+    // Stall-watchdog state, used by thread 0 only: the planning phase
+    // tracks the global minimum event time across epochs; a healthy model
+    // strictly advances it every epoch (see DEFAULT_STALL_EPOCHS).
+    let mut watch_last: Option<SimTime> = None;
+    let mut watch_stagnant: u64 = 0;
+
     loop {
         let _epoch_span = elephant_obs::span("epoch");
         // Phase 1: deliver inbound mail into the local FEL.
@@ -406,9 +596,36 @@ fn partition_main<W: PartitionWorld>(
         if id == 0 {
             let slots = shared.next_times.lock();
             let global_min = slots.iter().flatten().min().copied();
+
+            // Stall watchdog: the minimum must strictly advance while work
+            // remains. If it sits still for `stall_epochs` consecutive
+            // epochs, name the partition holding it and abort.
+            if let Some(start) = global_min.filter(|&s| s <= horizon) {
+                if watch_last == Some(start) {
+                    watch_stagnant += 1;
+                    if config.stall_epochs > 0 && watch_stagnant >= config.stall_epochs {
+                        let stuck = slots
+                            .iter()
+                            .position(|t| *t == Some(start))
+                            .unwrap_or_default();
+                        shared.record_failure(Failure {
+                            partition: stuck,
+                            at: start,
+                            cause: FailureCause::Stalled {
+                                epochs: watch_stagnant,
+                            },
+                        });
+                    }
+                } else {
+                    watch_last = Some(start);
+                    watch_stagnant = 0;
+                }
+            }
+
+            let abort = shared.abort.load(Ordering::SeqCst);
             let mut plan = shared.plan.lock();
             *plan = match global_min {
-                Some(start) if start <= horizon => EpochPlan {
+                Some(start) if start <= horizon && !abort => EpochPlan {
                     end: start.saturating_add(config.lookahead),
                     terminate: false,
                 },
@@ -434,13 +651,20 @@ fn partition_main<W: PartitionWorld>(
         }
 
         // Phase 4: execute local events in [start, end), capped by horizon.
+        my_epochs += 1;
+        let stalled = stall_after.is_some_and(|k| my_epochs > k);
         remote.epoch_end = plan.end;
         let mut executed = 0u64;
         {
             let _s = elephant_obs::span("work");
             let t0 = Instant::now();
+            if let Some(dur) = slow_here {
+                // Injected slowdown: wall-clock only; the partition still
+                // advances simulated time, so the watchdog must stay quiet.
+                std::thread::sleep(dur);
+            }
             while let Some(t) = part.sched.peek_time() {
-                if t >= plan.end || t > horizon {
+                if stalled || t >= plan.end || t > horizon {
                     break;
                 }
                 let (_, ev) = part.sched.pop().expect("peeked event vanished");
@@ -466,15 +690,48 @@ fn partition_main<W: PartitionWorld>(
                     dst < config.machine_of.len(),
                     "remote event to unknown partition {dst}"
                 );
-                let ev = if config.machine_of[dst] != my_machine {
-                    let (ev, nbytes) = marshal_round_trip(ev, config.envelope_bytes);
-                    marshalled += 1;
-                    bytes_total += nbytes;
-                    ev
-                } else {
-                    ev
-                };
-                shared.mailboxes[dst].lock().push((at, ev));
+                if config.machine_of[dst] == my_machine {
+                    shared.mailboxes[dst].lock().push((at, ev));
+                    continue;
+                }
+
+                // Cross-machine: roll the message-level faults (sender-side,
+                // so the sequence is deterministic per partition), then push
+                // the event through the marshalled transport.
+                let faults = config.faults.as_ref();
+                let mut copies = 1usize;
+                let mut corrupt = false;
+                if let (Some(f), Some(rng)) = (faults, fault_rng.as_mut()) {
+                    if rng.roll(f.drop_prob) {
+                        shared.fault_dropped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if rng.roll(f.dup_prob) {
+                        copies = 2;
+                        shared.fault_duplicated.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if rng.roll(f.corrupt_prob) {
+                        corrupt = true;
+                        shared.fault_corrupted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+
+                let (evs, nbytes) = marshal_round_trip(ev, config.envelope_bytes, copies, corrupt);
+                marshalled += copies as u64;
+                bytes_total += nbytes;
+                if evs.len() < copies {
+                    // The far side could not decode the message: surface a
+                    // structured transport error instead of panicking, and
+                    // let thread 0 terminate every partition cleanly.
+                    shared.record_failure(Failure {
+                        partition: id,
+                        at,
+                        cause: FailureCause::Corrupt,
+                    });
+                }
+                for ev in evs {
+                    shared.mailboxes[dst].lock().push((at, ev));
+                }
             }
             stats.marshal_seconds += t0.elapsed().as_secs_f64();
             stats.remote_events_sent += count;
@@ -499,27 +756,48 @@ fn partition_main<W: PartitionWorld>(
         drop(_s);
     }
 
+    stats.next_time = part.sched.peek_time();
     shared.per_partition.lock()[id] = stats;
 }
 
 /// Pushes an event through the simulated machine boundary: encode, wrap in
 /// an envelope, checksum (so the optimizer cannot elide the copies), decode.
-/// Returns the reconstructed event and the number of bytes moved.
-fn marshal_round_trip<E: Transportable>(ev: E, envelope_bytes: usize) -> (E, u64) {
+///
+/// `copies` decodes the wire bytes that many times (fault-injected
+/// duplication); `corrupt` mangles the payload first (truncate the final
+/// byte and flip a bit), modeling a torn write. Returns the reconstructed
+/// events — possibly fewer than `copies` if a decode failed, which the
+/// caller reports as [`PdesError::Corrupt`] — and the bytes moved.
+fn marshal_round_trip<E: Transportable>(
+    ev: E,
+    envelope_bytes: usize,
+    copies: usize,
+    corrupt: bool,
+) -> (Vec<E>, u64) {
     let mut buf = BytesMut::with_capacity(64 + envelope_bytes);
     buf.put_bytes(0xA5, envelope_bytes); // MPI-style envelope / copy cost
     ev.encode(&mut buf);
+    if corrupt && buf.len() > envelope_bytes {
+        buf[envelope_bytes] ^= 0x40; // flip a bit in the first payload byte
+        buf.truncate(buf.len() - 1); // and tear off the last one
+    }
     let frozen = buf.freeze();
     // Touch every byte, as a real transport would while copying to a socket.
     let checksum: u64 = frozen
         .iter()
         .fold(0u64, |acc, &b| acc.wrapping_mul(31).wrapping_add(b as u64));
     std::hint::black_box(checksum);
-    let nbytes = frozen.len() as u64;
-    let mut rd = frozen;
-    rd.advance(envelope_bytes);
-    let ev = E::decode(&mut rd).expect("Transportable round-trip failed");
-    (ev, nbytes)
+    let nbytes = frozen.len() as u64 * copies as u64;
+    let mut out = Vec::with_capacity(copies);
+    for _ in 0..copies {
+        let mut rd = frozen.clone();
+        rd.advance(envelope_bytes);
+        match E::decode(&mut rd) {
+            Some(ev) => out.push(ev),
+            None => break, // same bytes => every later copy fails identically
+        }
+    }
+    (out, nbytes)
 }
 
 #[cfg(test)]
@@ -606,7 +884,9 @@ mod tests {
         );
         let config = PdesConfig::round_robin(n, machines, LOOKAHEAD, envelope);
         let mut runner = PdesRunner::new(parts, config);
-        let report = runner.run_until(SimTime::from_secs(10));
+        let report = runner
+            .run_until(SimTime::from_secs(10))
+            .expect("healthy run");
         let worlds = runner
             .into_partitions()
             .into_iter()
@@ -677,7 +957,9 @@ mod tests {
             },
         );
         let mut runner = PdesRunner::new(parts, PdesConfig::single_machine(2, LOOKAHEAD));
-        let report = runner.run_until(SimTime::from_micros(10));
+        let report = runner
+            .run_until(SimTime::from_micros(10))
+            .expect("healthy run");
         assert_eq!(report.events_executed, 11);
     }
 
@@ -701,7 +983,9 @@ mod tests {
             })
             .collect();
         let mut runner = PdesRunner::new(parts, PdesConfig::single_machine(3, LOOKAHEAD));
-        let report = runner.run_until(SimTime::from_secs(1));
+        let report = runner
+            .run_until(SimTime::from_secs(1))
+            .expect("healthy run");
         assert_eq!(report.events_executed, 0);
         assert_eq!(report.epochs, 0);
     }
@@ -731,7 +1015,9 @@ mod tests {
             },
         );
         let mut runner = PdesRunner::new(vec![part], PdesConfig::single_machine(1, LOOKAHEAD));
-        let report = runner.run_until(SimTime::from_secs(2));
+        let report = runner
+            .run_until(SimTime::from_secs(2))
+            .expect("healthy run");
         assert_eq!(report.events_executed, 2);
         assert!(
             report.epochs <= 3,

@@ -1,0 +1,240 @@
+//! Fault-injection suite for the PDES engine: stalls must become structured
+//! errors instead of hangs, slowdowns must not trip the watchdog, and
+//! message-level faults (drop/duplicate/corrupt) must be deterministic
+//! under a fixed seed.
+
+use std::time::Duration;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use elephant_des::{
+    FaultPlan, PartitionId, PartitionSim, PartitionWorld, PdesConfig, PdesError, PdesRunner,
+    RemoteSink, Scheduler, SimDuration, SimTime, Transportable,
+};
+
+const LOOKAHEAD: SimDuration = SimDuration::from_micros(1);
+
+/// A token that hops around a partition ring, as in the engine's unit
+/// tests; its codec detects truncation (decode returns `None`).
+#[derive(Debug, PartialEq)]
+struct Token {
+    hops_left: u32,
+    value: u64,
+}
+
+impl Transportable for Token {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32(self.hops_left);
+        buf.put_u64(self.value);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        if buf.remaining() < 12 {
+            return None;
+        }
+        Some(Token {
+            hops_left: buf.get_u32(),
+            value: buf.get_u64(),
+        })
+    }
+}
+
+struct Ring {
+    id: PartitionId,
+    n: usize,
+    arrivals: u64,
+}
+
+impl PartitionWorld for Ring {
+    type Event = Token;
+    fn handle(&mut self, ev: Token, sched: &mut Scheduler<Token>, remote: &mut RemoteSink<Token>) {
+        self.arrivals += 1;
+        if ev.hops_left == 0 {
+            return;
+        }
+        let next = Token {
+            hops_left: ev.hops_left - 1,
+            value: ev.value + 1,
+        };
+        let at = sched.now() + LOOKAHEAD;
+        let dst = (self.id + 1) % self.n;
+        if dst == self.id {
+            sched.schedule_at(at, next);
+        } else {
+            remote.send(dst, at, next);
+        }
+    }
+}
+
+fn ring_parts(n: usize, hops: u32) -> Vec<PartitionSim<Ring>> {
+    let mut parts: Vec<PartitionSim<Ring>> = (0..n)
+        .map(|id| PartitionSim::new(Ring { id, n, arrivals: 0 }))
+        .collect();
+    parts[0].scheduler_mut().schedule_at(
+        SimTime::ZERO,
+        Token {
+            hops_left: hops,
+            value: 0,
+        },
+    );
+    parts
+}
+
+fn ring_run(
+    n: usize,
+    hops: u32,
+    machines: usize,
+    cfg_mut: impl FnOnce(PdesConfig) -> PdesConfig,
+) -> (Vec<u64>, Result<elephant_des::PdesReport, PdesError>) {
+    let parts = ring_parts(n, hops);
+    let config = cfg_mut(PdesConfig::round_robin(n, machines, LOOKAHEAD, 16));
+    let mut runner = PdesRunner::new(parts, config);
+    let result = runner.run_until(SimTime::from_secs(10));
+    let arrivals = runner
+        .into_partitions()
+        .into_iter()
+        .map(|p| p.world().arrivals)
+        .collect();
+    (arrivals, result)
+}
+
+/// The headline guarantee: a partition that stops consuming events turns
+/// into a `PdesError::Stalled` naming the stuck partition within the
+/// watchdog bound — not an infinite barrier loop.
+#[test]
+fn stalled_partition_is_named_within_watchdog_bound() {
+    const WATCHDOG: u64 = 8;
+    let (_, result) = ring_run(3, 1000, 1, |mut cfg| {
+        cfg.stall_epochs = WATCHDOG;
+        cfg.with_faults(FaultPlan {
+            stall_partition: Some((1, 5)),
+            ..Default::default()
+        })
+    });
+    match result {
+        Err(PdesError::Stalled {
+            partition,
+            at,
+            epochs,
+            report,
+        }) => {
+            assert_eq!(partition, 1, "the injected partition must be named");
+            assert!(epochs >= WATCHDOG, "fired before the bound: {epochs}");
+            assert!(
+                report.epochs <= 5 + WATCHDOG + 2,
+                "watchdog must bound the spin: {} epochs",
+                report.epochs
+            );
+            // Diagnostics: the stuck partition's frozen clock equals the
+            // stall time the error reports.
+            assert_eq!(report.partitions[1].next_time, Some(at));
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+}
+
+/// A slow-but-advancing partition is not a stall: wall-clock lag must not
+/// trip the (simulated-time) watchdog, and results are unaffected.
+#[test]
+fn slow_partition_completes_without_tripping_watchdog() {
+    let (arrivals, result) = ring_run(3, 12, 1, |mut cfg| {
+        cfg.stall_epochs = 4; // tight bound on purpose
+        cfg.with_faults(FaultPlan {
+            slow_partition: Some((1, Duration::from_millis(2))),
+            ..Default::default()
+        })
+    });
+    let report = result.expect("slowdown is not a fault");
+    assert_eq!(arrivals.iter().sum::<u64>(), 13);
+    assert_eq!(report.faults.total(), 0);
+}
+
+/// Dropping every cross-machine message kills the token on its first hop.
+#[test]
+fn message_drop_loses_the_token() {
+    let (arrivals, result) = ring_run(4, 99, 2, |cfg| {
+        cfg.with_faults(FaultPlan {
+            seed: 1,
+            drop_prob: 1.0,
+            ..Default::default()
+        })
+    });
+    let report = result.expect("drops are silent, not fatal");
+    assert_eq!(arrivals.iter().sum::<u64>(), 1, "only the initial arrival");
+    assert_eq!(report.faults.dropped, 1);
+}
+
+/// Duplicating every cross-machine hop doubles the token population per
+/// hop: 1 + 2 + 4 + 8 arrivals for three hops.
+#[test]
+fn message_duplication_multiplies_arrivals() {
+    let (arrivals, result) = ring_run(4, 3, 2, |cfg| {
+        cfg.with_faults(FaultPlan {
+            seed: 1,
+            dup_prob: 1.0,
+            ..Default::default()
+        })
+    });
+    let report = result.expect("duplication is not fatal");
+    assert_eq!(arrivals.iter().sum::<u64>(), 15);
+    assert_eq!(report.faults.duplicated, 7, "every hop duplicated");
+}
+
+/// A corrupted message fails to decode on the far side and surfaces as
+/// `PdesError::Corrupt` naming the sender — where the engine previously
+/// panicked inside a worker thread.
+#[test]
+fn corrupted_message_yields_structured_error() {
+    let (_, result) = ring_run(4, 99, 2, |cfg| {
+        cfg.with_faults(FaultPlan {
+            seed: 1,
+            corrupt_prob: 1.0,
+            ..Default::default()
+        })
+    });
+    match result {
+        Err(PdesError::Corrupt {
+            partition, report, ..
+        }) => {
+            assert_eq!(partition, 0, "partition 0 sends the first hop");
+            assert_eq!(report.faults.corrupted, 1);
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+/// The fault stream is a pure function of (plan, partition): two runs with
+/// the same seed inject the identical faults and produce identical results.
+#[test]
+fn fault_injection_is_deterministic() {
+    let run = || {
+        ring_run(4, 200, 2, |cfg| {
+            cfg.with_faults(FaultPlan {
+                seed: 7,
+                drop_prob: 0.25,
+                dup_prob: 0.1,
+                ..Default::default()
+            })
+        })
+    };
+    let (arr_a, res_a) = run();
+    let (arr_b, res_b) = run();
+    let rep_a = res_a.expect("run a");
+    let rep_b = res_b.expect("run b");
+    assert_eq!(arr_a, arr_b, "same seed, same arrivals");
+    assert_eq!(rep_a.faults, rep_b.faults, "same seed, same faults");
+    assert_eq!(rep_a.events_executed, rep_b.events_executed);
+    assert!(rep_a.faults.total() > 0, "plan must actually inject");
+}
+
+/// A fault-free plan with the watchdog enabled is invisible: same events,
+/// same epochs, zero fault counts as a run with no plan at all.
+#[test]
+fn inert_plan_matches_unfaulted_run() {
+    let (arr_plain, res_plain) = ring_run(3, 50, 2, |cfg| cfg);
+    let (arr_inert, res_inert) = ring_run(3, 50, 2, |cfg| cfg.with_faults(FaultPlan::default()));
+    let rep_plain = res_plain.expect("plain");
+    let rep_inert = res_inert.expect("inert");
+    assert_eq!(arr_plain, arr_inert);
+    assert_eq!(rep_plain.events_executed, rep_inert.events_executed);
+    assert_eq!(rep_plain.epochs, rep_inert.epochs);
+    assert_eq!(rep_inert.faults.total(), 0);
+}

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod capture;
+mod guard;
 mod metrics;
 mod network;
 mod oracle;
@@ -57,11 +58,17 @@ mod trace_log;
 mod types;
 
 pub use capture::{BoundaryRecord, CaptureState};
+pub use guard::{
+    FaultyOracle, GuardConfig, GuardSnapshot, GuardStatsHandle, GuardViolation, GuardedOracle,
+    OracleFaultMode,
+};
 pub use metrics::{DropCounts, FctRecord, NetStats, RttScope};
 pub use network::{
     schedule_flows, FlowSpec, NetConfig, NetEvent, NetPartition, Network, TimerKind,
 };
-pub use oracle::{ClusterOracle, FixedLatencyOracle, IdealOracle, OracleCtx, OracleVerdict};
+pub use oracle::{
+    ClusterOracle, FixedLatencyOracle, IdealOracle, OracleCtx, OracleVerdict, RawVerdict,
+};
 pub use packet::{Ecn, Packet, TcpFlags, TcpSegment, HEADER_BYTES, MIN_WIRE_BYTES};
 pub use port::{PortCounters, PortState, TxAction};
 pub use tcp::{ConnStats, EcnMode, TcpConfig, TcpConn, TcpOutput, TimerCmd};

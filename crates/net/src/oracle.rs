@@ -46,10 +46,53 @@ pub struct OracleCtx<'a> {
     pub path: FabricPath,
 }
 
+/// What an oracle *actually* computed, before any validation.
+///
+/// Unlike [`OracleVerdict`], whose integer [`SimDuration`] cannot represent
+/// NaN, negative, or absurd values (constructing one panics in
+/// `SimDuration::from_secs_f64`), a raw verdict carries the latency as the
+/// untrusted `f64` the model emitted. This is the type the
+/// [`crate::GuardedOracle`] validates; converting to an [`OracleVerdict`]
+/// is only safe once the value has been checked.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum RawVerdict {
+    /// The fabric would have dropped this packet.
+    Drop,
+    /// Deliver after `latency_secs` — unvalidated: may be NaN, negative,
+    /// or wildly out of range.
+    Deliver {
+        /// Predicted fabric traversal latency in seconds, as emitted.
+        latency_secs: f64,
+    },
+}
+
+impl RawVerdict {
+    /// The raw form of a validated verdict (exact for any latency below
+    /// ~13 days: the f64 round-trip through seconds loses nothing at
+    /// nanosecond granularity in that range).
+    pub fn from_verdict(v: OracleVerdict) -> Self {
+        match v {
+            OracleVerdict::Drop => RawVerdict::Drop,
+            OracleVerdict::Deliver { latency } => RawVerdict::Deliver {
+                latency_secs: latency.as_secs_f64(),
+            },
+        }
+    }
+}
+
 /// A model of an approximated cluster fabric.
 pub trait ClusterOracle {
     /// Judges one boundary crossing.
     fn classify(&mut self, ctx: &OracleCtx<'_>, pkt: &Packet, now: SimTime) -> OracleVerdict;
+
+    /// Like [`ClusterOracle::classify`], but returns the unvalidated raw
+    /// prediction. Oracles whose output can be malformed (learned models)
+    /// override this with their native f64 path so a NaN or negative
+    /// latency reaches the guardrail instead of panicking inside
+    /// `SimDuration` conversion; well-formed oracles inherit this default.
+    fn classify_raw(&mut self, ctx: &OracleCtx<'_>, pkt: &Packet, now: SimTime) -> RawVerdict {
+        RawVerdict::from_verdict(self.classify(ctx, pkt, now))
+    }
 }
 
 /// Zero-queueing baseline: every packet crosses the fabric at wire speed

@@ -285,6 +285,41 @@ impl MicroNet {
         v
     }
 
+    /// Read-only flat views of every parameter, ordered to match
+    /// [`MicroNet::param_slices`].
+    pub fn param_views(&self) -> Vec<&[f32]> {
+        let mut v = self.rnn.param_views();
+        v.push(self.latency_head.w.data());
+        v.push(self.latency_head.b.as_slice());
+        v.push(self.drop_head.w.data());
+        v.push(self.drop_head.b.as_slice());
+        v
+    }
+
+    /// FNV-1a checksum over the raw bit pattern of every parameter, in
+    /// [`MicroNet::param_slices`] order. Stable across platforms because it
+    /// hashes `f32::to_bits` little-endian.
+    pub fn weight_checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for slice in self.param_views() {
+            for &w in slice {
+                for byte in w.to_bits().to_le_bytes() {
+                    h ^= byte as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+        }
+        h
+    }
+
+    /// Number of non-finite (NaN or infinite) parameters in the network.
+    pub fn non_finite_params(&self) -> usize {
+        self.param_views()
+            .iter()
+            .map(|s| s.iter().filter(|w| !w.is_finite()).count())
+            .sum()
+    }
+
     /// Serializes to JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("model serializes")

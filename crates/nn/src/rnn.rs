@@ -164,6 +164,28 @@ impl Rnn {
         }
         v
     }
+
+    /// Read-only flat parameter views, ordered to match [`Rnn::param_slices`].
+    pub fn param_views(&self) -> Vec<&[f32]> {
+        let mut v: Vec<&[f32]> = Vec::new();
+        match self {
+            Rnn::Lstm(m) => {
+                for cell in m.cells.iter() {
+                    v.push(cell.w.data());
+                    v.push(cell.b.as_slice());
+                }
+            }
+            Rnn::Gru(m) => {
+                for cell in m.cells.iter() {
+                    v.push(cell.w_zr.data());
+                    v.push(cell.b_zr.as_slice());
+                    v.push(cell.w_n.data());
+                    v.push(cell.b_n.as_slice());
+                }
+            }
+        }
+        v
+    }
 }
 
 impl RnnGrads {

@@ -15,11 +15,14 @@
 use std::process::exit;
 
 use elephant::core::{
-    compare_cdfs, run_ground_truth, run_hybrid, train_cluster_model, ClusterModel, DropPolicy,
-    LearnedOracle, TrainingOptions,
+    capture_records, compare_cdfs, run_ground_truth, run_hybrid, train_cluster_model, ClusterModel,
+    DropPolicy, ElephantError, LearnedOracle, TrainingOptions,
 };
-use elephant::des::SimTime;
-use elephant::net::{ClosParams, NetConfig, Network, RttScope, TcpConfig};
+use elephant::des::{SimDuration, SimTime};
+use elephant::net::{
+    ClosParams, ClusterOracle, FaultyOracle, FixedLatencyOracle, GuardConfig, GuardStatsHandle,
+    GuardedOracle, NetConfig, Network, OracleFaultMode, RttScope, TcpConfig,
+};
 use elephant::nn::RnnKind;
 use elephant::trace::{filter_touching_cluster, generate, WorkloadConfig};
 
@@ -70,9 +73,28 @@ fn usage() -> ! {
          --gru             GRU trunk instead of LSTM\n\
          --trace N         retain the first N raw events and print a sample\n\
          --profile         collect metrics + span timings; print the report\n\
-         --metrics-out P   write the run report as JSON to P (implies collection)"
+         --metrics-out P   write the run report as JSON to P (implies collection)\n\
+         \n\
+         GUARDRAILS (hybrid/compare; see DESIGN.md \"Robustness\")\n\
+         --no-guard             run the oracle unguarded (faults panic the run)\n\
+         --guard-ceiling-ms F   latency ceiling before clamping (100)\n\
+         --guard-trip-limit N   trips before permanent fallback (64)\n\
+         --guard-tolerance F    drop-rate drift band around training rate (0.10)\n\
+         --fault-oracle MODE    fault drill: replace the oracle with one that\n\
+         \u{20}                      emits nan|negative|huge latencies\n\
+         --fault-every N        poison one verdict in N during the drill (97)\n\
+         \n\
+         EXIT CODES\n\
+         0 success | 1 generic failure | 2 usage | 3 I/O error\n\
+         4 invalid model artifact | 5 simulation/pipeline fault"
     );
     exit(2)
+}
+
+/// Prints a typed pipeline error and exits with its family's code.
+fn die(e: ElephantError) -> ! {
+    eprintln!("elephant: {e}");
+    exit(e.exit_code())
 }
 
 #[derive(Debug)]
@@ -92,6 +114,12 @@ struct Opts {
     trace: Option<usize>,
     profile: bool,
     metrics_out: Option<String>,
+    no_guard: bool,
+    guard_ceiling_ms: f64,
+    guard_trip_limit: u64,
+    guard_tolerance: f64,
+    fault_oracle: Option<OracleFaultMode>,
+    fault_every: u64,
 }
 
 impl Opts {
@@ -112,6 +140,12 @@ impl Opts {
             trace: None,
             profile: false,
             metrics_out: None,
+            no_guard: false,
+            guard_ceiling_ms: 100.0,
+            guard_trip_limit: 64,
+            guard_tolerance: 0.10,
+            fault_oracle: None,
+            fault_every: 97,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -137,6 +171,22 @@ impl Opts {
                 "--trace" => o.trace = Some(parse(&val(), a)),
                 "--profile" => o.profile = true,
                 "--metrics-out" => o.metrics_out = Some(val()),
+                "--no-guard" => o.no_guard = true,
+                "--guard-ceiling-ms" => o.guard_ceiling_ms = parse(&val(), a),
+                "--guard-trip-limit" => o.guard_trip_limit = parse(&val(), a),
+                "--guard-tolerance" => o.guard_tolerance = parse(&val(), a),
+                "--fault-oracle" => {
+                    o.fault_oracle = Some(match val().as_str() {
+                        "nan" => OracleFaultMode::Nan,
+                        "negative" => OracleFaultMode::Negative,
+                        "huge" => OracleFaultMode::Huge,
+                        other => {
+                            eprintln!("--fault-oracle must be nan|negative|huge, got {other}\n");
+                            usage()
+                        }
+                    })
+                }
+                "--fault-every" => o.fault_every = parse(&val(), a),
                 other => {
                     eprintln!("unknown option: {other}\n");
                     usage()
@@ -184,13 +234,105 @@ impl Opts {
             exit(2)
         });
         let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            exit(1)
+            die(ElephantError::Io {
+                path: path.to_string(),
+                source: e,
+            })
         });
-        ClusterModel::from_json(&json).unwrap_or_else(|e| {
-            eprintln!("{path} is not a valid model: {e}");
-            exit(1)
-        })
+        ClusterModel::load_json(&json).unwrap_or_else(|e| die(e))
+    }
+
+    fn guard_config(&self, model: &ClusterModel) -> GuardConfig {
+        GuardConfig {
+            latency_ceiling: SimDuration::from_secs_f64(self.guard_ceiling_ms / 1e3),
+            // A model trained on real records carries its drop rate; use it
+            // as the center of the drift band. Legacy artifacts (zeroed
+            // meta) disable the check.
+            expected_drop_rate: (model.meta.train_records > 0)
+                .then_some(model.meta.train_drop_rate),
+            drop_rate_tolerance: self.guard_tolerance,
+            trip_limit: self.guard_trip_limit,
+            ..Default::default()
+        }
+    }
+
+    /// Assembles the oracle stack for hybrid runs: the learned oracle (or
+    /// a deliberately faulty one, under `--fault-oracle`), wrapped in a
+    /// [`GuardedOracle`] unless `--no-guard` asked for bare metal.
+    fn build_oracle(
+        &self,
+        model: ClusterModel,
+        params: ClosParams,
+    ) -> (Box<dyn ClusterOracle + Send>, Option<GuardStatsHandle>) {
+        let meta = model.meta;
+        let guard_cfg = self.guard_config(&model);
+        let primary: Box<dyn ClusterOracle + Send> = match self.fault_oracle {
+            None => Box::new(LearnedOracle::new(
+                model,
+                params,
+                DropPolicy::Sample,
+                self.seed ^ 0xE1E,
+            )),
+            Some(mode) => {
+                println!(
+                    "fault drill: oracle emits {mode:?} latency every {} verdicts",
+                    self.fault_every
+                );
+                Box::new(FaultyOracle::new(
+                    mode,
+                    self.fault_every,
+                    SimDuration::from_micros(5),
+                ))
+            }
+        };
+        if self.no_guard {
+            return (primary, None);
+        }
+        // The fallback delivers at the training-time median latency when
+        // the artifact records one, else a generic fabric traversal.
+        let fallback_latency = if meta.train_latency_p50 > 0.0 {
+            SimDuration::from_secs_f64(meta.train_latency_p50)
+        } else {
+            SimDuration::from_micros(50)
+        };
+        let guarded = GuardedOracle::new(
+            primary,
+            Box::new(FixedLatencyOracle(fallback_latency)),
+            guard_cfg,
+        );
+        let handle = guarded.stats_handle();
+        (Box::new(guarded), Some(handle))
+    }
+}
+
+/// Prints the post-run guardrail summary and mirrors it into the metrics
+/// registry (so `--metrics-out` reports carry `hybrid/guard/*`).
+fn report_guard(handle: &Option<GuardStatsHandle>) {
+    let Some(h) = handle else { return };
+    h.publish_metrics();
+    let s = h.snapshot();
+    if s.trips() == 0 {
+        println!(
+            "  guardrail : {} verdicts, no trips (bit-identical to unguarded)",
+            s.verdicts
+        );
+    } else {
+        println!(
+            "  guardrail : {} trips in {} verdicts (non-finite {}, negative {}, \
+             ceiling {}, drop-drift {}); {} fallback verdicts{}",
+            s.trips(),
+            s.verdicts,
+            s.non_finite,
+            s.negative,
+            s.ceiling,
+            s.drop_drift,
+            s.fallback_verdicts,
+            if s.fallback_active {
+                "; primary ABANDONED (trip limit)"
+            } else {
+                ""
+            }
+        );
     }
 }
 
@@ -352,7 +494,7 @@ fn quick_default_model(o: &Opts) -> ClusterModel {
         &flows,
         horizon,
     );
-    let records = net.into_capture().expect("capture enabled").into_records();
+    let records = capture_records(net).unwrap_or_else(|e| die(e));
     let opts = TrainingOptions {
         hidden: 16,
         layers: 1,
@@ -386,7 +528,7 @@ fn cmd_train(o: &Opts) {
         &flows,
         o.horizon,
     );
-    let records = net.into_capture().expect("capture enabled").into_records();
+    let records = capture_records(net).unwrap_or_else(|e| die(e));
     println!(
         "  {} events, {} boundary records",
         meta.events,
@@ -416,11 +558,18 @@ fn cmd_train(o: &Opts) {
         "  down: {} samples | drop accuracy {:.3} | latency rmse {:.3}",
         report.down.train_samples, report.down.eval.drop_accuracy, report.down.eval.latency_rmse
     );
-    std::fs::write(&o.out, model.to_json()).unwrap_or_else(|e| {
-        eprintln!("cannot write {}: {e}", o.out);
-        exit(1)
+    std::fs::write(&o.out, model.to_file_json()).unwrap_or_else(|e| {
+        die(ElephantError::Io {
+            path: o.out.clone(),
+            source: e,
+        })
     });
-    println!("wrote {}", o.out);
+    println!(
+        "wrote {} (format v{}, checksum {:#018x})",
+        o.out,
+        elephant::core::MODEL_VERSION,
+        model.weight_checksum()
+    );
     emit_metrics(
         o,
         "train",
@@ -453,16 +602,17 @@ fn cmd_hybrid(o: &Opts) {
         flows.len(),
         o.horizon
     );
-    let oracle = LearnedOracle::new(model, params, DropPolicy::Sample, o.seed ^ 0xE1E);
+    let (oracle, guard) = o.build_oracle(model, params);
     let (net, meta) = run_hybrid(
         params,
         o.full_cluster,
-        Box::new(oracle),
+        oracle,
         o.net_config(RttScope::Cluster(o.full_cluster)),
         &flows,
         o.horizon,
     );
     print_summary(&net, &meta);
+    report_guard(&guard);
     emit_metrics(
         o,
         "hybrid",
@@ -486,15 +636,9 @@ fn cmd_compare(o: &Opts) {
     let (truth, tmeta) = run_ground_truth(params, cfg, None, &flows, o.horizon);
     let elided = filter_touching_cluster(&flows, o.full_cluster);
     println!("hybrid ({} flows after elision) ...", elided.len());
-    let oracle = LearnedOracle::new(model, params, DropPolicy::Sample, o.seed ^ 0xE1E);
-    let (hybrid, hmeta) = run_hybrid(
-        params,
-        o.full_cluster,
-        Box::new(oracle),
-        cfg,
-        &elided,
-        o.horizon,
-    );
+    let (oracle, guard) = o.build_oracle(model, params);
+    let (hybrid, hmeta) = run_hybrid(params, o.full_cluster, oracle, cfg, &elided, o.horizon);
+    report_guard(&guard);
 
     let cmp = compare_cdfs(&truth.stats.rtt_cdf(), &hybrid.stats.rtt_cdf());
     println!("\n  quantile   truth       hybrid      error");

@@ -1,0 +1,226 @@
+//! Robustness: corrupted model artifacts fail loudly with typed errors,
+//! a misbehaving oracle behind the guardrail degrades gracefully instead
+//! of panicking, and an untripped guard costs nothing — the guarded run
+//! is bit-identical to the unguarded one.
+
+use elephant::core::{
+    run_ground_truth, run_hybrid, train_cluster_model, ClusterModel, DropPolicy, ElephantError,
+    LatencyCodec, LearnedOracle, MacroConfig, ModelFile, ModelMeta, TrainingOptions, MODEL_MAGIC,
+    MODEL_VERSION,
+};
+use elephant::des::{SimDuration, SimTime};
+use elephant::net::{
+    BoundaryRecord, ClosParams, ClusterOracle, FaultyOracle, FixedLatencyOracle, GuardConfig,
+    GuardedOracle, NetConfig, OracleFaultMode, RttScope,
+};
+use elephant::nn::{MicroNet, MicroNetConfig, RnnKind};
+use elephant::trace::{filter_touching_cluster, generate, WorkloadConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const HORIZON: SimTime = SimTime::from_millis(12);
+
+/// A structurally valid but untrained model, cheap enough to corrupt in
+/// every which way.
+fn tiny_model() -> ClusterModel {
+    let cfg = MicroNetConfig {
+        input: elephant::core::FEATURE_DIM,
+        hidden: 4,
+        layers: 1,
+        alpha: 0.5,
+        rnn: RnnKind::Lstm,
+    };
+    ClusterModel {
+        up: MicroNet::new(cfg, &mut SmallRng::seed_from_u64(11)),
+        down: MicroNet::new(cfg, &mut SmallRng::seed_from_u64(22)),
+        macro_cfg: MacroConfig::default(),
+        codec: LatencyCodec::default(),
+        meta: ModelMeta::default(),
+    }
+}
+
+#[test]
+fn corrupted_model_artifacts_fail_with_typed_errors() {
+    let m = tiny_model();
+
+    // Healthy round trip.
+    let ok = ClusterModel::load_json(&m.to_file_json()).expect("clean artifact loads");
+    assert_eq!(ok.weight_checksum(), m.weight_checksum());
+
+    // Wrong magic: not our file at all.
+    let file = ModelFile {
+        magic: "PACHYDERM".into(),
+        version: MODEL_VERSION,
+        checksum: m.weight_checksum(),
+        model: m.clone(),
+    };
+    let err = ClusterModel::load_json(&serde_json::to_string(&file).unwrap()).unwrap_err();
+    assert!(matches!(err, ElephantError::ModelMagic { .. }), "{err}");
+    assert_eq!(err.exit_code(), 4);
+
+    // Future format version.
+    let file = ModelFile {
+        magic: MODEL_MAGIC.into(),
+        version: MODEL_VERSION + 1,
+        checksum: m.weight_checksum(),
+        model: m.clone(),
+    };
+    let err = ClusterModel::load_json(&serde_json::to_string(&file).unwrap()).unwrap_err();
+    assert!(
+        matches!(err, ElephantError::ModelVersion { found, expected }
+            if found == MODEL_VERSION + 1 && expected == MODEL_VERSION),
+        "{err}"
+    );
+
+    // Flipped weight bits: checksum catches what still parses.
+    let mut bits = m.clone();
+    bits.up.param_slices()[0][0] += 1.0;
+    let file = ModelFile {
+        magic: MODEL_MAGIC.into(),
+        version: MODEL_VERSION,
+        checksum: m.weight_checksum(), // header from the *uncorrupted* weights
+        model: bits,
+    };
+    let err = ClusterModel::load_json(&serde_json::to_string(&file).unwrap()).unwrap_err();
+    assert!(matches!(err, ElephantError::ModelChecksum { .. }), "{err}");
+
+    // NaN weights: rejected by the finiteness validator even when the
+    // checksum (computed over the NaN bits) matches.
+    let mut poisoned = m.clone();
+    poisoned.up.param_slices()[0][0] = f32::NAN;
+    let file = ModelFile {
+        magic: MODEL_MAGIC.into(),
+        version: MODEL_VERSION,
+        checksum: poisoned.weight_checksum(),
+        model: poisoned,
+    };
+    let err = file.into_model().unwrap_err();
+    assert!(
+        matches!(err, ElephantError::ModelNonFinite { count } if count == 1),
+        "{err}"
+    );
+
+    // Truncated file: a parse error, not a panic.
+    let json = m.to_file_json();
+    let err = ClusterModel::load_json(&json[..json.len() / 3]).unwrap_err();
+    assert!(matches!(err, ElephantError::ModelParse { .. }), "{err}");
+}
+
+fn hybrid_cfg() -> NetConfig {
+    NetConfig {
+        rtt_scope: RttScope::Cluster(0),
+        ..Default::default()
+    }
+}
+
+/// A NaN-spewing oracle behind the guard: the run completes, reports the
+/// trips, and ends in permanent fallback — where the same oracle unguarded
+/// would panic inside `SimDuration::from_secs_f64`.
+#[test]
+fn guarded_nan_oracle_completes_the_run() {
+    let params = ClosParams::paper_cluster(2);
+    let flows = filter_touching_cluster(
+        &generate(&params, &WorkloadConfig::paper_default(HORIZON, 5)),
+        0,
+    );
+    let guarded = GuardedOracle::new(
+        Box::new(FaultyOracle::new(
+            OracleFaultMode::Nan,
+            3,
+            SimDuration::from_micros(5),
+        )),
+        Box::new(FixedLatencyOracle(SimDuration::from_micros(40))),
+        GuardConfig {
+            trip_limit: 16,
+            ..Default::default()
+        },
+    );
+    let handle = guarded.stats_handle();
+    let (net, meta) = run_hybrid(params, 0, Box::new(guarded), hybrid_cfg(), &flows, HORIZON);
+
+    assert!(meta.events > 0);
+    assert!(net.stats.oracle_deliveries > 0, "oracle was exercised");
+    let snap = handle.snapshot();
+    assert!(snap.trips() >= 16, "trips {}", snap.trips());
+    assert!(snap.fallback_active, "trip limit reached");
+    assert!(snap.fallback_verdicts > 0);
+    assert_eq!(snap.negative + snap.ceiling + snap.drop_drift, 0);
+}
+
+#[derive(PartialEq, Debug)]
+struct HybridFingerprint {
+    completed: u64,
+    delivered: u64,
+    drops: u64,
+    oracle_deliveries: u64,
+    events: u64,
+    rtt_samples: Vec<u64>,
+}
+
+fn run_once(
+    params: ClosParams,
+    oracle: Box<dyn ClusterOracle + Send>,
+    flows: &[elephant::net::FlowSpec],
+) -> HybridFingerprint {
+    let (net, meta) = run_hybrid(params, 0, oracle, hybrid_cfg(), flows, HORIZON);
+    HybridFingerprint {
+        completed: net.stats.flows_completed,
+        delivered: net.stats.delivered_bytes,
+        drops: net.stats.drops.total(),
+        oracle_deliveries: net.stats.oracle_deliveries,
+        events: meta.events,
+        rtt_samples: net
+            .stats
+            .raw_rtt()
+            .iter()
+            .take(500)
+            .map(|&s| (s * 1e12) as u64)
+            .collect(),
+    }
+}
+
+/// The guard's determinism contract: while it never trips, wrapping the
+/// learned oracle changes *nothing* — same flows completed, same events,
+/// same RTT samples to the picosecond.
+#[test]
+fn untripped_guard_preserves_the_fingerprint() {
+    // Train a real (tiny) model so the oracle under test is the deployed
+    // learned one, not a toy.
+    let params = ClosParams::paper_cluster(2);
+    let flows = generate(&params, &WorkloadConfig::paper_default(HORIZON, 9));
+    let (net, _) = run_ground_truth(params, hybrid_cfg(), Some(1), &flows, HORIZON);
+    let records: Vec<BoundaryRecord> = elephant::core::capture_records(net).expect("capture");
+    let (model, _) = train_cluster_model(
+        &records,
+        &params,
+        &TrainingOptions {
+            hidden: 8,
+            layers: 1,
+            epochs: 2,
+            ..Default::default()
+        },
+    );
+
+    let elided = filter_touching_cluster(&flows, 0);
+    let learned = |m: ClusterModel| LearnedOracle::new(m, params, DropPolicy::Sample, 0xFACE);
+
+    let bare = run_once(params, Box::new(learned(model.clone())), &elided);
+
+    // Ceiling high enough that nothing trips; drift band centered on the
+    // model's own training stats, as the CLI derives it.
+    let guarded = GuardedOracle::new(
+        Box::new(learned(model.clone())),
+        Box::new(FixedLatencyOracle(SimDuration::from_micros(40))),
+        GuardConfig {
+            expected_drop_rate: Some(model.meta.train_drop_rate),
+            drop_rate_tolerance: 1.0, // never trips
+            ..Default::default()
+        },
+    );
+    let handle = guarded.stats_handle();
+    let wrapped = run_once(params, Box::new(guarded), &elided);
+
+    assert_eq!(handle.snapshot().trips(), 0, "guard must not have tripped");
+    assert!(handle.snapshot().verdicts > 0, "guard actually in the path");
+    assert_eq!(bare, wrapped, "untripped guard must be invisible");
+}
