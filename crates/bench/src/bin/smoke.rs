@@ -1,0 +1,134 @@
+//! Smoke bench: proves the observability layer is zero-cost when disabled.
+//!
+//! Runs one small ground-truth scenario three ways, interleaved to defeat
+//! thermal/frequency drift:
+//!
+//! * **baseline** — the plain [`elephant_core::run_ground_truth`] path,
+//!   timeline and metrics off (the pre-observability code path);
+//! * **disabled** — the `_observed` entry point with every hook present
+//!   but switched off (no trace, no sampler, timeline disabled) — the
+//!   path every production run now takes;
+//! * **enabled** — timeline + strided trace + 100µs sampler, reported for
+//!   information only.
+//!
+//! The CI gate: the median *disabled* wall time may exceed the median
+//! *baseline* by at most 5% (plus a small absolute allowance so
+//! microsecond-scale jitter on a fast run cannot trip the ratio). Exits
+//! non-zero on violation. Writes `BENCH_smoke.json` under `--out`.
+
+use elephant_bench::{emit_report, fmt_f, print_table, Args};
+use elephant_core::{run_ground_truth, run_ground_truth_observed};
+use elephant_des::SimDuration;
+use elephant_net::{NetSampler, TraceLog};
+use elephant_trace::{generate, WorkloadConfig};
+
+const ROUNDS: usize = 5;
+/// Relative overhead budget for the disabled path.
+const MAX_OVERHEAD: f64 = 0.05;
+/// Absolute slack (seconds): below this delta the ratio test is noise.
+const ABS_SLACK: f64 = 0.010;
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let args = Args::parse();
+    let params = elephant_net::ClosParams::paper_cluster(2);
+    let horizon = args.horizon(20, 200);
+    let flows = generate(&params, &WorkloadConfig::paper_default(horizon, args.seed));
+
+    // Warm-up: touch the allocator and page in the code paths once.
+    run_ground_truth(params, Default::default(), None, &flows, horizon);
+
+    let mut base = Vec::with_capacity(ROUNDS);
+    let mut disabled = Vec::with_capacity(ROUNDS);
+    let mut events = 0u64;
+    for _ in 0..ROUNDS {
+        let (_, m) = run_ground_truth(params, Default::default(), None, &flows, horizon);
+        base.push(m.wall.as_secs_f64());
+        events = m.events;
+        let (_, m) = run_ground_truth_observed(
+            params,
+            Default::default(),
+            None,
+            &flows,
+            horizon,
+            None,
+            None,
+        );
+        disabled.push(m.wall.as_secs_f64());
+    }
+
+    // One enabled run, informational: full timeline + sampler + trace.
+    elephant_obs::timeline().reset();
+    elephant_obs::set_timeline_enabled(true);
+    let mut sampler = NetSampler::new(SimDuration::from_micros(100), &flows);
+    let trace = TraceLog::strided(50_000, events);
+    let (net, enabled_meta) = run_ground_truth_observed(
+        params,
+        Default::default(),
+        None,
+        &flows,
+        horizon,
+        Some(trace),
+        Some(&mut sampler),
+    );
+    elephant_net::export_flow_timeline(&net, elephant_net::MAX_FLOW_TRACKS);
+    elephant_obs::set_timeline_enabled(false);
+    let timeline_records = elephant_obs::timeline().len();
+    elephant_obs::timeline().reset();
+
+    let med_base = median(&mut base);
+    let med_disabled = median(&mut disabled);
+    let med_enabled = enabled_meta.wall.as_secs_f64();
+    let overhead_disabled = (med_disabled - med_base) / med_base;
+    let overhead_enabled = (med_enabled - med_base) / med_base;
+
+    print_table(
+        "observability overhead (median wall seconds)",
+        &["variant", "wall_s", "vs baseline"],
+        &[
+            vec!["baseline".into(), fmt_f(med_base), "-".into()],
+            vec![
+                "obs disabled".into(),
+                fmt_f(med_disabled),
+                format!("{:+.2}%", overhead_disabled * 100.0),
+            ],
+            vec![
+                "obs enabled".into(),
+                fmt_f(med_enabled),
+                format!("{:+.2}%", overhead_enabled * 100.0),
+            ],
+        ],
+    );
+
+    let mut report = elephant_obs::RunReport::new("smoke", "observability overhead gate");
+    report.set_run(med_disabled, events, horizon.as_secs_f64());
+    report.scalar("wall_baseline_s", med_base);
+    report.scalar("wall_disabled_s", med_disabled);
+    report.scalar("wall_enabled_s", med_enabled);
+    report.scalar("overhead_disabled", overhead_disabled);
+    report.scalar("overhead_enabled", overhead_enabled);
+    report.scalar("timeline_records", timeline_records as f64);
+    report.scalar("sampler_rows", sampler.rows().len() as f64);
+    report.gather();
+    emit_report(&report, &args.out);
+
+    let delta = med_disabled - med_base;
+    if overhead_disabled > MAX_OVERHEAD && delta > ABS_SLACK {
+        eprintln!(
+            "FAIL: disabled-path overhead {:+.2}% exceeds the {:.0}% budget ({}s over baseline)",
+            overhead_disabled * 100.0,
+            MAX_OVERHEAD * 100.0,
+            fmt_f(delta),
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "PASS: disabled-path overhead {:+.2}% within the {:.0}% budget",
+        overhead_disabled * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+}

@@ -11,16 +11,14 @@
 #![warn(missing_docs)]
 
 use std::path::PathBuf;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use elephant_core::{
-    run_ground_truth, train_cluster_model, ClusterModel, TrainReport, TrainingOptions,
+    run_ground_truth, run_pdes_full, run_pdes_hybrid, train_cluster_model, ClusterModel,
+    TrainReport, TrainingOptions,
 };
-use elephant_des::{PartitionSim, PdesConfig, PdesReport, PdesRunner, SimDuration, SimTime};
-use elephant_net::{
-    ClosParams, FlowSpec, NetConfig, NetEvent, NetPartition, Network, RttScope, Topology,
-};
+use elephant_des::{PdesReport, SimTime};
+use elephant_net::{ClosParams, FlowSpec, NetConfig, RttScope};
 use elephant_trace::{generate, WorkloadConfig};
 
 /// Common command-line switches shared by every harness binary.
@@ -165,7 +163,9 @@ pub fn emit_report(report: &elephant_obs::RunReport, dir: &std::path::Path) {
 /// Runs the packet simulator under conservative PDES: `partitions`
 /// rack-partitioned logical processes dealt round-robin over `machines`
 /// emulated machines (cross-machine messages marshalled with
-/// `envelope_bytes` of MPI-style envelope).
+/// `envelope_bytes` of MPI-style envelope). Thin wrapper over
+/// [`elephant_core::run_pdes_full`] keeping the harnesses' historic
+/// panic-on-error contract.
 pub fn run_pdes(
     params: ClosParams,
     flows: &[FlowSpec],
@@ -174,41 +174,19 @@ pub fn run_pdes(
     machines: usize,
     envelope_bytes: usize,
 ) -> PdesOutcome {
-    let topo = Arc::new(Topology::clos(params));
-    let map = Arc::new(topo.partition_by_rack(partitions));
-    let lookahead = topo
-        .min_cut_latency(&map)
-        .unwrap_or(SimDuration::from_micros(1));
-    let cfg = NetConfig {
-        rtt_scope: RttScope::None,
-        ..Default::default()
-    };
-
-    let mut parts: Vec<PartitionSim<NetPartition>> = (0..partitions)
-        .map(|p| {
-            let mut net = Network::new(Arc::clone(&topo), cfg);
-            net.set_partition(p, Arc::clone(&map));
-            PartitionSim::new(NetPartition { net })
-        })
-        .collect();
-    for f in flows {
-        let owner = map[topo.host_node(f.src).idx()] as usize;
-        parts[owner]
-            .scheduler_mut()
-            .schedule_at(f.start, NetEvent::FlowStart(*f));
-    }
-
-    let mut runner = PdesRunner::new(
-        parts,
-        PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes),
-    );
-    let t0 = Instant::now();
-    let report = runner
-        .run_until(horizon)
-        .unwrap_or_else(|e| panic!("PDES run failed: {e}"));
+    let run = run_pdes_full(
+        params,
+        flows,
+        horizon,
+        partitions,
+        machines,
+        envelope_bytes,
+        None,
+    )
+    .unwrap_or_else(|e| panic!("PDES run failed: {e}"));
     PdesOutcome {
-        report,
-        wall: t0.elapsed(),
+        report: run.report,
+        wall: run.wall,
     }
 }
 
@@ -234,55 +212,32 @@ pub fn run_hybrid_pdes(
     seed: u64,
 ) -> (PdesOutcome, u64) {
     use elephant_core::{DropPolicy, LearnedOracle};
-    let stubs: Vec<u16> = (0..params.clusters)
-        .filter(|&c| c != full_cluster)
-        .collect();
-    let topo = Arc::new(Topology::clos_with_stubs(params, &stubs));
-    let (map, partitions) = topo.partition_by_cluster();
-    let map = Arc::new(map);
-    let lookahead = topo
-        .min_cut_latency(&map)
-        .expect("multi-cluster hybrid has cut links");
-    let cfg = NetConfig {
-        rtt_scope: RttScope::None,
-        ..Default::default()
-    };
-
-    let mut parts: Vec<PartitionSim<NetPartition>> = (0..partitions)
-        .map(|p| {
-            let mut net = Network::new(Arc::clone(&topo), cfg);
-            net.set_partition(p, Arc::clone(&map));
-            net.set_oracle(Box::new(LearnedOracle::new(
+    let run = run_pdes_hybrid(
+        params,
+        full_cluster,
+        |p| {
+            Box::new(LearnedOracle::new(
                 model.clone(),
                 params,
                 DropPolicy::Sample,
                 seed.wrapping_add(p as u64),
-            )));
-            PartitionSim::new(NetPartition { net })
-        })
-        .collect();
-    for f in flows {
-        let owner = map[topo.host_node(f.src).idx()] as usize;
-        parts[owner]
-            .scheduler_mut()
-            .schedule_at(f.start, NetEvent::FlowStart(*f));
-    }
-
-    let mut runner = PdesRunner::new(
-        parts,
-        PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes),
-    );
-    let t0 = Instant::now();
-    let report = runner
-        .run_until(horizon)
-        .unwrap_or_else(|e| panic!("PDES run failed: {e}"));
-    let wall = t0.elapsed();
-    let oracle_total: u64 = runner
-        .partitions()
-        .iter()
-        .map(|p| p.world().net.stats.oracle_deliveries)
-        .sum();
-    (PdesOutcome { report, wall }, oracle_total)
+            ))
+        },
+        flows,
+        horizon,
+        machines,
+        envelope_bytes,
+        None,
+    )
+    .unwrap_or_else(|e| panic!("PDES run failed: {e}"));
+    let oracle_total = run.oracle_deliveries();
+    (
+        PdesOutcome {
+            report: run.report,
+            wall: run.wall,
+        },
+        oracle_total,
+    )
 }
 
 /// The standard "train once" step used by Figures 4–5 and the ablations:

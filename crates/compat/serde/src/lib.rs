@@ -148,6 +148,20 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, Error>;
 }
 
+// Identity impls so callers can (de)serialize into the value model itself
+// (`serde_json::from_str::<Value>`), as with the real crates.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! ser_de_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

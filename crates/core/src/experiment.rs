@@ -17,9 +17,12 @@ use std::time::{Duration, Instant};
 
 use crate::error::ElephantError;
 
-use elephant_des::{SimTime, Simulator};
+use elephant_des::{
+    PartitionSim, PdesConfig, PdesError, PdesReport, PdesRunner, SimDuration, SimTime, Simulator,
+};
 use elephant_net::{
-    schedule_flows, ClosParams, ClusterOracle, FlowSpec, NetConfig, Network, RttScope, Topology,
+    run_sampled, schedule_flows, ClosParams, ClusterOracle, FlowSpec, NetConfig, NetEvent,
+    NetPartition, NetSampler, Network, RttScope, Topology, TraceLog,
 };
 
 /// Performance facts about one run.
@@ -47,17 +50,38 @@ impl RunMeta {
 /// both runs to the observed cluster).
 pub fn run_ground_truth(
     params: ClosParams,
-    mut cfg: NetConfig,
+    cfg: NetConfig,
     capture_cluster: Option<u16>,
     flows: &[FlowSpec],
     horizon: SimTime,
 ) -> (Network, RunMeta) {
+    run_ground_truth_observed(params, cfg, capture_cluster, flows, horizon, None, None)
+}
+
+/// [`run_ground_truth`] with observability hooks: `trace` installs an
+/// event trace (first-N or strided) on the network, and `sampler` drives
+/// the run in sampling-period chunks, recording time series between
+/// chunks. Both are bit-identity-preserving — the simulation executes the
+/// exact same event sequence with or without them.
+pub fn run_ground_truth_observed(
+    params: ClosParams,
+    mut cfg: NetConfig,
+    capture_cluster: Option<u16>,
+    flows: &[FlowSpec],
+    horizon: SimTime,
+    trace: Option<TraceLog>,
+    sampler: Option<&mut NetSampler>,
+) -> (Network, RunMeta) {
     cfg.capture_cluster = capture_cluster;
     let _span = elephant_obs::span("ground_truth");
     let topo = Arc::new(Topology::clos(params));
-    let mut sim = Simulator::new(Network::new(topo, cfg));
+    let mut net = Network::new(topo, cfg);
+    if let Some(log) = trace {
+        net.install_trace(log);
+    }
+    let mut sim = Simulator::new(net);
     schedule_flows(&mut sim, flows);
-    finish(sim, horizon)
+    finish(sim, horizon, sampler)
 }
 
 /// Runs the hybrid simulation: `full_cluster` plus the core layer at
@@ -70,9 +94,34 @@ pub fn run_hybrid(
     params: ClosParams,
     full_cluster: u16,
     oracle: Box<dyn ClusterOracle + Send>,
+    cfg: NetConfig,
+    flows: &[FlowSpec],
+    horizon: SimTime,
+) -> (Network, RunMeta) {
+    run_hybrid_observed(
+        params,
+        full_cluster,
+        oracle,
+        cfg,
+        flows,
+        horizon,
+        None,
+        None,
+    )
+}
+
+/// [`run_hybrid`] with observability hooks; see
+/// [`run_ground_truth_observed`] for the trace/sampler semantics.
+#[allow(clippy::too_many_arguments)] // the base runner's spec plus two hooks
+pub fn run_hybrid_observed(
+    params: ClosParams,
+    full_cluster: u16,
+    oracle: Box<dyn ClusterOracle + Send>,
     mut cfg: NetConfig,
     flows: &[FlowSpec],
     horizon: SimTime,
+    trace: Option<TraceLog>,
+    sampler: Option<&mut NetSampler>,
 ) -> (Network, RunMeta) {
     assert!(
         params.clusters >= 2,
@@ -90,9 +139,12 @@ pub fn run_hybrid(
     let topo = Arc::new(Topology::clos_with_stubs(params, &stubs));
     let mut net = Network::new(topo, cfg);
     net.set_oracle(oracle);
+    if let Some(log) = trace {
+        net.install_trace(log);
+    }
     let mut sim = Simulator::new(net);
     schedule_flows(&mut sim, flows);
-    finish(sim, horizon)
+    finish(sim, horizon, sampler)
 }
 
 /// Extracts the boundary capture from a finished network, or a typed
@@ -104,10 +156,21 @@ pub fn capture_records(net: Network) -> Result<Vec<elephant_net::BoundaryRecord>
         .ok_or(ElephantError::CaptureMissing)
 }
 
-fn finish(mut sim: Simulator<Network>, horizon: SimTime) -> (Network, RunMeta) {
+fn finish(
+    mut sim: Simulator<Network>,
+    horizon: SimTime,
+    sampler: Option<&mut NetSampler>,
+) -> (Network, RunMeta) {
     let _span = elephant_obs::span("run");
     let start = Instant::now();
-    sim.run_until(horizon);
+    match sampler {
+        Some(s) => {
+            run_sampled(&mut sim, horizon, s);
+        }
+        None => {
+            sim.run_until(horizon);
+        }
+    }
     let wall = start.elapsed();
     let events = sim.scheduler().executed_total();
     let meta = RunMeta {
@@ -116,6 +179,189 @@ fn finish(mut sim: Simulator<Network>, horizon: SimTime) -> (Network, RunMeta) {
         sim_seconds: horizon.as_secs_f64(),
     };
     (sim.into_world(), meta)
+}
+
+/// Outcome of a PDES run: the merged kernel report, wall time, and the
+/// consumed partition networks (for post-run statistics such as summed
+/// oracle deliveries or flow-completion counts).
+pub struct PdesRun {
+    /// Kernel statistics, merged across sampling chunks if a sampler was
+    /// attached.
+    pub report: PdesReport,
+    /// Wall-clock duration of the run (excludes construction).
+    pub wall: Duration,
+    /// Each partition's network, in partition order.
+    pub nets: Vec<Network>,
+}
+
+impl PdesRun {
+    /// Events executed, summed over partitions and chunks.
+    pub fn events(&self) -> u64 {
+        self.report.events_executed
+    }
+
+    /// Flows completed across every partition.
+    pub fn flows_completed(&self) -> u64 {
+        self.nets.iter().map(|n| n.stats.flows_completed).sum()
+    }
+
+    /// Oracle deliveries across every partition (0 for full-fidelity runs).
+    pub fn oracle_deliveries(&self) -> u64 {
+        self.nets.iter().map(|n| n.stats.oracle_deliveries).sum()
+    }
+}
+
+/// Drives a [`PdesRunner`] to `horizon`, optionally pausing at every
+/// sampler tick to record time series across all partitions. Chunked
+/// driving is exact: each `run_until` chunk resumes the per-partition
+/// schedulers where the previous one parked them, and the per-chunk
+/// reports are disjoint, so the merged report equals a single-call run's.
+fn drive_pdes(
+    runner: &mut PdesRunner<NetPartition>,
+    horizon: SimTime,
+    sampler: Option<&mut NetSampler>,
+) -> Result<(PdesReport, Duration), PdesError> {
+    let t0 = Instant::now();
+    let report = match sampler {
+        None => runner.run_until(horizon)?,
+        Some(s) => {
+            let mut total: Option<PdesReport> = None;
+            loop {
+                let next = s.next_due().min(horizon);
+                let chunk = runner.run_until(next)?;
+                let exhausted = chunk.partitions.iter().all(|p| p.next_time.is_none());
+                match &mut total {
+                    None => total = Some(chunk),
+                    Some(t) => t.merge(&chunk),
+                }
+                let at = if exhausted && next < horizon {
+                    horizon
+                } else {
+                    next
+                };
+                let nets: Vec<&Network> =
+                    runner.partitions().iter().map(|p| &p.world().net).collect();
+                s.sample(at, &nets);
+                if at >= horizon {
+                    break;
+                }
+            }
+            total.expect("loop samples at least once")
+        }
+    };
+    Ok((report, t0.elapsed()))
+}
+
+/// Runs the full-fidelity simulator under conservative PDES:
+/// `partitions` rack-partitioned logical processes dealt round-robin over
+/// `machines` emulated machines (cross-machine messages marshalled with
+/// `envelope_bytes` of MPI-style envelope). With the timeline enabled
+/// (`elephant_obs::set_timeline_enabled`), each partition thread records
+/// per-epoch compute/barrier/marshal slices onto its own wall-clock track.
+pub fn run_pdes_full(
+    params: ClosParams,
+    flows: &[FlowSpec],
+    horizon: SimTime,
+    partitions: usize,
+    machines: usize,
+    envelope_bytes: usize,
+    sampler: Option<&mut NetSampler>,
+) -> Result<PdesRun, PdesError> {
+    let topo = Arc::new(Topology::clos(params));
+    let map = Arc::new(topo.partition_by_rack(partitions));
+    let lookahead = topo
+        .min_cut_latency(&map)
+        .unwrap_or(SimDuration::from_micros(1));
+    let cfg = NetConfig {
+        rtt_scope: RttScope::None,
+        ..Default::default()
+    };
+
+    let mut parts: Vec<PartitionSim<NetPartition>> = (0..partitions)
+        .map(|p| {
+            let mut net = Network::new(Arc::clone(&topo), cfg);
+            net.set_partition(p, Arc::clone(&map));
+            PartitionSim::new(NetPartition { net })
+        })
+        .collect();
+    for f in flows {
+        let owner = map[topo.host_node(f.src).idx()] as usize;
+        parts[owner]
+            .scheduler_mut()
+            .schedule_at(f.start, NetEvent::FlowStart(*f));
+    }
+
+    let mut runner = PdesRunner::new(
+        parts,
+        PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes),
+    );
+    let (report, wall) = drive_pdes(&mut runner, horizon, sampler)?;
+    let nets = runner
+        .into_partitions()
+        .into_iter()
+        .map(|p| p.into_world().net)
+        .collect();
+    Ok(PdesRun { report, wall, nets })
+}
+
+/// Runs the *hybrid* simulator under PDES, partitioned by cluster: the
+/// full cluster plus the core layer is one logical process, every stub
+/// cluster (its hosts, TCP stacks, and oracle replica) another — the
+/// paper's §6.2 observation that approximation removes the fabric
+/// interdependence that made PDES unprofitable. `oracle_factory` builds
+/// partition `p`'s oracle (each partition needs its own instance; vary the
+/// seed by `p` for sampled drop policies).
+#[allow(clippy::too_many_arguments)] // an experiment spec, not an API surface
+pub fn run_pdes_hybrid(
+    params: ClosParams,
+    full_cluster: u16,
+    mut oracle_factory: impl FnMut(usize) -> Box<dyn ClusterOracle + Send>,
+    flows: &[FlowSpec],
+    horizon: SimTime,
+    machines: usize,
+    envelope_bytes: usize,
+    sampler: Option<&mut NetSampler>,
+) -> Result<PdesRun, PdesError> {
+    let stubs: Vec<u16> = (0..params.clusters)
+        .filter(|&c| c != full_cluster)
+        .collect();
+    let topo = Arc::new(Topology::clos_with_stubs(params, &stubs));
+    let (map, partitions) = topo.partition_by_cluster();
+    let map = Arc::new(map);
+    let lookahead = topo
+        .min_cut_latency(&map)
+        .expect("multi-cluster hybrid has cut links");
+    let cfg = NetConfig {
+        rtt_scope: RttScope::None,
+        ..Default::default()
+    };
+
+    let mut parts: Vec<PartitionSim<NetPartition>> = (0..partitions)
+        .map(|p| {
+            let mut net = Network::new(Arc::clone(&topo), cfg);
+            net.set_partition(p, Arc::clone(&map));
+            net.set_oracle(oracle_factory(p));
+            PartitionSim::new(NetPartition { net })
+        })
+        .collect();
+    for f in flows {
+        let owner = map[topo.host_node(f.src).idx()] as usize;
+        parts[owner]
+            .scheduler_mut()
+            .schedule_at(f.start, NetEvent::FlowStart(*f));
+    }
+
+    let mut runner = PdesRunner::new(
+        parts,
+        PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes),
+    );
+    let (report, wall) = drive_pdes(&mut runner, horizon, sampler)?;
+    let nets = runner
+        .into_partitions()
+        .into_iter()
+        .map(|p| p.into_world().net)
+        .collect();
+    Ok(PdesRun { report, wall, nets })
 }
 
 #[cfg(test)]

@@ -290,6 +290,10 @@ impl ClusterOracle for LearnedOracle {
         }
     }
 
+    fn macro_state_of(&self, cluster: u16) -> Option<u8> {
+        Some(self.macro_state(cluster).index() as u8)
+    }
+
     fn classify_raw(&mut self, ctx: &OracleCtx<'_>, pkt: &Packet, now: SimTime) -> RawVerdict {
         let LearnedOracle {
             model,

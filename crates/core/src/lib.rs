@@ -64,7 +64,10 @@ pub use accuracy::{
     compare_cdfs, macro_agreement, macro_confusion, CdfComparison, PercentileRow, REPORT_QUANTILES,
 };
 pub use error::ElephantError;
-pub use experiment::{capture_records, run_ground_truth, run_hybrid, RunMeta};
+pub use experiment::{
+    capture_records, run_ground_truth, run_ground_truth_observed, run_hybrid, run_hybrid_observed,
+    run_pdes_full, run_pdes_hybrid, PdesRun, RunMeta,
+};
 pub use features::{FeatureExtractor, LatencyCodec, FEATURE_DIM};
 pub use learned::{
     ClusterModel, DropPolicy, LearnedOracle, ModelFile, ModelMeta, OracleStats, MODEL_MAGIC,

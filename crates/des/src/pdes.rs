@@ -33,6 +33,7 @@ use std::sync::Barrier;
 use std::time::Instant;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use elephant_obs::{TraceRecord, PID_PDES};
 use parking_lot::Mutex;
 
 use crate::fault::{FaultCounts, FaultPlan, FaultRng};
@@ -138,6 +139,11 @@ impl<W: PartitionWorld> PartitionSim<W> {
     /// Mutable access to the world.
     pub fn world_mut(&mut self) -> &mut W {
         &mut self.world
+    }
+
+    /// Consumes the partition, returning its world (post-run statistics).
+    pub fn into_world(self) -> W {
+        self.world
     }
 }
 
@@ -299,6 +305,39 @@ pub struct PdesReport {
     pub partitions: Vec<PartitionStats>,
 }
 
+impl PdesReport {
+    /// Folds another report into this one, summing counts and wall times.
+    ///
+    /// Used by sampled drivers that advance a [`PdesRunner`] in chunks
+    /// (one `run_until` per sampling tick) and want run-total statistics:
+    /// each chunk's report covers only that chunk, so summation is exact.
+    /// `next_time` takes the later report's value.
+    pub fn merge(&mut self, other: &PdesReport) {
+        self.epochs += other.epochs;
+        self.events_executed += other.events_executed;
+        self.remote_messages += other.remote_messages;
+        self.marshalled_messages += other.marshalled_messages;
+        self.bytes_marshalled += other.bytes_marshalled;
+        self.faults.dropped += other.faults.dropped;
+        self.faults.duplicated += other.faults.duplicated;
+        self.faults.corrupted += other.faults.corrupted;
+        if self.partitions.is_empty() {
+            self.partitions = other.partitions.clone();
+            return;
+        }
+        debug_assert_eq!(self.partitions.len(), other.partitions.len());
+        for (a, b) in self.partitions.iter_mut().zip(&other.partitions) {
+            a.events += b.events;
+            a.work_seconds += b.work_seconds;
+            a.barrier_wait_seconds += b.barrier_wait_seconds;
+            a.marshal_seconds += b.marshal_seconds;
+            a.remote_events_sent += b.remote_events_sent;
+            a.remote_bytes_sent += b.remote_bytes_sent;
+            a.next_time = b.next_time;
+        }
+    }
+}
+
 /// Per-partition wall-time and traffic breakdown from a PDES run.
 ///
 /// Wall times are measured with monotonic clocks inside the partition
@@ -362,6 +401,9 @@ struct Shared<E> {
     abort: AtomicBool,
     /// First failure observed (kept; later ones are dropped).
     failure: Mutex<Option<Failure>>,
+    /// Wall-clock origin for timeline slices: all partition tracks share
+    /// one zero so their epochs line up in the trace viewer.
+    started: Instant,
 }
 
 impl<E> Shared<E> {
@@ -425,6 +467,7 @@ impl<W: PartitionWorld> PdesRunner<W> {
             poisoned: AtomicBool::new(false),
             abort: AtomicBool::new(false),
             failure: Mutex::new(None),
+            started: Instant::now(),
         };
         let config = &self.config;
 
@@ -510,10 +553,60 @@ fn publish_metrics(report: &PdesReport) {
         elephant_obs::counter("pdes/partition/events", label.clone()).add(p.events);
         elephant_obs::counter("pdes/partition/remote_messages", label.clone())
             .add(p.remote_events_sent);
-        elephant_obs::counter("pdes/partition/remote_bytes", label.clone())
-            .add(p.remote_bytes_sent);
-        elephant_obs::counter("pdes/partition/barrier_wait_ns", label)
-            .add((p.barrier_wait_seconds * 1e9) as u64);
+        elephant_obs::counter("pdes/partition/remote_bytes", label).add(p.remote_bytes_sent);
+        // Barrier wait is no longer mirrored as an end-of-run counter: the
+        // timeline records it per epoch (see `PartitionTimeline`), and the
+        // aggregate lives in `PartitionStats::barrier_wait_seconds`.
+    }
+}
+
+/// Per-partition timeline buffer: one wall-clock track per partition with
+/// per-epoch `work` / `barrier_wait` / `marshal` slices. Records accumulate
+/// locally (no lock traffic inside the epoch loop) and flush to the global
+/// timeline in one batch when the partition thread exits. Constructed only
+/// while the timeline is enabled; every call site is a cheap `Option` probe
+/// otherwise.
+struct PartitionTimeline {
+    buf: Vec<TraceRecord>,
+    origin: Instant,
+    tid: u64,
+}
+
+/// Per-thread record bound so a long run cannot balloon memory; the global
+/// timeline applies its own cap on top.
+const PARTITION_RECORD_CAP: usize = 100_000;
+
+impl PartitionTimeline {
+    fn new(origin: Instant, id: PartitionId) -> Option<Self> {
+        elephant_obs::timeline_enabled().then(|| PartitionTimeline {
+            buf: Vec::new(),
+            origin,
+            tid: id as u64,
+        })
+    }
+
+    fn push(&mut self, record: TraceRecord) {
+        if self.buf.len() < PARTITION_RECORD_CAP {
+            self.buf.push(record);
+        }
+    }
+
+    /// A slice on this partition's track from `from` to now.
+    fn slice(&mut self, name: &'static str, from: Instant, epoch: u64) {
+        let ts = from.duration_since(self.origin).as_secs_f64() * 1e6;
+        let dur = from.elapsed().as_secs_f64() * 1e6;
+        self.push(TraceRecord::complete(PID_PDES, self.tid, name, ts, dur).arg("epoch", epoch));
+    }
+
+    fn flush(self, stats: &PartitionStats) {
+        let tl = elephant_obs::timeline();
+        tl.name_process(PID_PDES, "pdes partitions (wall clock)");
+        tl.name_track(
+            PID_PDES,
+            self.tid,
+            format!("partition {} ({} events)", stats.partition, stats.events),
+        );
+        tl.record_batch(self.buf);
     }
 }
 
@@ -546,6 +639,7 @@ fn partition_main<W: PartitionWorld>(
         ..Default::default()
     };
     let _pdes_span = elephant_obs::span("pdes");
+    let mut tl = PartitionTimeline::new(shared.started, id);
 
     // Fault-injection state: deterministic per-partition RNG stream plus
     // the two partition-level faults, resolved once up front.
@@ -590,6 +684,9 @@ fn partition_main<W: PartitionWorld>(
             let t0 = Instant::now();
             shared.barrier.wait();
             stats.barrier_wait_seconds += t0.elapsed().as_secs_f64();
+            if let Some(tl) = tl.as_mut() {
+                tl.slice("barrier_wait", t0, my_epochs);
+            }
         }
 
         // Phase 3: thread 0 plans the epoch.
@@ -643,6 +740,9 @@ fn partition_main<W: PartitionWorld>(
             let t0 = Instant::now();
             shared.barrier.wait();
             stats.barrier_wait_seconds += t0.elapsed().as_secs_f64();
+            if let Some(tl) = tl.as_mut() {
+                tl.slice("barrier_wait", t0, my_epochs);
+            }
         }
 
         let plan = *shared.plan.lock();
@@ -672,6 +772,16 @@ fn partition_main<W: PartitionWorld>(
                 executed += 1;
             }
             stats.work_seconds += t0.elapsed().as_secs_f64();
+            if let Some(tl) = tl.as_mut() {
+                let ts = t0.duration_since(tl.origin).as_secs_f64() * 1e6;
+                let dur = t0.elapsed().as_secs_f64() * 1e6;
+                tl.push(
+                    TraceRecord::complete(PID_PDES, tl.tid, "work", ts, dur)
+                        .arg("epoch", my_epochs)
+                        .arg("events", executed)
+                        .arg("epoch_end_sim_us", plan.end.as_nanos() as f64 / 1e3),
+                );
+            }
         }
         stats.events += executed;
         if executed > 0 {
@@ -734,6 +844,9 @@ fn partition_main<W: PartitionWorld>(
                 }
             }
             stats.marshal_seconds += t0.elapsed().as_secs_f64();
+            if let Some(tl) = tl.as_mut() {
+                tl.slice("marshal", t0, my_epochs);
+            }
             stats.remote_events_sent += count;
             stats.remote_bytes_sent += bytes_total;
             shared.remote_msgs.fetch_add(count, Ordering::Relaxed);
@@ -753,10 +866,16 @@ fn partition_main<W: PartitionWorld>(
         let t0 = Instant::now();
         shared.barrier.wait();
         stats.barrier_wait_seconds += t0.elapsed().as_secs_f64();
+        if let Some(tl) = tl.as_mut() {
+            tl.slice("barrier_wait", t0, my_epochs);
+        }
         drop(_s);
     }
 
     stats.next_time = part.sched.peek_time();
+    if let Some(tl) = tl.take() {
+        tl.flush(&stats);
+    }
     shared.per_partition.lock()[id] = stats;
 }
 
@@ -988,6 +1107,45 @@ mod tests {
             .expect("healthy run");
         assert_eq!(report.events_executed, 0);
         assert_eq!(report.epochs, 0);
+    }
+
+    #[test]
+    fn merge_sums_chunked_reports() {
+        let (_, a) = ring_run(4, 49, 2, 32);
+        let (_, b) = ring_run(4, 49, 2, 32);
+        let mut merged = PdesReport::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(
+            merged.events_executed,
+            a.events_executed + b.events_executed
+        );
+        assert_eq!(merged.epochs, a.epochs + b.epochs);
+        assert_eq!(
+            merged.bytes_marshalled,
+            a.bytes_marshalled + b.bytes_marshalled
+        );
+        assert_eq!(merged.partitions.len(), 4);
+        assert_eq!(
+            merged.partitions[1].events,
+            a.partitions[1].events + b.partitions[1].events
+        );
+    }
+
+    #[test]
+    fn timeline_gets_per_epoch_partition_slices() {
+        // Process-global timeline: no other test in this crate enables it,
+        // so flipping it here is safe; restore and clear on the way out.
+        elephant_obs::timeline().reset();
+        elephant_obs::set_timeline_enabled(true);
+        let (_, report) = ring_run(4, 99, 2, 32);
+        elephant_obs::set_timeline_enabled(false);
+        let json = elephant_obs::TimelineWriter::from_timeline(elephant_obs::timeline()).to_json();
+        elephant_obs::timeline().reset();
+        assert!(report.epochs > 0);
+        for needle in ["barrier_wait", "\"work\"", "marshal", "partition 3"] {
+            assert!(json.contains(needle), "trace JSON missing {needle}");
+        }
     }
 
     #[test]

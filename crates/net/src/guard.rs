@@ -26,7 +26,7 @@
 //! `SimDuration::from_secs_f64` the unguarded path performs.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use elephant_des::{SimDuration, SimTime};
 
@@ -91,6 +91,10 @@ impl GuardViolation {
     }
 }
 
+/// Retain at most this many timestamped trips (the first ones — the run
+/// is usually abandoned to the fallback long before the cap matters).
+const TRIP_LOG_CAP: usize = 1024;
+
 #[derive(Default)]
 struct GuardStatsInner {
     verdicts: AtomicU64,
@@ -100,6 +104,10 @@ struct GuardStatsInner {
     drop_drift: AtomicU64,
     fallback_verdicts: AtomicU64,
     fallback_active: AtomicBool,
+    /// Sim-timestamped trips for timeline instant events, bounded at
+    /// [`TRIP_LOG_CAP`]. Off the per-verdict hot path: only touched when
+    /// a trip actually fires.
+    trip_log: Mutex<Vec<(SimTime, GuardViolation)>>,
 }
 
 /// Point-in-time copy of a guard's counters.
@@ -146,6 +154,16 @@ impl GuardStatsHandle {
             fallback_verdicts: self.0.fallback_verdicts.load(Ordering::Relaxed),
             fallback_active: self.0.fallback_active.load(Ordering::Relaxed),
         }
+    }
+
+    /// The sim-timestamped trips recorded so far (first [`TRIP_LOG_CAP`]),
+    /// in trip order — the raw material for timeline instant events.
+    pub fn trip_events(&self) -> Vec<(SimTime, GuardViolation)> {
+        self.0
+            .trip_log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Mirrors the snapshot into the global metrics registry under
@@ -204,7 +222,7 @@ impl GuardedOracle {
         GuardStatsHandle(Arc::clone(&self.stats))
     }
 
-    fn trip(&mut self, kind: GuardViolation) {
+    fn trip(&mut self, kind: GuardViolation, now: SimTime) {
         let counter = match kind {
             GuardViolation::NonFinite => &self.stats.non_finite,
             GuardViolation::Negative => &self.stats.negative,
@@ -212,6 +230,16 @@ impl GuardedOracle {
             GuardViolation::DropRateDrift => &self.stats.drop_drift,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut log = self
+                .stats
+                .trip_log
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if log.len() < TRIP_LOG_CAP {
+                log.push((now, kind));
+            }
+        }
         if elephant_obs::enabled() {
             elephant_obs::counter("hybrid/guard/trip_events", kind.label()).inc();
         }
@@ -229,7 +257,7 @@ impl GuardedOracle {
 
     /// Tracks the primary's drop rate over fixed windows and trips on
     /// drift outside the training-time band.
-    fn observe_drop_rate(&mut self, raw: &RawVerdict) {
+    fn observe_drop_rate(&mut self, raw: &RawVerdict, now: SimTime) {
         let Some(expected) = self.cfg.expected_drop_rate else {
             return;
         };
@@ -240,7 +268,7 @@ impl GuardedOracle {
         if self.window_total >= self.cfg.drop_window.max(1) {
             let rate = self.window_drops as f64 / self.window_total as f64;
             if (rate - expected).abs() > self.cfg.drop_rate_tolerance {
-                self.trip(GuardViolation::DropRateDrift);
+                self.trip(GuardViolation::DropRateDrift, now);
             }
             self.window_total = 0;
             self.window_drops = 0;
@@ -257,18 +285,18 @@ impl ClusterOracle for GuardedOracle {
         }
 
         let raw = self.primary.classify_raw(ctx, pkt, now);
-        self.observe_drop_rate(&raw);
+        self.observe_drop_rate(&raw, now);
         match raw {
             RawVerdict::Drop => OracleVerdict::Drop,
             RawVerdict::Deliver { latency_secs } => {
                 if !latency_secs.is_finite() {
-                    self.trip(GuardViolation::NonFinite);
+                    self.trip(GuardViolation::NonFinite, now);
                 } else if latency_secs < 0.0 {
-                    self.trip(GuardViolation::Negative);
+                    self.trip(GuardViolation::Negative, now);
                 } else if latency_secs > self.ceiling_secs {
                     // Out of range but well-formed: clamp rather than
                     // discard the (directionally useful) prediction.
-                    self.trip(GuardViolation::CeilingExceeded);
+                    self.trip(GuardViolation::CeilingExceeded, now);
                     return OracleVerdict::Deliver {
                         latency: self.cfg.latency_ceiling,
                     };
@@ -283,6 +311,14 @@ impl ClusterOracle for GuardedOracle {
                 self.fallback.classify(ctx, pkt, now)
             }
         }
+    }
+
+    /// The primary's regime estimate, even in permanent fallback: the
+    /// fallback is a latency baseline with no regime model, and samplers
+    /// charting the (abandoned) model's state next to guard-trip instants
+    /// is exactly the diagnostic picture wanted.
+    fn macro_state_of(&self, cluster: u16) -> Option<u8> {
+        self.primary.macro_state_of(cluster)
     }
 }
 
@@ -441,6 +477,24 @@ mod tests {
             let snap = h.snapshot();
             assert_eq!(snap.non_finite, 1);
             assert_eq!(snap.fallback_verdicts, 1);
+        });
+    }
+
+    #[test]
+    fn trip_log_records_sim_timestamps() {
+        with_ctx(|ctx, p| {
+            let mut g = guarded(OracleFaultMode::Nan, 2, GuardConfig::default());
+            let h = g.stats_handle();
+            for i in 0..4u64 {
+                g.classify(ctx, p, SimTime::from_micros(i));
+            }
+            assert_eq!(
+                h.trip_events(),
+                vec![
+                    (SimTime::from_micros(1), GuardViolation::NonFinite),
+                    (SimTime::from_micros(3), GuardViolation::NonFinite),
+                ]
+            );
         });
     }
 

@@ -52,6 +52,7 @@ mod network;
 mod oracle;
 mod packet;
 mod port;
+mod sampler;
 mod tcp;
 mod topology;
 mod trace_log;
@@ -71,6 +72,10 @@ pub use oracle::{
 };
 pub use packet::{Ecn, Packet, TcpFlags, TcpSegment, HEADER_BYTES, MIN_WIRE_BYTES};
 pub use port::{PortCounters, PortState, TxAction};
+pub use sampler::{
+    export_flow_timeline, export_flow_timeline_multi, run_sampled, NetSampler, MAX_FLOW_TRACKS,
+    SAMPLE_CSV_HEADER,
+};
 pub use tcp::{ConnStats, EcnMode, TcpConfig, TcpConn, TcpOutput, TimerCmd};
 pub use topology::{ClosParams, FabricPath, LinkSpec, Node, PortSpec, Topology};
 pub use trace_log::{TraceEntry, TraceKind, TraceLog};

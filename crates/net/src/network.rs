@@ -260,6 +260,13 @@ impl Network {
         self.trace = Some(TraceLog::new(limit));
     }
 
+    /// Installs a pre-configured trace log (e.g. [`TraceLog::strided`]),
+    /// replacing any existing one. Retention never affects simulation
+    /// behaviour, only which events are kept.
+    pub fn install_trace(&mut self, log: TraceLog) {
+        self.trace = Some(log);
+    }
+
     /// The event trace, if enabled.
     pub fn trace(&self) -> Option<&TraceLog> {
         self.trace.as_ref()
@@ -345,6 +352,35 @@ impl Network {
             }
         }
         Some(acc.map(|(sum, peak, n)| (if n > 0 { sum / n as f64 } else { 0.0 }, peak)))
+    }
+
+    /// Instantaneous queued bytes per layer (host NICs, ToR, Agg, Core),
+    /// summed over every port. Unlike [`Network::queue_depth_by_layer`]
+    /// this reads the live queue state directly, so it needs no
+    /// time-weighted tracking and works in any configuration — the
+    /// sampler's per-tick view of buffer pressure.
+    pub fn queue_bytes_by_layer(&self) -> [u64; 4] {
+        let mut acc = [0u64; 4];
+        for (i, node) in self.ports.iter().enumerate() {
+            let layer = match self.topo.node(NodeId(i as u32)).kind {
+                NodeKind::Host { .. } => 0,
+                NodeKind::Tor { .. } => 1,
+                NodeKind::Agg { .. } => 2,
+                NodeKind::Core { .. } => 3,
+                NodeKind::Boundary { .. } => continue,
+            };
+            for p in node {
+                acc[layer] += p.queued_bytes();
+            }
+        }
+        acc
+    }
+
+    /// The installed oracle's congestion-regime index for `cluster`
+    /// (`None` without an oracle, or when the oracle models no regime).
+    /// See [`ClusterOracle::macro_state_of`].
+    pub fn oracle_macro_state(&self, cluster: u16) -> Option<u8> {
+        self.oracle.as_ref().and_then(|o| o.macro_state_of(cluster))
     }
 
     /// Iterates every port's counters with its owning node and port id —

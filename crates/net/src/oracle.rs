@@ -93,6 +93,17 @@ pub trait ClusterOracle {
     fn classify_raw(&mut self, ctx: &OracleCtx<'_>, pkt: &Packet, now: SimTime) -> RawVerdict {
         RawVerdict::from_verdict(self.classify(ctx, pkt, now))
     }
+
+    /// The oracle's current congestion-regime index for `cluster` (the
+    /// paper's §4.1 macro state, 0 = calmest), if it models one. Trivial
+    /// oracles have no notion of regime and inherit `None`; the learned
+    /// oracle overrides this so time-series samplers can chart regime
+    /// transitions. Read-only: implementations must not advance model
+    /// state here.
+    fn macro_state_of(&self, cluster: u16) -> Option<u8> {
+        let _ = cluster;
+        None
+    }
 }
 
 /// Zero-queueing baseline: every packet crosses the fabric at wire speed

@@ -3,9 +3,16 @@
 //! When enabled, the engine appends one [`TraceEntry`] per interesting
 //! event (packet arrival, transmission start, drop, oracle verdict) into a
 //! bounded buffer. Tracing every packet of a large run would dwarf the
-//! simulation itself in memory, so the buffer holds the **first** `limit`
-//! entries — deterministic and reproducible, unlike a ring buffer whose
-//! content depends on where the run stops.
+//! simulation itself in memory, so the buffer is bounded at `limit`
+//! entries under one of two deterministic retention policies — both
+//! reproducible, unlike a ring buffer whose content depends on where the
+//! run stops:
+//!
+//! * **first-N** (the default, [`TraceLog::new`]): keep the first `limit`
+//!   events. Full detail on the warm-up, zero tail coverage.
+//! * **strided** ([`TraceLog::strided`]): keep every k-th observed event,
+//!   with `k` chosen from `limit` and an expected-event-count hint, so the
+//!   retained sample spans the whole run.
 
 use elephant_des::SimTime;
 
@@ -56,11 +63,14 @@ pub struct TraceEntry {
     pub seq: u64,
 }
 
-/// Bounded first-N event trace.
+/// Bounded deterministic event trace (first-N or strided retention).
 #[derive(Debug)]
 pub struct TraceLog {
     entries: Vec<TraceEntry>,
     limit: usize,
+    /// Keep an observed event iff `(observed - 1) % stride == 0`; 1 is
+    /// the first-N policy.
+    stride: u64,
     observed: u64,
 }
 
@@ -70,16 +80,44 @@ impl TraceLog {
         TraceLog {
             entries: Vec::with_capacity(limit.min(4096)),
             limit,
+            stride: 1,
             observed: 0,
         }
     }
 
-    /// Records an entry (dropped silently once full; `observed` still
-    /// counts).
+    /// Creates a strided trace: keeps every k-th observed event, where
+    /// `k = ceil(expected_events / limit)` (at least 1), so a run matching
+    /// the hint fills the buffer evenly from start to finish. The hint
+    /// only shapes coverage — an underestimate still truncates at `limit`,
+    /// an overestimate retains fewer, evenly spaced entries. Retention
+    /// depends only on each event's ordinal, never on wall time, so it is
+    /// exactly reproducible.
+    pub fn strided(limit: usize, expected_events: u64) -> Self {
+        let stride = if limit == 0 {
+            1
+        } else {
+            expected_events.div_ceil(limit as u64).max(1)
+        };
+        TraceLog {
+            entries: Vec::with_capacity(limit.min(4096)),
+            limit,
+            stride,
+            observed: 0,
+        }
+    }
+
+    /// The retention stride (1 for first-N).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Records an entry (dropped silently once full or off-stride;
+    /// `observed` still counts).
     #[inline]
     pub fn record(&mut self, entry: TraceEntry) {
+        let keep = self.observed.is_multiple_of(self.stride);
         self.observed += 1;
-        if self.entries.len() < self.limit {
+        if keep && self.entries.len() < self.limit {
             self.entries.push(entry);
         }
     }
@@ -94,9 +132,11 @@ impl TraceLog {
         self.observed
     }
 
-    /// True once the buffer stopped retaining.
+    /// True once the buffer stopped retaining events the policy wanted:
+    /// for first-N, any event past `limit`; for strided, an on-stride
+    /// event arriving after the buffer filled.
     pub fn truncated(&self) -> bool {
-        self.observed > self.entries.len() as u64
+        self.observed.div_ceil(self.stride) > self.entries.len() as u64
     }
 
     /// Renders as CSV rows (no header): `time_ns,kind,node,packet,flow,seq`.
@@ -143,6 +183,48 @@ mod tests {
         assert!(log.truncated());
         assert_eq!(log.entries()[0].time, SimTime::from_nanos(1));
         assert_eq!(log.entries()[1].kind, TraceKind::TxStart);
+    }
+
+    #[test]
+    fn strided_mode_samples_the_whole_run() {
+        // 100 expected events into 10 slots => stride 10.
+        let mut log = TraceLog::strided(10, 100);
+        assert_eq!(log.stride(), 10);
+        for t in 0..100 {
+            log.record(entry(t, TraceKind::Arrive));
+        }
+        assert_eq!(log.entries().len(), 10);
+        assert_eq!(log.observed(), 100);
+        let times: Vec<u64> = log.entries().iter().map(|e| e.time.as_nanos()).collect();
+        assert_eq!(times, vec![0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
+        // Exactly the budgeted sample was kept: nothing on-stride was lost.
+        assert!(!log.truncated());
+    }
+
+    #[test]
+    fn strided_mode_is_deterministic_and_bounded() {
+        // Underestimated hint: more events than expected still truncate
+        // at the limit, keeping the earliest on-stride entries.
+        let run = |n: u64| {
+            let mut log = TraceLog::strided(4, 20);
+            for t in 0..n {
+                log.record(entry(t, TraceKind::TxStart));
+            }
+            log.entries()
+                .iter()
+                .map(|e| e.time.as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(40), vec![0, 5, 10, 15]);
+        assert_eq!(run(40), run(40));
+        let mut log = TraceLog::strided(4, 20);
+        for t in 0..40 {
+            log.record(entry(t, TraceKind::TxStart));
+        }
+        assert!(log.truncated());
+        // Degenerate inputs stay sane.
+        assert_eq!(TraceLog::strided(10, 0).stride(), 1);
+        assert_eq!(TraceLog::strided(0, 100).stride(), 1);
     }
 
     #[test]

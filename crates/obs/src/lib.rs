@@ -13,6 +13,7 @@ pub mod hist;
 pub mod profile;
 pub mod registry;
 pub mod report;
+pub mod timeline;
 
 pub use hist::{EmpiricalCdf, LogHistogram, Summary};
 pub use profile::{profiler, render_tree, span, tree_from_rows, ProfileNode, Profiler, SpanGuard};
@@ -21,6 +22,10 @@ pub use registry::{
     Registry,
 };
 pub use report::{MetricRow, PartitionRow, ProfileRow, RunReport};
+pub use timeline::{
+    set_timeline_enabled, timeline, timeline_enabled, ArgValue, Timeline, TimelineWriter,
+    TracePhase, TraceRecord, MAX_TIMELINE_RECORDS, PID_FLOWS, PID_PDES, PID_SAMPLES,
+};
 
 #[cfg(test)]
 pub(crate) mod testutil {

@@ -15,16 +15,19 @@
 use std::process::exit;
 
 use elephant::core::{
-    capture_records, compare_cdfs, run_ground_truth, run_hybrid, train_cluster_model, ClusterModel,
-    DropPolicy, ElephantError, LearnedOracle, TrainingOptions,
+    capture_records, compare_cdfs, run_ground_truth, run_hybrid, run_hybrid_observed,
+    run_pdes_full, run_pdes_hybrid, train_cluster_model, ClusterModel, DropPolicy, ElephantError,
+    LearnedOracle, PdesRun, TrainingOptions,
 };
 use elephant::des::{SimDuration, SimTime};
 use elephant::net::{
-    ClosParams, ClusterOracle, FaultyOracle, FixedLatencyOracle, GuardConfig, GuardStatsHandle,
-    GuardedOracle, NetConfig, Network, OracleFaultMode, RttScope, TcpConfig,
+    ClosParams, ClusterOracle, FaultyOracle, FixedLatencyOracle, FlowSpec, GuardConfig,
+    GuardStatsHandle, GuardedOracle, NetConfig, NetSampler, Network, OracleFaultMode, RttScope,
+    TcpConfig, TraceLog, MAX_FLOW_TRACKS, SAMPLE_CSV_HEADER,
 };
 use elephant::nn::RnnKind;
-use elephant::trace::{filter_touching_cluster, generate, WorkloadConfig};
+use elephant::obs::{TimelineWriter, TraceRecord, PID_FLOWS};
+use elephant::trace::{filter_touching_cluster, generate, write_csv, WorkloadConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +35,9 @@ fn main() {
     let opts = Opts::parse(&args[1..]);
     if opts.observing() {
         elephant::obs::set_enabled(true);
+    }
+    if opts.trace_out.is_some() {
+        elephant::obs::set_timeline_enabled(true);
     }
     match cmd.as_str() {
         "run" => cmd_run(&opts),
@@ -75,6 +81,18 @@ fn usage() -> ! {
          --profile         collect metrics + span timings; print the report\n\
          --metrics-out P   write the run report as JSON to P (implies collection)\n\
          \n\
+         TIMELINES (run/hybrid; see DESIGN.md \"Observability\")\n\
+         --trace-out P     write a Chrome-trace JSON timeline to P (open in\n\
+         \u{20}                https://ui.perfetto.dev): per-flow spans, drop and\n\
+         \u{20}                oracle-verdict instants, sampler counter tracks, and\n\
+         \u{20}                per-partition compute/barrier slices under --pdes\n\
+         --sample-every T  sample queue depths, offered/realized load, macro\n\
+         \u{20}                state, and oracle drop rate every T us of sim time;\n\
+         \u{20}                writes <trace-out>.samples.csv (or samples.csv)\n\
+         --pdes N          run under conservative PDES: N rack partitions for\n\
+         \u{20}                `run`, one partition per cluster for `hybrid`\n\
+         --machines M      emulated machines for --pdes marshalling (1)\n\
+         \n\
          GUARDRAILS (hybrid/compare; see DESIGN.md \"Robustness\")\n\
          --no-guard             run the oracle unguarded (faults panic the run)\n\
          --guard-ceiling-ms F   latency ceiling before clamping (100)\n\
@@ -112,6 +130,10 @@ struct Opts {
     epochs: usize,
     gru: bool,
     trace: Option<usize>,
+    trace_out: Option<String>,
+    sample_every: Option<SimDuration>,
+    pdes: Option<usize>,
+    machines: usize,
     profile: bool,
     metrics_out: Option<String>,
     no_guard: bool,
@@ -138,6 +160,10 @@ impl Opts {
             epochs: 8,
             gru: false,
             trace: None,
+            trace_out: None,
+            sample_every: None,
+            pdes: None,
+            machines: 1,
             profile: false,
             metrics_out: None,
             no_guard: false,
@@ -169,6 +195,12 @@ impl Opts {
                 "--epochs" => o.epochs = parse(&val(), a),
                 "--gru" => o.gru = true,
                 "--trace" => o.trace = Some(parse(&val(), a)),
+                "--trace-out" => o.trace_out = Some(val()),
+                "--sample-every" => {
+                    o.sample_every = Some(SimDuration::from_micros(parse(&val(), a)))
+                }
+                "--pdes" => o.pdes = Some(parse(&val(), a)),
+                "--machines" => o.machines = parse(&val(), a),
                 "--profile" => o.profile = true,
                 "--metrics-out" => o.metrics_out = Some(val()),
                 "--no-guard" => o.no_guard = true,
@@ -226,6 +258,36 @@ impl Opts {
 
     fn observing(&self) -> bool {
         self.profile || self.metrics_out.is_some()
+    }
+
+    /// The event trace to install, if any: `--trace N` keeps the first N;
+    /// `--trace-out` alone installs a strided trace sized from a packet
+    /// estimate of the workload, so drop/oracle instants span the run.
+    fn build_trace(&self, flows: &[FlowSpec]) -> Option<TraceLog> {
+        if let Some(n) = self.trace {
+            return Some(TraceLog::new(n));
+        }
+        if self.trace_out.is_some() {
+            // ~1 data packet per MSS plus handshake/ack overhead, and a
+            // handful of trace events per packet — a coverage hint, not a
+            // promise (TraceLog::strided tolerates both error directions).
+            let pkts: u64 = flows.iter().map(|f| f.bytes / 1448 + 2).sum();
+            return Some(TraceLog::strided(50_000, pkts.saturating_mul(6)));
+        }
+        None
+    }
+
+    fn build_sampler(&self, flows: &[FlowSpec]) -> Option<NetSampler> {
+        self.sample_every.map(|d| NetSampler::new(d, flows))
+    }
+
+    /// Where `--sample-every` writes its CSV: next to the timeline when
+    /// `--trace-out` is set, else `samples.csv` in the working directory.
+    fn samples_path(&self) -> String {
+        match &self.trace_out {
+            Some(p) => format!("{}.samples.csv", p.trim_end_matches(".json")),
+            None => "samples.csv".into(),
+        }
     }
 
     fn load_model(&self) -> ClusterModel {
@@ -332,6 +394,88 @@ fn report_guard(handle: &Option<GuardStatsHandle>) {
             } else {
                 ""
             }
+        );
+    }
+}
+
+/// Post-run observability export: the samples CSV (when sampling) and the
+/// Chrome-trace timeline (when `--trace-out` is set), with flow tracks,
+/// drop/oracle instants from the nets' traces, and guard-trip instants
+/// from the guard's log.
+fn finish_observability(
+    o: &Opts,
+    nets: &[&Network],
+    guard: &Option<GuardStatsHandle>,
+    sampler: Option<&NetSampler>,
+) {
+    if let Some(s) = sampler {
+        let path = o.samples_path();
+        match write_csv(&path, &SAMPLE_CSV_HEADER, s.rows()) {
+            Ok(()) => println!("wrote {path} ({} samples)", s.rows().len()),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                exit(3)
+            }
+        }
+    }
+    let Some(path) = &o.trace_out else { return };
+    elephant::net::export_flow_timeline_multi(nets, MAX_FLOW_TRACKS);
+    let tl = elephant::obs::timeline();
+    if let Some(h) = guard {
+        for (t, v) in h.trip_events() {
+            tl.record(
+                TraceRecord::instant(PID_FLOWS, 0, "guard_trip", t.as_nanos() as f64 / 1e3)
+                    .category("guard")
+                    .arg("kind", format!("{v:?}")),
+            );
+        }
+    }
+    let writer = TimelineWriter::from_timeline(tl);
+    match writer.save(std::path::Path::new(path)) {
+        Ok(()) => {
+            let dropped = tl.dropped();
+            println!(
+                "wrote {path} ({} trace records{}) — open in https://ui.perfetto.dev or chrome://tracing",
+                tl.len(),
+                if dropped > 0 {
+                    format!(", {dropped} dropped at capacity")
+                } else {
+                    String::new()
+                }
+            );
+        }
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            exit(3)
+        }
+    }
+}
+
+/// PDES counterpart of [`print_summary`]: the merged kernel report plus a
+/// per-partition wall-time breakdown (the timeline has the per-epoch view).
+fn print_pdes_summary(run: &PdesRun, horizon: SimTime) {
+    println!(
+        "\nsimulated {:.3}s under PDES in {:.2}s wall ({} events, {} epochs, {} partitions)",
+        horizon.as_secs_f64(),
+        run.wall.as_secs_f64(),
+        run.report.events_executed,
+        run.report.epochs,
+        run.report.partitions.len()
+    );
+    println!(
+        "  flows     : {} completed across partitions",
+        run.flows_completed()
+    );
+    if run.oracle_deliveries() > 0 {
+        println!(
+            "  oracle    : {} packets teleported",
+            run.oracle_deliveries()
+        );
+    }
+    for p in &run.report.partitions {
+        println!(
+            "  partition {:>2}: {:>9} events | work {:.3}s | barrier {:.3}s | marshal {:.3}s",
+            p.partition, p.events, p.work_seconds, p.barrier_wait_seconds, p.marshal_seconds
         );
     }
 }
@@ -455,22 +599,72 @@ fn cmd_run(o: &Opts) {
         flows.len(),
         o.horizon
     );
+    let mut sampler = o.build_sampler(&flows);
+
+    if let Some(partitions) = o.pdes {
+        if o.trace.is_some() || o.trace_out.is_some() {
+            println!("note: --pdes runs record no raw event trace; the timeline still gets partition, flow, and sampler tracks");
+        }
+        let run = run_pdes_full(
+            params,
+            &flows,
+            o.horizon,
+            partitions,
+            o.machines,
+            64,
+            sampler.as_mut(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("elephant: PDES run failed: {e}");
+            exit(5)
+        });
+        print_pdes_summary(&run, o.horizon);
+        let nets: Vec<&Network> = run.nets.iter().collect();
+        finish_observability(o, &nets, &None, sampler.as_ref());
+        let meta = elephant::core::RunMeta {
+            wall: run.wall,
+            events: run.report.events_executed,
+            sim_seconds: o.horizon.as_secs_f64(),
+        };
+        emit_metrics(
+            o,
+            "run-pdes",
+            format!(
+                "full fidelity, {} clusters, {partitions} partitions, seed {}",
+                o.clusters, o.seed
+            ),
+            Some(&meta),
+        );
+        return;
+    }
+
     // Tracing needs direct Simulator access rather than the runner helper.
     let topo = std::sync::Arc::new(elephant::net::Topology::clos(params));
-    let mut sim = elephant::des::Simulator::new(Network::new(topo, o.net_config(RttScope::All)));
-    if let Some(n) = o.trace {
-        sim.world_mut().enable_trace(n);
+    let mut net = Network::new(topo, o.net_config(RttScope::All));
+    if let Some(t) = o.build_trace(&flows) {
+        net.install_trace(t);
     }
+    let mut sim = elephant::des::Simulator::new(net);
     elephant::net::schedule_flows(&mut sim, &flows);
     let t0 = std::time::Instant::now();
-    sim.run_until(o.horizon);
+    match sampler.as_mut() {
+        Some(s) => {
+            elephant::net::run_sampled(&mut sim, o.horizon, s);
+        }
+        None => {
+            sim.run_until(o.horizon);
+        }
+    }
     let meta = elephant::core::RunMeta {
         wall: t0.elapsed(),
         events: sim.scheduler().executed_total(),
         sim_seconds: o.horizon.as_secs_f64(),
     };
     print_summary(sim.world(), &meta);
-    print_trace_sample(sim.world());
+    if o.trace.is_some() {
+        print_trace_sample(sim.world());
+    }
+    finish_observability(o, &[sim.world()], &None, sampler.as_ref());
     emit_metrics(
         o,
         "run",
@@ -602,17 +796,72 @@ fn cmd_hybrid(o: &Opts) {
         flows.len(),
         o.horizon
     );
+    let mut sampler = o.build_sampler(&flows);
+
+    if o.pdes.is_some() {
+        if !o.no_guard || o.fault_oracle.is_some() {
+            println!("note: --pdes runs the learned oracle unguarded (per-partition guard stats are not aggregated); --no-guard/--fault-oracle flags are ignored");
+        }
+        let run = run_pdes_hybrid(
+            params,
+            o.full_cluster,
+            |p| {
+                Box::new(LearnedOracle::new(
+                    model.clone(),
+                    params,
+                    DropPolicy::Sample,
+                    (o.seed ^ 0xE1E).wrapping_add(p as u64),
+                ))
+            },
+            &flows,
+            o.horizon,
+            o.machines,
+            64,
+            sampler.as_mut(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("elephant: PDES run failed: {e}");
+            exit(5)
+        });
+        print_pdes_summary(&run, o.horizon);
+        let nets: Vec<&Network> = run.nets.iter().collect();
+        finish_observability(o, &nets, &None, sampler.as_ref());
+        let meta = elephant::core::RunMeta {
+            wall: run.wall,
+            events: run.report.events_executed,
+            sim_seconds: o.horizon.as_secs_f64(),
+        };
+        emit_metrics(
+            o,
+            "hybrid-pdes",
+            format!(
+                "{} clusters ({} approximated), one partition per cluster, seed {}",
+                o.clusters,
+                o.clusters - 1,
+                o.seed
+            ),
+            Some(&meta),
+        );
+        return;
+    }
+
     let (oracle, guard) = o.build_oracle(model, params);
-    let (net, meta) = run_hybrid(
+    let (net, meta) = run_hybrid_observed(
         params,
         o.full_cluster,
         oracle,
         o.net_config(RttScope::Cluster(o.full_cluster)),
         &flows,
         o.horizon,
+        o.build_trace(&flows),
+        sampler.as_mut(),
     );
     print_summary(&net, &meta);
+    if o.trace.is_some() {
+        print_trace_sample(&net);
+    }
     report_guard(&guard);
+    finish_observability(o, &[&net], &guard, sampler.as_ref());
     emit_metrics(
         o,
         "hybrid",

@@ -100,6 +100,49 @@ fn cli_run_with_trace() {
     );
 }
 
+/// `--trace-out` + `--sample-every` produce a Chrome-trace JSON with flow
+/// and sampler tracks and a sibling samples CSV; `--pdes` adds per-
+/// partition wall-clock tracks — the full three-track-type timeline.
+#[test]
+fn cli_trace_out_writes_perfetto_timeline() {
+    let dir = std::env::temp_dir().join("elephant_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("run.trace.json");
+    let trace_s = trace.to_str().unwrap();
+
+    let out = run_ok(&[
+        "run",
+        "--clusters",
+        "2",
+        "--horizon-ms",
+        "4",
+        "--pdes",
+        "2",
+        "--sample-every",
+        "200",
+        "--trace-out",
+        trace_s,
+    ]);
+    assert!(out.contains("under PDES"), "PDES summary printed:\n{out}");
+    assert!(out.contains("perfetto"), "timeline written:\n{out}");
+
+    let json = std::fs::read_to_string(&trace).expect("timeline file written");
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    assert!(json.contains("\"traceEvents\""), "chrome-trace envelope");
+    // All three track types: wall-clock partition slices, sim-time flow
+    // spans, sim-time sampler counters.
+    assert!(json.contains("pdes partitions (wall clock)"), "{out}");
+    assert!(json.contains("flows & events (sim time)"));
+    assert!(json.contains("samplers (sim time)"));
+    assert!(json.contains("barrier_wait"), "per-epoch barrier slices");
+    assert!(json.contains("queue_bytes"), "sampler counter track");
+
+    let csv_path = format!("{}.samples.csv", trace_s.trim_end_matches(".json"));
+    let csv = std::fs::read_to_string(&csv_path).expect("samples CSV written");
+    assert!(csv.starts_with("time_us,queue_host_bytes"), "CSV header");
+    assert!(csv.lines().count() > 2, "CSV has sample rows");
+}
+
 #[test]
 fn cli_gru_training_works() {
     let dir = std::env::temp_dir().join("elephant_cli_test");
