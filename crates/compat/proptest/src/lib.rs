@@ -185,6 +185,32 @@ pub mod arbitrary {
             BoolStrategy
         }
     }
+
+    /// Full-range uniform strategy for an integer type.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct IntStrategy<T>(std::marker::PhantomData<T>);
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),+) => {$(
+            impl Strategy for IntStrategy<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    // A full-width uniform u64 truncates/wraps to a
+                    // full-range uniform value of any integer width.
+                    rng.0.gen::<u64>() as $t
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = IntStrategy<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    IntStrategy(std::marker::PhantomData)
+                }
+            }
+        )+};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, i8, i16, i32, i64, usize);
 }
 
 /// Collection strategies (`proptest::collection::vec`).

@@ -105,6 +105,26 @@ impl FeatureExtractor {
         now: SimTime,
         state: MacroState,
     ) -> Vec<f32> {
+        let mut f = Vec::with_capacity(FEATURE_DIM);
+        self.extract_into(src, dst, size_bytes, direction, path, now, state, &mut f);
+        f
+    }
+
+    /// [`Self::extract`] into a caller-owned buffer: the inference hot
+    /// path reuses one buffer per cluster runtime, so steady-state feature
+    /// extraction performs zero heap allocations.
+    #[allow(clippy::too_many_arguments)] // §4.2's feature list, verbatim
+    pub fn extract_into(
+        &mut self,
+        src: HostAddr,
+        dst: HostAddr,
+        size_bytes: u32,
+        direction: Direction,
+        path: &FabricPath,
+        now: SimTime,
+        state: MacroState,
+        f: &mut Vec<f32>,
+    ) {
         let gap = match self.last_arrival {
             None => SimDuration::ZERO,
             Some(prev) => now.saturating_since(prev),
@@ -125,7 +145,8 @@ impl FeatureExtractor {
             .map(|c| (c + 1) as f32 / (self.cores_per_group + 1.0))
             .unwrap_or(0.0);
 
-        let mut f = Vec::with_capacity(FEATURE_DIM);
+        f.clear();
+        f.reserve(FEATURE_DIM);
         // Origin and destination servers (rack/host coordinates).
         f.push(src.rack as f32 / self.racks);
         f.push(src.host as f32 / self.hosts);
@@ -145,7 +166,6 @@ impl FeatureExtractor {
         onehot[state.index()] = 1.0;
         f.extend_from_slice(&onehot);
         debug_assert_eq!(f.len(), FEATURE_DIM);
-        f
     }
 }
 

@@ -22,6 +22,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::cache::{CacheStats, CacheStatsHandle, FeatureQuantizer, QuantizerConfig, VerdictCache};
 use crate::error::ElephantError;
 use crate::features::{FeatureExtractor, LatencyCodec};
 use crate::macro_model::{MacroConfig, MacroModel, MacroState};
@@ -48,6 +49,11 @@ pub struct ModelMeta {
     /// Number of boundary records the model was trained on.
     #[serde(default)]
     pub train_records: u64,
+    /// Feature-quantization parameters for the verdict cache, pinned in
+    /// the artifact so cache keys stay stable across save/load (absent in
+    /// legacy artifacts; defaults apply).
+    #[serde(default)]
+    pub quantizer: QuantizerConfig,
 }
 
 /// Everything learned from one training run, serializable as JSON.
@@ -192,6 +198,17 @@ struct ClusterRuntime {
     down_fx: FeatureExtractor,
     up_state: MicroNetState,
     down_state: MicroNetState,
+    /// Reused per call so steady-state feature extraction allocates nothing.
+    feat_buf: Vec<f32>,
+    /// Verdict memo for this cluster's boundary stream (None = cache off).
+    cache: Option<VerdictCache>,
+}
+
+/// Cache parameters shared by all of one oracle's per-cluster caches.
+struct CacheCfg {
+    capacity: usize,
+    quantizer: FeatureQuantizer,
+    stats: CacheStatsHandle,
 }
 
 /// Cached metrics-registry handles; resolved once per oracle so the
@@ -228,6 +245,7 @@ pub struct LearnedOracle {
     clusters: HashMap<u16, ClusterRuntime>,
     stats: OracleStats,
     metrics: OracleMetrics,
+    cache_cfg: Option<CacheCfg>,
 }
 
 impl LearnedOracle {
@@ -242,12 +260,50 @@ impl LearnedOracle {
             clusters: HashMap::new(),
             stats: OracleStats::default(),
             metrics: OracleMetrics::new(),
+            cache_cfg: None,
         }
+    }
+
+    /// Like [`Self::new`], but with per-cluster verdict memoization
+    /// bounded at `cache_capacity` entries per cluster. Quantization
+    /// follows the model's own [`ModelMeta::quantizer`] so cache keys are
+    /// pinned to the artifact. The cache must be deployed *under* any
+    /// [`elephant_net::GuardedOracle`]: hits are raw verdicts and receive
+    /// the same guard validation as fresh inference.
+    pub fn with_cache(
+        model: ClusterModel,
+        params: ClosParams,
+        policy: DropPolicy,
+        seed: u64,
+        cache_capacity: usize,
+    ) -> Self {
+        let quantizer = FeatureQuantizer::new(model.meta.quantizer);
+        let mut oracle = Self::new(model, params, policy, seed);
+        oracle.cache_cfg = Some(CacheCfg {
+            capacity: cache_capacity.max(1),
+            quantizer,
+            stats: CacheStatsHandle::new(),
+        });
+        oracle
     }
 
     /// Counters.
     pub fn stats(&self) -> &OracleStats {
         &self.stats
+    }
+
+    /// Point-in-time cache counters (zeros when the cache is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache_cfg
+            .as_ref()
+            .map(|c| c.stats.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// A live handle onto the cache counters, valid after the oracle is
+    /// boxed into the network. `None` when the cache is disabled.
+    pub fn cache_stats_handle(&self) -> Option<CacheStatsHandle> {
+        self.cache_cfg.as_ref().map(|c| c.stats.clone())
     }
 
     /// The macro state currently attributed to `cluster` (Minimal if the
@@ -266,6 +322,7 @@ fn runtime<'a>(
     clusters: &'a mut HashMap<u16, ClusterRuntime>,
     model: &ClusterModel,
     params: &ClosParams,
+    cache_cfg: Option<&CacheCfg>,
     cluster: u16,
 ) -> &'a mut ClusterRuntime {
     clusters.entry(cluster).or_insert_with(|| ClusterRuntime {
@@ -274,6 +331,8 @@ fn runtime<'a>(
         down_fx: FeatureExtractor::new(params),
         up_state: model.up.init_state(),
         down_state: model.down.init_state(),
+        feat_buf: Vec::with_capacity(crate::features::FEATURE_DIM),
+        cache: cache_cfg.map(|c| VerdictCache::new(c.capacity, c.stats.clone())),
     })
 }
 
@@ -303,13 +362,14 @@ impl ClusterOracle for LearnedOracle {
             clusters,
             stats,
             metrics,
+            cache_cfg,
         } = self;
         let observing = elephant_obs::enabled();
         stats.classified += 1;
         if observing {
             metrics.elided.inc();
         }
-        let rt = runtime(clusters, model, params, ctx.cluster);
+        let rt = runtime(clusters, model, params, cache_cfg.as_ref(), ctx.cluster);
         let state = rt.macro_model.state();
         stats.per_state[state.index()] += 1;
         if observing {
@@ -320,7 +380,7 @@ impl ClusterOracle for LearnedOracle {
             Direction::Up => (&model.up, &mut rt.up_fx, &mut rt.up_state),
             Direction::Down => (&model.down, &mut rt.down_fx, &mut rt.down_state),
         };
-        let features = fx.extract(
+        fx.extract_into(
             pkt.src,
             pkt.dst,
             pkt.wire_bytes(),
@@ -328,38 +388,80 @@ impl ClusterOracle for LearnedOracle {
             &ctx.path,
             now,
             state,
+            &mut rt.feat_buf,
         );
+
+        // Fast path: a packet landing in an already-seen quantization
+        // bucket replays the memoized verdict — no inference, no drop
+        // sampling. The macro model still advances on the served verdict
+        // (auto-regression must not stall), and a state transition flushes
+        // the cache so the new regime is never served stale verdicts.
+        let key = rt.cache.as_ref().map(|_| {
+            let cfg = cache_cfg.as_ref().expect("cache implies config");
+            cfg.quantizer
+                .key(&rt.feat_buf, ctx.direction, state.index() as u8)
+        });
+        if let (Some(cache), Some(key)) = (rt.cache.as_mut(), key.as_ref()) {
+            if let Some(verdict) = cache.get(key) {
+                match verdict {
+                    RawVerdict::Drop => {
+                        stats.drops += 1;
+                        metrics.drops.inc();
+                        rt.macro_model.observe(None, true);
+                    }
+                    RawVerdict::Deliver { latency_secs } => {
+                        if latency_secs.is_finite() && latency_secs >= 0.0 {
+                            rt.macro_model
+                                .observe(Some((latency_secs * 1e9).round() / 1e9), false);
+                        }
+                    }
+                }
+                if rt.macro_model.state() != state {
+                    cache.invalidate();
+                }
+                return verdict;
+            }
+        }
+
         let pred = if observing {
             let t0 = std::time::Instant::now();
-            let pred = net.predict(&features, net_state);
+            let pred = net.predict(&rt.feat_buf, net_state);
             metrics.infer.record(t0.elapsed().as_secs_f64());
             pred
         } else {
-            net.predict(&features, net_state)
+            net.predict(&rt.feat_buf, net_state)
         };
 
         let drop = match *policy {
             DropPolicy::Sample => rng.gen::<f32>() < pred.drop_prob,
             DropPolicy::Threshold(t) => pred.drop_prob >= t,
         };
-        if drop {
+        let verdict = if drop {
             stats.drops += 1;
             metrics.drops.inc();
             rt.macro_model.observe(None, true);
-            return RawVerdict::Drop;
+            RawVerdict::Drop
+        } else {
+            let latency_secs = model.codec.decode_secs(pred.latency);
+            // Auto-regression: the macro model advances on the oracle's own
+            // output, since ground truth does not exist at simulation time.
+            // The observed value is rounded to nanoseconds — identical to the
+            // SimDuration round-trip the validated path performs — so guarded
+            // and unguarded runs evolve the same macro state. A non-finite
+            // prediction is skipped here; the caller decides the verdict.
+            if latency_secs.is_finite() && latency_secs >= 0.0 {
+                rt.macro_model
+                    .observe(Some((latency_secs * 1e9).round() / 1e9), false);
+            }
+            RawVerdict::Deliver { latency_secs }
+        };
+        if let (Some(cache), Some(key)) = (rt.cache.as_mut(), key) {
+            cache.insert(key, verdict);
+            if rt.macro_model.state() != state {
+                cache.invalidate();
+            }
         }
-        let latency_secs = model.codec.decode_secs(pred.latency);
-        // Auto-regression: the macro model advances on the oracle's own
-        // output, since ground truth does not exist at simulation time.
-        // The observed value is rounded to nanoseconds — identical to the
-        // SimDuration round-trip the validated path performs — so guarded
-        // and unguarded runs evolve the same macro state. A non-finite
-        // prediction is skipped here; the caller decides the verdict.
-        if latency_secs.is_finite() && latency_secs >= 0.0 {
-            rt.macro_model
-                .observe(Some((latency_secs * 1e9).round() / 1e9), false);
-        }
-        RawVerdict::Deliver { latency_secs }
+        verdict
     }
 }
 

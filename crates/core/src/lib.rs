@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod accuracy;
+mod cache;
 mod error;
 mod experiment;
 mod features;
@@ -62,6 +63,10 @@ mod train;
 
 pub use accuracy::{
     compare_cdfs, macro_agreement, macro_confusion, CdfComparison, PercentileRow, REPORT_QUANTILES,
+};
+pub use cache::{
+    CacheStats, CacheStatsHandle, FeatureQuantizer, QuantizerConfig, VerdictCache, VerdictKey,
+    DEFAULT_LEVELS, KEY_BYTES, NAN_BUCKET,
 };
 pub use error::ElephantError;
 pub use experiment::{

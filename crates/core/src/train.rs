@@ -224,6 +224,7 @@ pub fn model_meta(records: &[BoundaryRecord]) -> ModelMeta {
         train_latency_p50: quantile(0.5),
         train_latency_p99: quantile(0.99),
         train_records: records.len() as u64,
+        quantizer: crate::cache::QuantizerConfig::default(),
     }
 }
 

@@ -255,6 +255,47 @@ impl GuardedOracle {
         }
     }
 
+    /// The shared guard pipeline: pull a raw verdict from the primary
+    /// (with real `ctx`/`pkt`/`now` — the fallback and any verdict cache
+    /// below need the true packet context), validate it, and return the
+    /// *validated* raw verdict. Both [`ClusterOracle::classify`] and
+    /// [`ClusterOracle::classify_raw`] are thin shells over this, so a
+    /// memoized verdict served through the raw seam receives exactly the
+    /// same validation as fresh inference.
+    fn guarded_raw(&mut self, ctx: &OracleCtx<'_>, pkt: &Packet, now: SimTime) -> RawVerdict {
+        self.stats.verdicts.fetch_add(1, Ordering::Relaxed);
+        if self.stats.fallback_active.load(Ordering::Relaxed) {
+            self.stats.fallback_verdicts.fetch_add(1, Ordering::Relaxed);
+            return self.fallback.classify_raw(ctx, pkt, now);
+        }
+
+        let raw = self.primary.classify_raw(ctx, pkt, now);
+        self.observe_drop_rate(&raw, now);
+        match raw {
+            RawVerdict::Drop => RawVerdict::Drop,
+            RawVerdict::Deliver { latency_secs } => {
+                if !latency_secs.is_finite() {
+                    self.trip(GuardViolation::NonFinite, now);
+                } else if latency_secs < 0.0 {
+                    self.trip(GuardViolation::Negative, now);
+                } else if latency_secs > self.ceiling_secs {
+                    // Out of range but well-formed: clamp rather than
+                    // discard the (directionally useful) prediction.
+                    self.trip(GuardViolation::CeilingExceeded, now);
+                    return RawVerdict::Deliver {
+                        latency_secs: self.ceiling_secs,
+                    };
+                } else {
+                    return raw;
+                }
+                // Unrepresentable prediction: substitute the fallback's
+                // verdict for this packet.
+                self.stats.fallback_verdicts.fetch_add(1, Ordering::Relaxed);
+                self.fallback.classify_raw(ctx, pkt, now)
+            }
+        }
+    }
+
     /// Tracks the primary's drop rate over fixed windows and trips on
     /// drift outside the training-time band.
     fn observe_drop_rate(&mut self, raw: &RawVerdict, now: SimTime) {
@@ -278,39 +319,22 @@ impl GuardedOracle {
 
 impl ClusterOracle for GuardedOracle {
     fn classify(&mut self, ctx: &OracleCtx<'_>, pkt: &Packet, now: SimTime) -> OracleVerdict {
-        self.stats.verdicts.fetch_add(1, Ordering::Relaxed);
-        if self.stats.fallback_active.load(Ordering::Relaxed) {
-            self.stats.fallback_verdicts.fetch_add(1, Ordering::Relaxed);
-            return self.fallback.classify(ctx, pkt, now);
-        }
-
-        let raw = self.primary.classify_raw(ctx, pkt, now);
-        self.observe_drop_rate(&raw, now);
-        match raw {
+        match self.guarded_raw(ctx, pkt, now) {
             RawVerdict::Drop => OracleVerdict::Drop,
-            RawVerdict::Deliver { latency_secs } => {
-                if !latency_secs.is_finite() {
-                    self.trip(GuardViolation::NonFinite, now);
-                } else if latency_secs < 0.0 {
-                    self.trip(GuardViolation::Negative, now);
-                } else if latency_secs > self.ceiling_secs {
-                    // Out of range but well-formed: clamp rather than
-                    // discard the (directionally useful) prediction.
-                    self.trip(GuardViolation::CeilingExceeded, now);
-                    return OracleVerdict::Deliver {
-                        latency: self.cfg.latency_ceiling,
-                    };
-                } else {
-                    return OracleVerdict::Deliver {
-                        latency: SimDuration::from_secs_f64(latency_secs),
-                    };
-                }
-                // Unrepresentable prediction: substitute the fallback's
-                // verdict for this packet.
-                self.stats.fallback_verdicts.fetch_add(1, Ordering::Relaxed);
-                self.fallback.classify(ctx, pkt, now)
-            }
+            // Validated above: finite, non-negative, at most the ceiling.
+            RawVerdict::Deliver { latency_secs } => OracleVerdict::Deliver {
+                latency: SimDuration::from_secs_f64(latency_secs),
+            },
         }
+    }
+
+    /// The validated raw path. Earlier revisions inherited the default
+    /// `classify_raw` (which routed through `classify` and discarded the
+    /// f64), so raw consumers bypassed nothing but *lost* resolution; now
+    /// both seams share [`GuardedOracle::guarded_raw`] and forward the
+    /// real `ctx`/`pkt`/`now` to primary and fallback alike.
+    fn classify_raw(&mut self, ctx: &OracleCtx<'_>, pkt: &Packet, now: SimTime) -> RawVerdict {
+        self.guarded_raw(ctx, pkt, now)
     }
 
     /// The primary's regime estimate, even in permanent fallback: the

@@ -289,22 +289,20 @@ impl Gru {
             a.extend_from_slice(x_buf);
             a.extend_from_slice(h);
             zr.resize(2 * hd, 0.0);
-            cell.w_zr.matvec(a, zr);
-            for (v, &b) in zr.iter_mut().zip(cell.b_zr.iter()) {
-                *v += b;
-            }
+            // Fused matvec + bias + sigmoid (empty tanh range): zr holds
+            // the activated update/reset gates directly.
+            cell.w_zr.gate_matvec(a, &cell.b_zr, 0..0, zr);
             a_n.clear();
             a_n.extend_from_slice(x_buf);
             for k in 0..hd {
-                let r = sigmoid(zr[hd + k]);
-                a_n.push(r * h[k]);
+                a_n.push(zr[hd + k] * h[k]);
             }
             n.resize(hd, 0.0);
-            cell.w_n.matvec(a_n, n);
+            // Candidate: fused matvec + bias + tanh over every row.
+            cell.w_n.gate_matvec(a_n, &cell.b_n, 0..hd, n);
             for k in 0..hd {
-                let z = sigmoid(zr[k]);
-                let cand = (n[k] + cell.b_n[k]).tanh();
-                h[k] = (1.0 - z) * cand + z * h[k];
+                let z = zr[k];
+                h[k] = (1.0 - z) * n[k] + z * h[k];
             }
             x_buf.clear();
             x_buf.extend_from_slice(h);

@@ -275,15 +275,14 @@ impl Lstm {
             a.extend_from_slice(x_buf);
             a.extend_from_slice(&st.h);
             z.resize(4 * hdim, 0.0);
-            cell.w.matvec(a, z);
-            for (zv, &bv) in z.iter_mut().zip(cell.b.iter()) {
-                *zv += bv;
-            }
+            // Fused matvec + bias + gate activation: one pass over the
+            // weights, bit-identical to the training-path `step`.
+            cell.w.gate_matvec(a, &cell.b, 2 * hdim..3 * hdim, z);
             for k in 0..hdim {
-                let i = sigmoid(z[k]);
-                let f = sigmoid(z[hdim + k]);
-                let g = z[2 * hdim + k].tanh();
-                let o = sigmoid(z[3 * hdim + k]);
+                let i = z[k];
+                let f = z[hdim + k];
+                let g = z[2 * hdim + k];
+                let o = z[3 * hdim + k];
                 st.c[k] = f * st.c[k] + i * g;
                 st.h[k] = o * st.c[k].tanh();
             }

@@ -16,8 +16,8 @@ use std::process::exit;
 
 use elephant::core::{
     capture_records, compare_cdfs, run_ground_truth, run_hybrid, run_hybrid_observed,
-    run_pdes_full, run_pdes_hybrid, train_cluster_model, ClusterModel, DropPolicy, ElephantError,
-    LearnedOracle, PdesRun, TrainingOptions,
+    run_pdes_full, run_pdes_hybrid, train_cluster_model, CacheStats, CacheStatsHandle,
+    ClusterModel, DropPolicy, ElephantError, LearnedOracle, PdesRun, TrainingOptions,
 };
 use elephant::des::{SimDuration, SimTime};
 use elephant::net::{
@@ -93,6 +93,10 @@ fn usage() -> ! {
          \u{20}                `run`, one partition per cluster for `hybrid`\n\
          --machines M      emulated machines for --pdes marshalling (1)\n\
          \n\
+         ORACLE FAST PATH (hybrid/compare; see DESIGN.md \"Oracle fast path\")\n\
+         --oracle-cache         memoize verdicts for quantized feature keys\n\
+         --oracle-cache-cap N   cache capacity in verdicts (65536)\n\
+         \n\
          GUARDRAILS (hybrid/compare; see DESIGN.md \"Robustness\")\n\
          --no-guard             run the oracle unguarded (faults panic the run)\n\
          --guard-ceiling-ms F   latency ceiling before clamping (100)\n\
@@ -136,6 +140,8 @@ struct Opts {
     machines: usize,
     profile: bool,
     metrics_out: Option<String>,
+    oracle_cache: bool,
+    oracle_cache_cap: usize,
     no_guard: bool,
     guard_ceiling_ms: f64,
     guard_trip_limit: u64,
@@ -166,6 +172,8 @@ impl Opts {
             machines: 1,
             profile: false,
             metrics_out: None,
+            oracle_cache: false,
+            oracle_cache_cap: 65_536,
             no_guard: false,
             guard_ceiling_ms: 100.0,
             guard_trip_limit: 64,
@@ -203,6 +211,8 @@ impl Opts {
                 "--machines" => o.machines = parse(&val(), a),
                 "--profile" => o.profile = true,
                 "--metrics-out" => o.metrics_out = Some(val()),
+                "--oracle-cache" => o.oracle_cache = true,
+                "--oracle-cache-cap" => o.oracle_cache_cap = parse(&val(), a),
                 "--no-guard" => o.no_guard = true,
                 "--guard-ceiling-ms" => o.guard_ceiling_ms = parse(&val(), a),
                 "--guard-trip-limit" => o.guard_trip_limit = parse(&val(), a),
@@ -320,15 +330,33 @@ impl Opts {
 
     /// Assembles the oracle stack for hybrid runs: the learned oracle (or
     /// a deliberately faulty one, under `--fault-oracle`), wrapped in a
-    /// [`GuardedOracle`] unless `--no-guard` asked for bare metal.
+    /// [`GuardedOracle`] unless `--no-guard` asked for bare metal. The
+    /// verdict cache (`--oracle-cache`) lives *inside* the learned oracle,
+    /// under the guard, so guard validation sees every served verdict.
     fn build_oracle(
         &self,
         model: ClusterModel,
         params: ClosParams,
-    ) -> (Box<dyn ClusterOracle + Send>, Option<GuardStatsHandle>) {
+    ) -> (
+        Box<dyn ClusterOracle + Send>,
+        Option<GuardStatsHandle>,
+        Option<CacheStatsHandle>,
+    ) {
         let meta = model.meta;
         let guard_cfg = self.guard_config(&model);
+        let mut cache = None;
         let primary: Box<dyn ClusterOracle + Send> = match self.fault_oracle {
+            None if self.oracle_cache => {
+                let oracle = LearnedOracle::with_cache(
+                    model,
+                    params,
+                    DropPolicy::Sample,
+                    self.seed ^ 0xE1E,
+                    self.oracle_cache_cap,
+                );
+                cache = oracle.cache_stats_handle();
+                Box::new(oracle)
+            }
             None => Box::new(LearnedOracle::new(
                 model,
                 params,
@@ -348,7 +376,7 @@ impl Opts {
             }
         };
         if self.no_guard {
-            return (primary, None);
+            return (primary, None, cache);
         }
         // The fallback delivers at the training-time median latency when
         // the artifact records one, else a generic fabric traversal.
@@ -363,8 +391,23 @@ impl Opts {
             guard_cfg,
         );
         let handle = guarded.stats_handle();
-        (Box::new(guarded), Some(handle))
+        (Box::new(guarded), Some(handle), cache)
     }
+}
+
+/// Prints the post-run verdict-cache summary and mirrors it into the
+/// metrics registry (so `--metrics-out` reports carry `hybrid/cache/*`).
+fn report_cache(handle: &Option<CacheStatsHandle>) {
+    let Some(h) = handle else { return };
+    h.publish_metrics();
+    let s = h.snapshot();
+    println!(
+        "  cache     : {} lookups, {:.1}% hit rate ({} evictions, {} invalidations)",
+        s.lookups(),
+        s.hit_rate() * 100.0,
+        s.evictions,
+        s.invalidations
+    );
 }
 
 /// Prints the post-run guardrail summary and mirrors it into the metrics
@@ -802,16 +845,32 @@ fn cmd_hybrid(o: &Opts) {
         if !o.no_guard || o.fault_oracle.is_some() {
             println!("note: --pdes runs the learned oracle unguarded (per-partition guard stats are not aggregated); --no-guard/--fault-oracle flags are ignored");
         }
+        let cache_handles = std::sync::Mutex::new(Vec::new());
         let run = run_pdes_hybrid(
             params,
             o.full_cluster,
             |p| {
-                Box::new(LearnedOracle::new(
-                    model.clone(),
-                    params,
-                    DropPolicy::Sample,
-                    (o.seed ^ 0xE1E).wrapping_add(p as u64),
-                ))
+                let seed = (o.seed ^ 0xE1E).wrapping_add(p as u64);
+                if o.oracle_cache {
+                    let oracle = LearnedOracle::with_cache(
+                        model.clone(),
+                        params,
+                        DropPolicy::Sample,
+                        seed,
+                        o.oracle_cache_cap,
+                    );
+                    if let Some(h) = oracle.cache_stats_handle() {
+                        cache_handles.lock().unwrap().push(h);
+                    }
+                    Box::new(oracle)
+                } else {
+                    Box::new(LearnedOracle::new(
+                        model.clone(),
+                        params,
+                        DropPolicy::Sample,
+                        seed,
+                    ))
+                }
             },
             &flows,
             o.horizon,
@@ -824,6 +883,28 @@ fn cmd_hybrid(o: &Opts) {
             exit(5)
         });
         print_pdes_summary(&run, o.horizon);
+        // Per-partition caches: publish each and print the fleet total.
+        let handles = cache_handles.into_inner().unwrap();
+        if !handles.is_empty() {
+            let mut total = CacheStats::default();
+            for h in &handles {
+                h.publish_metrics();
+                let s = h.snapshot();
+                total.hits += s.hits;
+                total.misses += s.misses;
+                total.evictions += s.evictions;
+                total.invalidations += s.invalidations;
+            }
+            println!(
+                "  cache     : {} lookups across {} partitions, {:.1}% hit rate \
+                 ({} evictions, {} invalidations)",
+                total.lookups(),
+                handles.len(),
+                total.hit_rate() * 100.0,
+                total.evictions,
+                total.invalidations
+            );
+        }
         let nets: Vec<&Network> = run.nets.iter().collect();
         finish_observability(o, &nets, &None, sampler.as_ref());
         let meta = elephant::core::RunMeta {
@@ -845,7 +926,7 @@ fn cmd_hybrid(o: &Opts) {
         return;
     }
 
-    let (oracle, guard) = o.build_oracle(model, params);
+    let (oracle, guard, cache) = o.build_oracle(model, params);
     let (net, meta) = run_hybrid_observed(
         params,
         o.full_cluster,
@@ -861,6 +942,7 @@ fn cmd_hybrid(o: &Opts) {
         print_trace_sample(&net);
     }
     report_guard(&guard);
+    report_cache(&cache);
     finish_observability(o, &[&net], &guard, sampler.as_ref());
     emit_metrics(
         o,
@@ -885,9 +967,10 @@ fn cmd_compare(o: &Opts) {
     let (truth, tmeta) = run_ground_truth(params, cfg, None, &flows, o.horizon);
     let elided = filter_touching_cluster(&flows, o.full_cluster);
     println!("hybrid ({} flows after elision) ...", elided.len());
-    let (oracle, guard) = o.build_oracle(model, params);
+    let (oracle, guard, cache) = o.build_oracle(model, params);
     let (hybrid, hmeta) = run_hybrid(params, o.full_cluster, oracle, cfg, &elided, o.horizon);
     report_guard(&guard);
+    report_cache(&cache);
 
     let cmp = compare_cdfs(&truth.stats.rtt_cdf(), &hybrid.stats.rtt_cdf());
     println!("\n  quantile   truth       hybrid      error");

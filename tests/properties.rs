@@ -9,11 +9,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use elephant::core::{FeatureQuantizer, ModelMeta, QuantizerConfig, FEATURE_DIM, NAN_BUCKET};
 use elephant::des::{EmpiricalCdf, SimTime, Simulator};
 use elephant::flow::max_min_allocation;
 use elephant::net::{
-    schedule_flows, ClosParams, FlowId, FlowSpec, HostAddr, NetConfig, Network, NodeKind, RttScope,
-    Topology,
+    schedule_flows, ClosParams, Direction, FlowId, FlowSpec, HostAddr, NetConfig, Network,
+    NodeKind, RttScope, Topology,
 };
 use elephant::trace::SizeDist;
 use proptest::prelude::*;
@@ -204,6 +205,68 @@ proptest! {
         prop_assert!(!f.is_reverse());
         prop_assert!(f.reverse().is_reverse());
         prop_assert_eq!(f.reverse().canonical(), f);
+    }
+
+    /// The verdict-cache quantizer is total: any f32 bit pattern buckets
+    /// without panicking, for any configured resolution. NaN maps to its
+    /// reserved sentinel; every finite or infinite value stays strictly
+    /// below it.
+    #[test]
+    fn quantizer_is_total(bits in any::<u32>(), levels in any::<u8>()) {
+        let q = FeatureQuantizer::new(QuantizerConfig { levels });
+        let v = f32::from_bits(bits);
+        let b = q.bucket(v);
+        if v.is_nan() {
+            prop_assert_eq!(b, NAN_BUCKET);
+        } else {
+            prop_assert!(b < NAN_BUCKET, "value {v:e} escaped the bucket range: {b}");
+        }
+    }
+
+    /// Bucketing is monotone per dimension: a larger feature value never
+    /// lands in a smaller bucket (NaN excluded — it has its own sentinel).
+    #[test]
+    fn quantizer_is_monotone(
+        a in -1.0e3f32..1.0e3,
+        b in -1.0e3f32..1.0e3,
+        levels in any::<u8>(),
+    ) {
+        let q = FeatureQuantizer::new(QuantizerConfig { levels });
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(
+            q.bucket(lo) <= q.bucket(hi),
+            "bucket({lo}) = {} > bucket({hi}) = {}",
+            q.bucket(lo),
+            q.bucket(hi)
+        );
+    }
+
+    /// The quantizer survives the model artifact round trip: a
+    /// `ModelMeta` saved and reloaded through JSON produces a quantizer
+    /// whose keys are bit-identical to the original's — cached-run
+    /// behavior cannot drift across save/load.
+    #[test]
+    fn quantizer_stable_across_meta_round_trip(
+        features in proptest::collection::vec(-10.0f32..10.0, FEATURE_DIM),
+        state_idx in 0u8..4,
+        up in any::<bool>(),
+        levels in any::<u8>(),
+    ) {
+        let meta = ModelMeta {
+            quantizer: QuantizerConfig { levels },
+            ..ModelMeta::default()
+        };
+        let json = serde_json::to_string(&meta).unwrap();
+        let reloaded: ModelMeta = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(reloaded.quantizer, meta.quantizer);
+
+        let dir = if up { Direction::Up } else { Direction::Down };
+        let q0 = FeatureQuantizer::new(meta.quantizer);
+        let q1 = FeatureQuantizer::new(reloaded.quantizer);
+        prop_assert_eq!(
+            q0.key(&features, dir, state_idx),
+            q1.key(&features, dir, state_idx)
+        );
     }
 }
 

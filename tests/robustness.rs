@@ -147,6 +147,74 @@ fn guarded_nan_oracle_completes_the_run() {
     assert_eq!(snap.negative + snap.ceiling + snap.drop_drift, 0);
 }
 
+/// The raw seam forwards the *real* call: when the guard falls back, the
+/// fallback oracle must see the caller's ctx/pkt/now, not placeholders — a
+/// ctx-sensitive fallback like [`IdealOracle`] would otherwise silently
+/// compute latencies for the wrong packet.
+#[test]
+fn guard_raw_seam_forwards_ctx_to_fallback() {
+    use elephant::net::{
+        Direction, Ecn, FlowId, HostAddr, IdealOracle, OracleCtx, Packet, RawVerdict, TcpFlags,
+        TcpSegment, Topology,
+    };
+
+    let params = ClosParams::paper_cluster(2);
+    let topo = Topology::clos_with_stubs(params, &[1]);
+    // Every primary verdict is NaN, so every call trips to the fallback.
+    let mut guard = GuardedOracle::new(
+        Box::new(FaultyOracle::new(
+            OracleFaultMode::Nan,
+            1,
+            SimDuration::from_micros(5),
+        )),
+        Box::new(IdealOracle),
+        GuardConfig::default(),
+    );
+
+    let mut pkt_at = |size: u32, dir: Direction, t: SimTime| {
+        let (src, dst) = (HostAddr::new(1, 0, 0), HostAddr::new(0, 0, 0));
+        let path = topo.fabric_path(src, dst, FlowId(9));
+        let pkt = Packet {
+            id: 1,
+            flow: FlowId(9),
+            src,
+            dst,
+            seg: TcpSegment {
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::default(),
+                payload_len: size,
+                ece: false,
+                cwr: false,
+            },
+            ecn: Ecn::NotCapable,
+            sent_at: t,
+        };
+        let ctx = OracleCtx {
+            topo: &topo,
+            cluster: 1,
+            direction: dir,
+            path,
+        };
+        let got = guard.classify_raw(&ctx, &pkt, t);
+        let want = IdealOracle::base_latency(&ctx, &pkt).as_secs_f64();
+        (got, want)
+    };
+
+    // Two packets whose ideal latencies differ in both operands the
+    // fallback reads: payload size (pkt) and direction (ctx).
+    for (size, dir) in [(64u32, Direction::Up), (1460, Direction::Down)] {
+        let (got, want) = pkt_at(size, dir, SimTime::from_micros(10));
+        match got {
+            RawVerdict::Deliver { latency_secs } => assert_eq!(
+                latency_secs, want,
+                "fallback must compute from the forwarded ctx/pkt ({size}B {dir:?})"
+            ),
+            RawVerdict::Drop => panic!("ideal fallback never drops"),
+        }
+    }
+}
+
 #[derive(PartialEq, Debug)]
 struct HybridFingerprint {
     completed: u64,
