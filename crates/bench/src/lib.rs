@@ -17,7 +17,7 @@ use elephant_core::{
     run_ground_truth, run_pdes_full, run_pdes_hybrid, train_cluster_model, ClusterModel,
     TrainReport, TrainingOptions,
 };
-use elephant_des::{PdesReport, SimTime};
+use elephant_des::{EpochMode, PdesReport, SimTime};
 use elephant_net::{ClosParams, FlowSpec, NetConfig, RttScope};
 use elephant_trace::{generate, WorkloadConfig};
 
@@ -174,6 +174,29 @@ pub fn run_pdes(
     machines: usize,
     envelope_bytes: usize,
 ) -> PdesOutcome {
+    run_pdes_mode(
+        params,
+        flows,
+        horizon,
+        partitions,
+        machines,
+        envelope_bytes,
+        EpochMode::Adaptive,
+    )
+}
+
+/// [`run_pdes`] with an explicit epoch-planning mode, for harnesses that
+/// A/B the adaptive planner against fixed-increment stepping.
+#[allow(clippy::too_many_arguments)] // an experiment spec, not an API surface
+pub fn run_pdes_mode(
+    params: ClosParams,
+    flows: &[FlowSpec],
+    horizon: SimTime,
+    partitions: usize,
+    machines: usize,
+    envelope_bytes: usize,
+    mode: EpochMode,
+) -> PdesOutcome {
     let run = run_pdes_full(
         params,
         flows,
@@ -181,6 +204,7 @@ pub fn run_pdes(
         partitions,
         machines,
         envelope_bytes,
+        mode,
         None,
     )
     .unwrap_or_else(|e| panic!("PDES run failed: {e}"));
@@ -227,6 +251,7 @@ pub fn run_hybrid_pdes(
         horizon,
         machines,
         envelope_bytes,
+        EpochMode::Adaptive,
         None,
     )
     .unwrap_or_else(|e| panic!("PDES run failed: {e}"));

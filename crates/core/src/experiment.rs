@@ -18,7 +18,8 @@ use std::time::{Duration, Instant};
 use crate::error::ElephantError;
 
 use elephant_des::{
-    PartitionSim, PdesConfig, PdesError, PdesReport, PdesRunner, SimDuration, SimTime, Simulator,
+    EpochMode, PartitionSim, PdesConfig, PdesError, PdesReport, PdesRunner, SimDuration, SimTime,
+    Simulator,
 };
 use elephant_net::{
     run_sampled, schedule_flows, ClosParams, ClusterOracle, FlowSpec, NetConfig, NetEvent,
@@ -258,6 +259,10 @@ fn drive_pdes(
 /// `envelope_bytes` of MPI-style envelope). With the timeline enabled
 /// (`elephant_obs::set_timeline_enabled`), each partition thread records
 /// per-epoch compute/barrier/marshal slices onto its own wall-clock track.
+/// `mode` selects the epoch planner ([`EpochMode::Adaptive`] unless the
+/// caller is A/B-ing against fixed-increment stepping); chunked sampling
+/// stays exact in either mode.
+#[allow(clippy::too_many_arguments)] // an experiment spec, not an API surface
 pub fn run_pdes_full(
     params: ClosParams,
     flows: &[FlowSpec],
@@ -265,6 +270,7 @@ pub fn run_pdes_full(
     partitions: usize,
     machines: usize,
     envelope_bytes: usize,
+    mode: EpochMode,
     sampler: Option<&mut NetSampler>,
 ) -> Result<PdesRun, PdesError> {
     let topo = Arc::new(Topology::clos(params));
@@ -293,7 +299,8 @@ pub fn run_pdes_full(
 
     let mut runner = PdesRunner::new(
         parts,
-        PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes),
+        PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes)
+            .with_epoch_mode(mode),
     );
     let (report, wall) = drive_pdes(&mut runner, horizon, sampler)?;
     let nets = runner
@@ -320,6 +327,7 @@ pub fn run_pdes_hybrid(
     horizon: SimTime,
     machines: usize,
     envelope_bytes: usize,
+    mode: EpochMode,
     sampler: Option<&mut NetSampler>,
 ) -> Result<PdesRun, PdesError> {
     let stubs: Vec<u16> = (0..params.clusters)
@@ -353,7 +361,8 @@ pub fn run_pdes_hybrid(
 
     let mut runner = PdesRunner::new(
         parts,
-        PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes),
+        PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes)
+            .with_epoch_mode(mode),
     );
     let (report, wall) = drive_pdes(&mut runner, horizon, sampler)?;
     let nets = runner

@@ -63,8 +63,8 @@ mod time;
 
 pub use fault::{FaultCounts, FaultPlan};
 pub use pdes::{
-    PartitionId, PartitionSim, PartitionStats, PartitionWorld, PdesConfig, PdesError, PdesReport,
-    PdesRunner, RemoteSink, Transportable, DEFAULT_STALL_EPOCHS,
+    EpochMode, PartitionId, PartitionSim, PartitionStats, PartitionWorld, PdesConfig, PdesError,
+    PdesReport, PdesRunner, RemoteSink, Transportable, DEFAULT_STALL_EPOCHS,
 };
 pub use rng::{splitmix64, RngFactory};
 pub use sched::{EventKey, Scheduler};

@@ -7,14 +7,52 @@
 //! the **lookahead** `L` — in a network model, the minimum latency of any
 //! cross-partition link.
 //!
-//! Synchronization is barrier-synchronous ("synchronous conservative"):
-//! simulated time advances in epochs of length `L`. Within an epoch every
-//! partition processes its local events independently; at the epoch barrier,
-//! cross-partition events are exchanged and the next epoch begins at the
-//! earliest pending event anywhere (so idle stretches are skipped in one
-//! jump). Correctness follows from the lookahead guarantee: an event sent
-//! at local time `s ∈ [T, T+L)` arrives at `s + delay ≥ T + L`, i.e. never
-//! inside the epoch that produced it.
+//! Synchronization is barrier-synchronous ("synchronous conservative"), with
+//! two epoch modes (see [`EpochMode`]):
+//!
+//! * **Adaptive** (the default): each epoch, a designated planner thread
+//!   computes every partition's *execution bound* from the published
+//!   frontier — the earliest pending event of each partition, including
+//!   mail still in flight through the exchange. Partition `r` may execute
+//!   every event strictly below
+//!
+//!   ```text
+//!   bound(r) = min( min over q != r of next(q) + L,  next(r) + 2L )
+//!   ```
+//!
+//!   where `next(q)` is partition `q`'s earliest pending event. The first
+//!   term is the classic conservative bound: the earliest instant at which
+//!   any *other* partition could send `r` something new. The second term
+//!   covers chains that return to `r` through an intermediary (`r → p → r`):
+//!   remote self-sends are forbidden (asserted by [`RemoteSink::send`]), so
+//!   any influence of `r` on itself crosses at least two links and arrives
+//!   no earlier than `next(r) + 2L`. Because bounds are per-partition and
+//!   anchored to the *global* minimum only through the published frontiers,
+//!   an idle stretch — every partition's next event far in the future —
+//!   costs a single barrier instead of thousands.
+//!
+//! * **Fixed**: the textbook fixed-increment escape hatch. Epoch `k+1` ends
+//!   exactly `L` after epoch `k`, never skipping idle simulated time. This
+//!   is the behaviour the adaptive planner is measured against (see the
+//!   `pdes_scaling` bench) and a safety fallback (`--fixed-epochs`).
+//!
+//! Both modes execute events in an identical order: cross-partition
+//! deliveries carry an intrinsic `(time, sender, send-seq)` key into the
+//! scheduler's remote lane ([`Scheduler::schedule_remote`]), so tie order at
+//! equal timestamps does not depend on which epoch plan happened to carry a
+//! message. A run is therefore bit-identical across epoch modes, chunked
+//! `run_until` boundaries, and repeat runs.
+//!
+//! ## The exchange
+//!
+//! Cross-partition messages move through double-buffered per-(sender,
+//! receiver) outboxes. During an epoch each sender appends only to its own
+//! `(sender, dst)` cells of the *next* buffer while receivers drain their
+//! column of the *current* buffer — disjoint cells, so the epoch loop takes
+//! no locks at all. The epoch barrier both swaps the buffers and publishes
+//! the writes (its atomics establish the happens-before edges). The barrier
+//! itself ([`EpochBarrier`]) spins briefly before parking: epochs are often
+//! shorter than a park/unpark round trip.
 //!
 //! ## Emulating multi-machine deployments
 //!
@@ -28,8 +66,9 @@
 //! distinctive Figure-1 behaviour — more machines means more per-message
 //! overhead — without requiring actual remote hosts.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex};
 use std::time::Instant;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -40,15 +79,30 @@ use crate::fault::{FaultCounts, FaultPlan, FaultRng};
 use crate::sched::Scheduler;
 use crate::time::{SimDuration, SimTime};
 
-/// Default watchdog bound: abort if the global minimum event time fails to
-/// advance for this many consecutive epochs. A healthy conservative model
-/// *strictly* advances every epoch (all events in `[start, start+L)` execute
-/// and new remote events land at `>= start+L`), so any stagnation at all is
-/// a stall; the slack only exists to keep diagnostics unambiguous.
+/// Default watchdog bound: abort if the global minimum event time sits,
+/// already covered by the previous epoch's execution bounds, for this many
+/// consecutive epochs. A healthy adaptive epoch always executes the
+/// globally-earliest event (its owner's bound exceeds it by at least `L`),
+/// so any such stagnation is a stall; the slack only exists to keep
+/// diagnostics unambiguous. In fixed mode, epochs that have not yet ground
+/// forward to the next event are exempt (the bound has not covered it yet).
 pub const DEFAULT_STALL_EPOCHS: u64 = 64;
 
 /// Identifies a partition (logical process) in a PDES run.
 pub type PartitionId = usize;
+
+/// How the planner advances simulated time from epoch to epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EpochMode {
+    /// Jump each epoch to the published global frontier and give every
+    /// partition its own conservative execution bound (see module docs).
+    #[default]
+    Adaptive,
+    /// Fixed-increment stepping: every epoch ends exactly `L` after the
+    /// previous one, grinding through idle stretches one barrier at a time.
+    /// Escape hatch for A/B-ing the adaptive planner (`--fixed-epochs`).
+    Fixed,
+}
 
 /// Events that can cross a (simulated) machine boundary.
 ///
@@ -71,8 +125,8 @@ pub trait PartitionWorld: Send {
     type Event: Transportable + Send;
 
     /// Handles one local event. Remote events must respect the lookahead:
-    /// their delivery time must be at least the end of the current epoch
-    /// (the sink enforces this with an assertion).
+    /// their delivery time must be at least `L` after the event being
+    /// handled (the sink enforces this with an assertion).
     fn handle(
         &mut self,
         event: Self::Event,
@@ -83,14 +137,20 @@ pub trait PartitionWorld: Send {
 
 /// Collects events addressed to other partitions during an epoch.
 pub struct RemoteSink<E> {
-    epoch_end: SimTime,
+    /// The owning partition; remote self-sends are rejected.
+    me: PartitionId,
+    lookahead: SimDuration,
+    /// Timestamp of the event currently being handled; the lookahead floor.
+    now: SimTime,
     out: Vec<(PartitionId, SimTime, E)>,
 }
 
 impl<E> RemoteSink<E> {
-    fn new() -> Self {
+    fn new(me: PartitionId, lookahead: SimDuration) -> Self {
         RemoteSink {
-            epoch_end: SimTime::ZERO,
+            me,
+            lookahead,
+            now: SimTime::ZERO,
             out: Vec::new(),
         }
     }
@@ -98,14 +158,25 @@ impl<E> RemoteSink<E> {
     /// Sends `event` to `partition`, to be delivered at absolute time `at`.
     ///
     /// # Panics
-    /// Panics if `at` violates the lookahead guarantee (falls inside the
-    /// current epoch); that is a causality bug in the model, not a
-    /// recoverable condition.
+    /// - If `at` violates the lookahead guarantee (earlier than the current
+    ///   event's timestamp plus `L`); that is a causality bug in the model,
+    ///   not a recoverable condition.
+    /// - If `partition` is the sender itself: the adaptive planner's
+    ///   per-partition bounds assume a partition can only influence itself
+    ///   through at least two cross-partition hops, so self-routed events
+    ///   must use the local scheduler.
     pub fn send(&mut self, partition: PartitionId, at: SimTime, event: E) {
         assert!(
-            at >= self.epoch_end,
-            "lookahead violation: remote event at {at} inside epoch ending {}",
-            self.epoch_end
+            partition != self.me,
+            "partition {} may not remote-send to itself; use the local scheduler",
+            self.me
+        );
+        assert!(
+            at >= self.now.saturating_add(self.lookahead),
+            "lookahead violation: remote event at {at} sent from an event at {} \
+             with lookahead {}",
+            self.now,
+            self.lookahead
         );
         self.out.push((partition, at, event));
     }
@@ -115,6 +186,10 @@ impl<E> RemoteSink<E> {
 pub struct PartitionSim<W: PartitionWorld> {
     world: W,
     sched: Scheduler<W::Event>,
+    /// Running count of cross-partition message copies this partition has
+    /// posted, across `run_until` chunks — the `send-seq` half of the remote
+    /// tie-break key, so chunk boundaries cannot collide or reorder keys.
+    send_seq: u64,
 }
 
 impl<W: PartitionWorld> PartitionSim<W> {
@@ -123,6 +198,7 @@ impl<W: PartitionWorld> PartitionSim<W> {
         PartitionSim {
             world,
             sched: Scheduler::new(),
+            send_seq: 0,
         }
     }
 
@@ -162,12 +238,15 @@ pub struct PdesConfig {
     /// marshalling still occurs.
     pub envelope_bytes: usize,
     /// Stall watchdog bound: if the global minimum pending event time fails
-    /// to advance for this many consecutive epochs, the run aborts with
-    /// [`PdesError::Stalled`] naming the stuck partition. `0` disables the
-    /// watchdog (a stalled partition then hangs the barrier loop forever).
+    /// to advance for this many consecutive epochs whose bounds covered it,
+    /// the run aborts with [`PdesError::Stalled`] naming the stuck
+    /// partition. `0` disables the watchdog (a stalled partition then hangs
+    /// the barrier loop forever).
     pub stall_epochs: u64,
     /// Optional deterministic fault injection (see [`FaultPlan`]).
     pub faults: Option<FaultPlan>,
+    /// Epoch planning mode (see [`EpochMode`]); adaptive by default.
+    pub epoch_mode: EpochMode,
 }
 
 impl PdesConfig {
@@ -179,6 +258,7 @@ impl PdesConfig {
             envelope_bytes: 0,
             stall_epochs: DEFAULT_STALL_EPOCHS,
             faults: None,
+            epoch_mode: EpochMode::Adaptive,
         }
     }
 
@@ -197,12 +277,19 @@ impl PdesConfig {
             envelope_bytes,
             stall_epochs: DEFAULT_STALL_EPOCHS,
             faults: None,
+            epoch_mode: EpochMode::Adaptive,
         }
     }
 
     /// Returns `self` with the given fault plan installed.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Returns `self` with the given epoch planning mode.
+    pub fn with_epoch_mode(mut self, mode: EpochMode) -> Self {
+        self.epoch_mode = mode;
         self
     }
 }
@@ -291,6 +378,10 @@ struct Failure {
 pub struct PdesReport {
     /// Number of epoch barriers executed.
     pub epochs: u64,
+    /// Epochs whose start jumped past the previous epoch's fixed-increment
+    /// frontier (`previous start + L`) — the adaptive planner's win counter;
+    /// always zero in [`EpochMode::Fixed`].
+    pub epochs_jumped: u64,
     /// Total events executed across all partitions.
     pub events_executed: u64,
     /// Cross-partition messages delivered (marshalled or not).
@@ -312,8 +403,14 @@ impl PdesReport {
     /// (one `run_until` per sampling tick) and want run-total statistics:
     /// each chunk's report covers only that chunk, so summation is exact.
     /// `next_time` takes the later report's value.
+    ///
+    /// # Panics
+    /// Panics if the two reports have different partition counts: such
+    /// reports come from different runs and zipping them would silently
+    /// truncate rows.
     pub fn merge(&mut self, other: &PdesReport) {
         self.epochs += other.epochs;
+        self.epochs_jumped += other.epochs_jumped;
         self.events_executed += other.events_executed;
         self.remote_messages += other.remote_messages;
         self.marshalled_messages += other.marshalled_messages;
@@ -325,7 +422,12 @@ impl PdesReport {
             self.partitions = other.partitions.clone();
             return;
         }
-        debug_assert_eq!(self.partitions.len(), other.partitions.len());
+        assert_eq!(
+            self.partitions.len(),
+            other.partitions.len(),
+            "PdesReport::merge: partition count mismatch — refusing to zip \
+             per-partition rows from different runs"
+        );
         for (a, b) in self.partitions.iter_mut().zip(&other.partitions) {
             a.events += b.events;
             a.work_seconds += b.work_seconds;
@@ -370,23 +472,136 @@ pub struct PdesRunner<W: PartitionWorld> {
     config: PdesConfig,
 }
 
-/// Epoch decision computed by thread 0 at each barrier.
-#[derive(Clone, Copy)]
+/// Epoch decision computed by the planner (thread 0) between barriers.
 struct EpochPlan {
-    end: SimTime,
+    /// Per-partition execution bound: partition `r` executes local events
+    /// strictly below `bounds[r]` this epoch.
+    bounds: Vec<SimTime>,
     terminate: bool,
 }
 
+/// A partition's frontier snapshot, read by the planner.
+struct Publish {
+    /// Earliest pending local event after the partition's last work phase.
+    peek: Option<SimTime>,
+    /// Per-destination minimum delivery time among messages the partition
+    /// posted into the exchange buffer receivers will drain next epoch.
+    out_min: Vec<Option<SimTime>>,
+}
+
+/// Cache-line-padded slot whose cross-thread access is serialized by the
+/// epoch-barrier protocol rather than a lock: each cell is written by
+/// exactly one thread in one barrier phase and read only in a different
+/// phase, with a barrier (which establishes happens-before) in between.
+#[repr(align(64))]
+struct PhaseCell<T>(UnsafeCell<T>);
+
+// SAFETY: access is phase-exclusive per the barrier protocol documented on
+// each call site; the barrier's atomics provide the happens-before edges.
+unsafe impl<T: Send> Sync for PhaseCell<T> {}
+
+impl<T> PhaseCell<T> {
+    fn new(v: T) -> Self {
+        PhaseCell(UnsafeCell::new(v))
+    }
+
+    /// # Safety
+    /// The caller must be the cell's unique accessor in the current barrier
+    /// phase.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self) -> &mut T {
+        &mut *self.0.get()
+    }
+
+    /// # Safety
+    /// No thread may mutate the cell in the current barrier phase.
+    unsafe fn get_ref(&self) -> &T {
+        &*self.0.get()
+    }
+}
+
+/// Sense-reversing barrier tuned for the epoch loop: arrivals spin briefly
+/// (epochs are often shorter than a park/unpark round trip) and then park
+/// on a condvar. The generation counter is the sense; its release/acquire
+/// pair also publishes every pre-barrier write to every post-barrier reader,
+/// which is what makes the lock-free [`PhaseCell`] exchange sound.
+struct EpochBarrier {
+    n: usize,
+    /// Spin iterations before parking; zero when the host has fewer cores
+    /// than partitions, where spinning only steals the straggler's
+    /// timeslice.
+    spin: u32,
+    arrived: AtomicUsize,
+    generation: AtomicU64,
+    lock: StdMutex<()>,
+    cvar: Condvar,
+}
+
+impl EpochBarrier {
+    fn new(n: usize) -> Self {
+        let spin = match std::thread::available_parallelism() {
+            Ok(cores) if cores.get() >= n => 4096,
+            _ => 0,
+        };
+        EpochBarrier {
+            n,
+            spin,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            lock: StdMutex::new(()),
+            cvar: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            // Last arriver: reset the count for the next round (published by
+            // the generation bump below), bump the generation under the lock
+            // (so a peer between its generation check and its park cannot
+            // miss the change), and wake everyone parked.
+            self.arrived.store(0, Ordering::Relaxed);
+            {
+                let _g = self.lock.lock().expect("barrier lock");
+                self.generation.fetch_add(1, Ordering::Release);
+            }
+            self.cvar.notify_all();
+            return;
+        }
+        for _ in 0..self.spin {
+            if self.generation.load(Ordering::Acquire) != gen {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut guard = self.lock.lock().expect("barrier lock");
+        while self.generation.load(Ordering::Acquire) == gen {
+            guard = self.cvar.wait(guard).expect("barrier condvar");
+        }
+    }
+}
+
+/// One exchange cell: messages from one sender to one receiver, each
+/// carrying its delivery time and the sender's send-seq tie-break key.
+type Outbox<E> = Vec<(SimTime, u64, E)>;
+
 struct Shared<E> {
-    barrier: Barrier,
-    /// Earliest pending event time per partition (`None` = drained).
-    next_times: Mutex<Vec<Option<SimTime>>>,
-    plan: Mutex<EpochPlan>,
-    /// Inbound mailboxes, one per partition.
-    mailboxes: Vec<Mutex<Vec<(SimTime, E)>>>,
+    barrier: EpochBarrier,
+    /// One frontier snapshot per partition: written by its owner at the end
+    /// of its work phase, read by the planner between barriers.
+    publish: Vec<PhaseCell<Publish>>,
+    /// Written by the planner between the epoch-end and plan barriers; read
+    /// by everyone after the plan barrier.
+    plan: PhaseCell<EpochPlan>,
+    /// Double-buffered exchange: `outboxes[b][sender * n + dst]`. During an
+    /// epoch, senders append to their own row of buffer `1 - cur` while
+    /// receivers drain their column of buffer `cur` — disjoint cells, no
+    /// locks. The epoch barrier swaps the buffers.
+    outboxes: [Vec<PhaseCell<Outbox<E>>>; 2],
     /// Per-partition breakdowns, written once by each thread as it exits.
     per_partition: Mutex<Vec<PartitionStats>>,
     epochs: AtomicU64,
+    epochs_jumped: AtomicU64,
     events: AtomicU64,
     remote_msgs: AtomicU64,
     marshalled_msgs: AtomicU64,
@@ -395,9 +610,10 @@ struct Shared<E> {
     fault_duplicated: AtomicU64,
     fault_corrupted: AtomicU64,
     poisoned: AtomicBool,
-    /// Set by any thread that observes a failure; thread 0 converts it into
-    /// a terminating epoch plan at the next planning phase, so every thread
-    /// exits through the normal barrier sequence instead of deadlocking.
+    /// Set by any thread that observes a failure; the planner converts it
+    /// into a terminating epoch plan at the next planning phase, so every
+    /// thread exits through the normal barrier sequence instead of
+    /// deadlocking.
     abort: AtomicBool,
     /// First failure observed (kept; later ones are dropped).
     failure: Mutex<Option<Failure>>,
@@ -421,6 +637,10 @@ impl<W: PartitionWorld> PdesRunner<W> {
     /// partition and `lookahead` must be positive.
     pub fn new(partitions: Vec<PartitionSim<W>>, config: PdesConfig) -> Self {
         assert!(!partitions.is_empty(), "need at least one partition");
+        assert!(
+            partitions.len() <= 1 << 16,
+            "partition count exceeds the remote-lane sender field"
+        );
         assert_eq!(
             config.machine_of.len(),
             partitions.len(),
@@ -441,13 +661,23 @@ impl<W: PartitionWorld> PdesRunner<W> {
     pub fn run_until(&mut self, horizon: SimTime) -> Result<PdesReport, PdesError> {
         let n = self.partitions.len();
         let shared: Shared<W::Event> = Shared {
-            barrier: Barrier::new(n),
-            next_times: Mutex::new(vec![None; n]),
-            plan: Mutex::new(EpochPlan {
-                end: SimTime::ZERO,
+            barrier: EpochBarrier::new(n),
+            publish: (0..n)
+                .map(|_| {
+                    PhaseCell::new(Publish {
+                        peek: None,
+                        out_min: vec![None; n],
+                    })
+                })
+                .collect(),
+            plan: PhaseCell::new(EpochPlan {
+                bounds: vec![SimTime::ZERO; n],
                 terminate: false,
             }),
-            mailboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            outboxes: [
+                (0..n * n).map(|_| PhaseCell::new(Vec::new())).collect(),
+                (0..n * n).map(|_| PhaseCell::new(Vec::new())).collect(),
+            ],
             per_partition: Mutex::new(
                 (0..n)
                     .map(|partition| PartitionStats {
@@ -457,6 +687,7 @@ impl<W: PartitionWorld> PdesRunner<W> {
                     .collect(),
             ),
             epochs: AtomicU64::new(0),
+            epochs_jumped: AtomicU64::new(0),
             events: AtomicU64::new(0),
             remote_msgs: AtomicU64::new(0),
             marshalled_msgs: AtomicU64::new(0),
@@ -486,6 +717,7 @@ impl<W: PartitionWorld> PdesRunner<W> {
         );
         let report = PdesReport {
             epochs: shared.epochs.load(Ordering::Relaxed),
+            epochs_jumped: shared.epochs_jumped.load(Ordering::Relaxed),
             events_executed: shared.events.load(Ordering::Relaxed),
             remote_messages: shared.remote_msgs.load(Ordering::Relaxed),
             marshalled_messages: shared.marshalled_msgs.load(Ordering::Relaxed),
@@ -539,7 +771,8 @@ fn publish_metrics(report: &PdesReport) {
     if !elephant_obs::enabled() {
         return;
     }
-    elephant_obs::counter("pdes/epoch/count", "").add(report.epochs);
+    elephant_obs::counter("pdes/epoch/planned", "").add(report.epochs);
+    elephant_obs::counter("pdes/epoch/jumped", "").add(report.epochs_jumped);
     elephant_obs::counter("pdes/remote/messages", "").add(report.remote_messages);
     elephant_obs::counter("pdes/marshal/messages", "").add(report.marshalled_messages);
     elephant_obs::counter("pdes/marshal/bytes", "").add(report.bytes_marshalled);
@@ -570,6 +803,10 @@ struct PartitionTimeline {
     buf: Vec<TraceRecord>,
     origin: Instant,
     tid: u64,
+    /// Records discarded past [`PARTITION_RECORD_CAP`]; surfaced at flush
+    /// time as the `pdes/timeline/dropped_records` counter plus a log line,
+    /// so a truncated trace is never mistaken for a complete one.
+    dropped: u64,
 }
 
 /// Per-thread record bound so a long run cannot balloon memory; the global
@@ -582,12 +819,15 @@ impl PartitionTimeline {
             buf: Vec::new(),
             origin,
             tid: id as u64,
+            dropped: 0,
         })
     }
 
     fn push(&mut self, record: TraceRecord) {
         if self.buf.len() < PARTITION_RECORD_CAP {
             self.buf.push(record);
+        } else {
+            self.dropped += 1;
         }
     }
 
@@ -607,11 +847,72 @@ impl PartitionTimeline {
             format!("partition {} ({} events)", stats.partition, stats.events),
         );
         tl.record_batch(self.buf);
+        if self.dropped > 0 {
+            elephant_obs::counter("pdes/timeline/dropped_records", stats.partition.to_string())
+                .add(self.dropped);
+            eprintln!(
+                "pdes: partition {} timeline truncated — {} records dropped past \
+                 the {PARTITION_RECORD_CAP}-record cap",
+                stats.partition, self.dropped
+            );
+        }
     }
 }
 
-/// Body of each partition thread: the epoch loop described in the module
-/// docs. All threads execute this in lockstep, separated by barriers.
+/// Times one barrier crossing into the stats row and (if tracing) a
+/// timeline slice.
+fn timed_barrier(
+    barrier: &EpochBarrier,
+    stats: &mut PartitionStats,
+    tl: Option<&mut PartitionTimeline>,
+    epoch: u64,
+) {
+    let _s = elephant_obs::span("barrier_wait");
+    let t0 = Instant::now();
+    barrier.wait();
+    stats.barrier_wait_seconds += t0.elapsed().as_secs_f64();
+    if let Some(tl) = tl {
+        tl.slice("barrier_wait", t0, epoch);
+    }
+}
+
+/// Drains buffer `buf` of every sender's outbox addressed to `id` into the
+/// local future event list, via the scheduler's remote lane so ties resolve
+/// by `(time, sender, send-seq)`.
+fn drain_inbox<E>(
+    shared: &Shared<E>,
+    buf: usize,
+    id: PartitionId,
+    n: usize,
+    sched: &mut Scheduler<E>,
+) {
+    for sender in 0..n {
+        // SAFETY: receivers have exclusive access to their own column of the
+        // buffer being drained this phase; senders write the other buffer.
+        let cell = unsafe { shared.outboxes[buf][sender * n + id].get_mut() };
+        for (at, send_seq, ev) in cell.drain(..) {
+            sched.schedule_remote(at, sender, send_seq, ev);
+        }
+    }
+}
+
+/// Body of each partition thread: the two-barrier epoch loop described in
+/// the module docs. All threads execute this in lockstep:
+///
+/// ```text
+/// publish initial frontier
+/// BARRIER                        // frontier visible to the planner
+/// loop {
+///     thread 0 writes the plan
+///     BARRIER                    // plan visible to everyone
+///     terminate? drain in-flight mail, exit
+///     work:    drain inbox (buffer cur), execute events < bounds[id]
+///     post:    outbound mail into buffer 1-cur (marshal across machines)
+///     publish: frontier snapshot (local peek + per-dst posted minima)
+///     cur = 1 - cur
+///     BARRIER                    // mail + frontier visible; buffers swap
+/// }
+/// ```
 fn partition_main<W: PartitionWorld>(
     id: PartitionId,
     part: &mut PartitionSim<W>,
@@ -632,8 +933,10 @@ fn partition_main<W: PartitionWorld>(
     }
     let _guard = Guard(&shared.poisoned);
 
-    let mut remote = RemoteSink::new();
+    let n = config.machine_of.len();
     let my_machine = config.machine_of[id];
+    let mut remote = RemoteSink::new(id, config.lookahead);
+    let mut send_seq = part.send_seq;
     let mut stats = PartitionStats {
         partition: id,
         ..Default::default()
@@ -658,60 +961,81 @@ fn partition_main<W: PartitionWorld>(
         .map(|(_, k)| k);
     let mut my_epochs: u64 = 0;
 
-    // Stall-watchdog state, used by thread 0 only: the planning phase
-    // tracks the global minimum event time across epochs; a healthy model
-    // strictly advances it every epoch (see DEFAULT_STALL_EPOCHS).
+    // Planner state, used by thread 0 only.
+    //
+    // Watchdog: stagnation counts only when the frozen global minimum was
+    // already covered by the previous epoch (`watch_cover`) — an adaptive
+    // epoch always covers it by at least `L`, so this matches the historic
+    // "must strictly advance" rule there, while fixed-mode epochs still
+    // grinding toward a distant event are exempt.
     let mut watch_last: Option<SimTime> = None;
     let mut watch_stagnant: u64 = 0;
+    let mut watch_cover: Option<SimTime> = None;
+    // Fixed-mode frontier: next epoch ends here, advancing by exactly L.
+    let mut fixed_next: Option<SimTime> = None;
+    // Scratch: earliest executable time per partition (local peek or mail
+    // in flight), rebuilt from the publish cells each planning phase.
+    let mut next_exec: Vec<Option<SimTime>> = vec![None; if id == 0 { n } else { 0 }];
+
+    // Per-epoch minimum posted delivery time per destination, reused.
+    let mut out_mins: Vec<Option<SimTime>> = vec![None; n];
+
+    // Exchange buffer the receivers drain this epoch; senders post into
+    // `1 - cur`. Flipped at the epoch-end barrier.
+    let mut cur = 0usize;
+
+    // Publish the initial frontier so the planner can shape the first epoch.
+    {
+        // SAFETY: before the first barrier each partition touches only its
+        // own publish cell; the barrier then hands them to the planner.
+        let mine = unsafe { shared.publish[id].get_mut() };
+        mine.peek = part.sched.peek_time();
+        mine.out_min.iter_mut().for_each(|m| *m = None);
+    }
+    timed_barrier(&shared.barrier, &mut stats, tl.as_mut(), my_epochs);
 
     loop {
         let _epoch_span = elephant_obs::span("epoch");
-        // Phase 1: deliver inbound mail into the local FEL.
-        {
-            let mut mail = shared.mailboxes[id].lock();
-            for (at, ev) in mail.drain(..) {
-                part.sched.schedule_at(at, ev);
-            }
-        }
 
-        // Phase 2: publish my earliest pending time.
-        {
-            let mut slots = shared.next_times.lock();
-            slots[id] = part.sched.peek_time();
-        }
-        {
-            let _s = elephant_obs::span("barrier_wait");
-            let t0 = Instant::now();
-            shared.barrier.wait();
-            stats.barrier_wait_seconds += t0.elapsed().as_secs_f64();
-            if let Some(tl) = tl.as_mut() {
-                tl.slice("barrier_wait", t0, my_epochs);
-            }
-        }
-
-        // Phase 3: thread 0 plans the epoch.
+        // Planning phase: thread 0 reads every partition's published
+        // frontier and writes the epoch plan.
         if id == 0 {
-            let slots = shared.next_times.lock();
-            let global_min = slots.iter().flatten().min().copied();
+            // SAFETY: between the epoch-end barrier and the plan barrier,
+            // thread 0 is the only reader of the publish cells and the only
+            // writer of the plan cell.
+            unsafe {
+                for (q, slot) in next_exec.iter_mut().enumerate() {
+                    let mut m = shared.publish[q].get_ref().peek;
+                    for s in 0..n {
+                        if let Some(t) = shared.publish[s].get_ref().out_min[q] {
+                            m = Some(m.map_or(t, |x| x.min(t)));
+                        }
+                    }
+                    *slot = m;
+                }
+            }
+            let global_min = next_exec.iter().flatten().min().copied();
 
-            // Stall watchdog: the minimum must strictly advance while work
-            // remains. If it sits still for `stall_epochs` consecutive
-            // epochs, name the partition holding it and abort.
+            // Stall watchdog: if the covered minimum sits still for
+            // `stall_epochs` consecutive epochs, name the partition holding
+            // it and abort.
             if let Some(start) = global_min.filter(|&s| s <= horizon) {
                 if watch_last == Some(start) {
-                    watch_stagnant += 1;
-                    if config.stall_epochs > 0 && watch_stagnant >= config.stall_epochs {
-                        let stuck = slots
-                            .iter()
-                            .position(|t| *t == Some(start))
-                            .unwrap_or_default();
-                        shared.record_failure(Failure {
-                            partition: stuck,
-                            at: start,
-                            cause: FailureCause::Stalled {
-                                epochs: watch_stagnant,
-                            },
-                        });
+                    if start < watch_cover.unwrap_or(SimTime::ZERO) {
+                        watch_stagnant += 1;
+                        if config.stall_epochs > 0 && watch_stagnant >= config.stall_epochs {
+                            let stuck = next_exec
+                                .iter()
+                                .position(|t| *t == Some(start))
+                                .unwrap_or_default();
+                            shared.record_failure(Failure {
+                                partition: stuck,
+                                at: start,
+                                cause: FailureCause::Stalled {
+                                    epochs: watch_stagnant,
+                                },
+                            });
+                        }
                     }
                 } else {
                     watch_last = Some(start);
@@ -720,40 +1044,61 @@ fn partition_main<W: PartitionWorld>(
             }
 
             let abort = shared.abort.load(Ordering::SeqCst);
-            let mut plan = shared.plan.lock();
-            *plan = match global_min {
-                Some(start) if start <= horizon && !abort => EpochPlan {
-                    end: start.saturating_add(config.lookahead),
-                    terminate: false,
-                },
-                _ => EpochPlan {
-                    end: horizon,
-                    terminate: true,
-                },
-            };
-            if !plan.terminate {
-                shared.epochs.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: sole writer of the plan cell in this phase.
+            let plan = unsafe { shared.plan.get_mut() };
+            match global_min {
+                Some(start) if start <= horizon && !abort => {
+                    plan.terminate = false;
+                    let l = config.lookahead;
+                    match config.epoch_mode {
+                        EpochMode::Adaptive => {
+                            if watch_cover.is_some_and(|c| start > c) {
+                                shared.epochs_jumped.fetch_add(1, Ordering::Relaxed);
+                            }
+                            for (r, b) in plan.bounds.iter_mut().enumerate() {
+                                let mut bound = SimTime::MAX;
+                                for (q, t) in next_exec.iter().enumerate() {
+                                    let Some(t) = *t else { continue };
+                                    if q != r {
+                                        bound = bound.min(t.saturating_add(l));
+                                    } else if n > 1 {
+                                        // Self-influence needs >= 2 hops
+                                        // (remote self-sends are rejected).
+                                        bound = bound.min(t.saturating_add(l).saturating_add(l));
+                                    }
+                                }
+                                *b = bound;
+                            }
+                            watch_cover = Some(start.saturating_add(l));
+                        }
+                        EpochMode::Fixed => {
+                            let end = fixed_next.unwrap_or_else(|| start.saturating_add(l));
+                            fixed_next = Some(end.saturating_add(l));
+                            plan.bounds.iter_mut().for_each(|b| *b = end);
+                            watch_cover = Some(end);
+                        }
+                    }
+                    shared.epochs.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => plan.terminate = true,
             }
         }
-        {
-            let _s = elephant_obs::span("barrier_wait");
-            let t0 = Instant::now();
-            shared.barrier.wait();
-            stats.barrier_wait_seconds += t0.elapsed().as_secs_f64();
-            if let Some(tl) = tl.as_mut() {
-                tl.slice("barrier_wait", t0, my_epochs);
-            }
-        }
+        timed_barrier(&shared.barrier, &mut stats, tl.as_mut(), my_epochs);
 
-        let plan = *shared.plan.lock();
+        // SAFETY: the plan was written strictly between the two barriers
+        // above; every thread only reads it in this phase.
+        let plan = unsafe { shared.plan.get_ref() };
         if plan.terminate {
+            // Deliver in-flight mail into the local FEL before exiting so a
+            // chunked caller's next `run_until` resumes from exact state.
+            drain_inbox(shared, cur, id, n, &mut part.sched);
             break;
         }
-
-        // Phase 4: execute local events in [start, end), capped by horizon.
+        let bound = plan.bounds[id];
         my_epochs += 1;
         let stalled = stall_after.is_some_and(|k| my_epochs > k);
-        remote.epoch_end = plan.end;
+
+        // Work phase: deliver inbound mail, then execute events < bound.
         let mut executed = 0u64;
         {
             let _s = elephant_obs::span("work");
@@ -763,11 +1108,13 @@ fn partition_main<W: PartitionWorld>(
                 // advances simulated time, so the watchdog must stay quiet.
                 std::thread::sleep(dur);
             }
+            drain_inbox(shared, cur, id, n, &mut part.sched);
             while let Some(t) = part.sched.peek_time() {
-                if stalled || t >= plan.end || t > horizon {
+                if stalled || t >= bound || t > horizon {
                     break;
                 }
-                let (_, ev) = part.sched.pop().expect("peeked event vanished");
+                let (t, ev) = part.sched.pop().expect("peeked event vanished");
+                remote.now = t;
                 part.world.handle(ev, &mut part.sched, &mut remote);
                 executed += 1;
             }
@@ -779,7 +1126,7 @@ fn partition_main<W: PartitionWorld>(
                     TraceRecord::complete(PID_PDES, tl.tid, "work", ts, dur)
                         .arg("epoch", my_epochs)
                         .arg("events", executed)
-                        .arg("epoch_end_sim_us", plan.end.as_nanos() as f64 / 1e3),
+                        .arg("bound_sim_us", bound.as_nanos() as f64 / 1e3),
                 );
             }
         }
@@ -788,26 +1135,34 @@ fn partition_main<W: PartitionWorld>(
             shared.events.fetch_add(executed, Ordering::Relaxed);
         }
 
-        // Phase 5: post outbound remote events, marshalling across machines.
+        // Post phase: outbound remote events into the next buffer,
+        // marshalling across machines. No locks: each (sender, dst) cell is
+        // exclusively ours this epoch.
+        out_mins.iter_mut().for_each(|m| *m = None);
         if !remote.out.is_empty() {
             let mut marshalled = 0u64;
             let mut bytes_total = 0u64;
             let count = remote.out.len() as u64;
+            let nxt = 1 - cur;
             let _s = elephant_obs::span("marshal");
             let t0 = Instant::now();
             for (dst, at, ev) in remote.out.drain(..) {
-                assert!(
-                    dst < config.machine_of.len(),
-                    "remote event to unknown partition {dst}"
-                );
+                assert!(dst < n, "remote event to unknown partition {dst}");
                 if config.machine_of[dst] == my_machine {
-                    shared.mailboxes[dst].lock().push((at, ev));
+                    // SAFETY: sender-exclusive cell of the buffer receivers
+                    // will drain next epoch.
+                    let cell = unsafe { shared.outboxes[nxt][id * n + dst].get_mut() };
+                    cell.push((at, send_seq, ev));
+                    send_seq += 1;
+                    let slot = &mut out_mins[dst];
+                    *slot = Some(slot.map_or(at, |m| m.min(at)));
                     continue;
                 }
 
                 // Cross-machine: roll the message-level faults (sender-side,
-                // so the sequence is deterministic per partition), then push
-                // the event through the marshalled transport.
+                // in execution order, so the sequence is deterministic and
+                // plan-independent), then push the event through the
+                // marshalled transport.
                 let faults = config.faults.as_ref();
                 let mut copies = 1usize;
                 let mut corrupt = false;
@@ -832,15 +1187,20 @@ fn partition_main<W: PartitionWorld>(
                 if evs.len() < copies {
                     // The far side could not decode the message: surface a
                     // structured transport error instead of panicking, and
-                    // let thread 0 terminate every partition cleanly.
+                    // let the planner terminate every partition cleanly.
                     shared.record_failure(Failure {
                         partition: id,
                         at,
                         cause: FailureCause::Corrupt,
                     });
                 }
+                // SAFETY: as above — sender-exclusive cell.
+                let cell = unsafe { shared.outboxes[nxt][id * n + dst].get_mut() };
                 for ev in evs {
-                    shared.mailboxes[dst].lock().push((at, ev));
+                    cell.push((at, send_seq, ev));
+                    send_seq += 1;
+                    let slot = &mut out_mins[dst];
+                    *slot = Some(slot.map_or(at, |m| m.min(at)));
                 }
             }
             stats.marshal_seconds += t0.elapsed().as_secs_f64();
@@ -860,18 +1220,22 @@ fn partition_main<W: PartitionWorld>(
             }
         }
 
-        // Phase 6: barrier ending the epoch; guarantees all mail is posted
-        // before anyone starts phase 1 of the next epoch.
-        let _s = elephant_obs::span("barrier_wait");
-        let t0 = Instant::now();
-        shared.barrier.wait();
-        stats.barrier_wait_seconds += t0.elapsed().as_secs_f64();
-        if let Some(tl) = tl.as_mut() {
-            tl.slice("barrier_wait", t0, my_epochs);
+        // Publish phase: snapshot the frontier for the next plan.
+        {
+            // SAFETY: each partition writes only its own publish cell
+            // between its work phase and the epoch-end barrier below.
+            let mine = unsafe { shared.publish[id].get_mut() };
+            mine.peek = part.sched.peek_time();
+            mine.out_min.copy_from_slice(&out_mins);
         }
-        drop(_s);
+        cur = 1 - cur;
+
+        // Epoch-end barrier: mail is posted and frontiers are published
+        // before the planner looks, and the exchange buffers swap.
+        timed_barrier(&shared.barrier, &mut stats, tl.as_mut(), my_epochs);
     }
 
+    part.send_seq = send_seq;
     stats.next_time = part.sched.peek_time();
     if let Some(tl) = tl.take() {
         tl.flush(&stats);
@@ -922,6 +1286,10 @@ fn marshal_round_trip<E: Transportable>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes the tests that flip process-global observability state
+    /// (the timeline enable flag and the metrics registry).
+    static OBS_TESTS: StdMutex<()> = StdMutex::new(());
 
     /// A token that hops between partitions `hops` times, incrementing a
     /// counter on each arrival. Cross-partition delay = LOOKAHEAD.
@@ -983,7 +1351,13 @@ mod tests {
         }
     }
 
-    fn ring_run(n: usize, hops: u32, machines: usize, envelope: usize) -> (Vec<Ring>, PdesReport) {
+    fn ring_run_mode(
+        n: usize,
+        hops: u32,
+        machines: usize,
+        envelope: usize,
+        mode: EpochMode,
+    ) -> (Vec<Ring>, PdesReport) {
         let mut parts: Vec<PartitionSim<Ring>> = (0..n)
             .map(|id| {
                 PartitionSim::new(Ring {
@@ -1001,7 +1375,8 @@ mod tests {
                 value: 0,
             },
         );
-        let config = PdesConfig::round_robin(n, machines, LOOKAHEAD, envelope);
+        let config =
+            PdesConfig::round_robin(n, machines, LOOKAHEAD, envelope).with_epoch_mode(mode);
         let mut runner = PdesRunner::new(parts, config);
         let report = runner
             .run_until(SimTime::from_secs(10))
@@ -1015,6 +1390,10 @@ mod tests {
             })
             .collect();
         (worlds, report)
+    }
+
+    fn ring_run(n: usize, hops: u32, machines: usize, envelope: usize) -> (Vec<Ring>, PdesReport) {
+        ring_run_mode(n, hops, machines, envelope, EpochMode::Adaptive)
     }
 
     #[test]
@@ -1053,6 +1432,20 @@ mod tests {
         assert_eq!(worlds[0].arrivals, 4);
         assert_eq!(worlds[1].arrivals, 4); // hops 1, 4, 7, 10
         assert_eq!(worlds[2].arrivals, 3); // hops 2, 5, 8
+    }
+
+    #[test]
+    fn fixed_mode_matches_adaptive_on_the_ring() {
+        let (aw, ar) = ring_run_mode(4, 99, 2, 32, EpochMode::Adaptive);
+        let (fw, fr) = ring_run_mode(4, 99, 2, 32, EpochMode::Fixed);
+        for (a, f) in aw.iter().zip(&fw) {
+            assert_eq!(a.arrivals, f.arrivals);
+            assert_eq!(a.last_value, f.last_value);
+        }
+        assert_eq!(ar.events_executed, fr.events_executed);
+        assert_eq!(ar.remote_messages, fr.remote_messages);
+        assert_eq!(ar.bytes_marshalled, fr.bytes_marshalled);
+        assert_eq!(fr.epochs_jumped, 0, "fixed mode never jumps");
     }
 
     #[test]
@@ -1133,9 +1526,21 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "partition count mismatch")]
+    fn merge_rejects_mismatched_partition_counts() {
+        // Hard error in every build profile: zipping rows from runs with
+        // different partition counts would silently truncate statistics.
+        let (_, a) = ring_run(4, 9, 1, 0);
+        let (_, b) = ring_run(2, 9, 1, 0);
+        let mut merged = a.clone();
+        merged.merge(&b);
+    }
+
+    #[test]
     fn timeline_gets_per_epoch_partition_slices() {
-        // Process-global timeline: no other test in this crate enables it,
-        // so flipping it here is safe; restore and clear on the way out.
+        // Process-global timeline: serialize against the other obs-flipping
+        // test; restore and clear on the way out.
+        let _obs = OBS_TESTS.lock().unwrap();
         elephant_obs::timeline().reset();
         elephant_obs::set_timeline_enabled(true);
         let (_, report) = ring_run(4, 99, 2, 32);
@@ -1146,6 +1551,28 @@ mod tests {
         for needle in ["barrier_wait", "\"work\"", "marshal", "partition 3"] {
             assert!(json.contains(needle), "trace JSON missing {needle}");
         }
+    }
+
+    #[test]
+    fn timeline_cap_surfaces_dropped_records() {
+        let _obs = OBS_TESTS.lock().unwrap();
+        elephant_obs::set_enabled(true);
+        elephant_obs::set_timeline_enabled(true);
+        let mut tl = PartitionTimeline::new(Instant::now(), 7).expect("timeline enabled");
+        for i in 0..(PARTITION_RECORD_CAP + 13) {
+            tl.push(TraceRecord::complete(PID_PDES, 7, "work", i as f64, 1.0));
+        }
+        assert_eq!(tl.dropped, 13);
+        let stats = PartitionStats {
+            partition: 7,
+            ..Default::default()
+        };
+        tl.flush(&stats);
+        elephant_obs::set_timeline_enabled(false);
+        elephant_obs::timeline().reset();
+        let dropped = elephant_obs::counter("pdes/timeline/dropped_records", "7").get();
+        elephant_obs::set_enabled(false);
+        assert_eq!(dropped, 13);
     }
 
     #[test]
@@ -1181,6 +1608,166 @@ mod tests {
             report.epochs <= 3,
             "expected a jump, got {} epochs",
             report.epochs
+        );
+    }
+
+    /// Ignores every event; used to compare epoch accounting across modes.
+    struct Inert;
+    impl PartitionWorld for Inert {
+        type Event = Token;
+        fn handle(&mut self, _: Token, _: &mut Scheduler<Token>, _: &mut RemoteSink<Token>) {}
+    }
+
+    #[test]
+    fn adaptive_jumps_where_fixed_grinds() {
+        // Two events 300us apart on partition 0 (partition 1 idle, so this
+        // exercises the multi-partition bounds, not the n=1 shortcut).
+        let run = |mode: EpochMode| {
+            let mut parts = vec![PartitionSim::new(Inert), PartitionSim::new(Inert)];
+            for at in [SimTime::ZERO, SimTime::from_micros(300)] {
+                parts[0].scheduler_mut().schedule_at(
+                    at,
+                    Token {
+                        hops_left: 0,
+                        value: 0,
+                    },
+                );
+            }
+            let config = PdesConfig::single_machine(2, LOOKAHEAD).with_epoch_mode(mode);
+            PdesRunner::new(parts, config)
+                .run_until(SimTime::from_millis(1))
+                .expect("healthy run")
+        };
+        let adaptive = run(EpochMode::Adaptive);
+        let fixed = run(EpochMode::Fixed);
+        assert_eq!(adaptive.events_executed, 2);
+        assert_eq!(fixed.events_executed, 2);
+        assert!(
+            adaptive.epochs <= 3,
+            "adaptive should jump the gap, got {} epochs",
+            adaptive.epochs
+        );
+        assert!(adaptive.epochs_jumped >= 1);
+        assert!(
+            fixed.epochs > 250,
+            "fixed mode should grind the 300us gap in 1us steps, got {} epochs",
+            fixed.epochs
+        );
+        assert_eq!(fixed.epochs_jumped, 0);
+    }
+
+    /// Partitions 1 and 2 tick locally every `L` and fire a message at the
+    /// collector (partition 0) each round; both messages arrive at the same
+    /// instant, manufacturing a cross-sender tie every round.
+    struct TiePartition {
+        id: PartitionId,
+        rounds: u64,
+        received: Vec<(u32, u64)>,
+    }
+
+    impl PartitionWorld for TiePartition {
+        type Event = Token;
+        fn handle(
+            &mut self,
+            ev: Token,
+            sched: &mut Scheduler<Token>,
+            remote: &mut RemoteSink<Token>,
+        ) {
+            if self.id == 0 {
+                self.received.push((ev.hops_left, ev.value));
+                return;
+            }
+            remote.send(
+                0,
+                sched.now() + LOOKAHEAD,
+                Token {
+                    hops_left: self.id as u32,
+                    value: ev.value,
+                },
+            );
+            if ev.value + 1 < self.rounds {
+                sched.schedule_at(
+                    sched.now() + LOOKAHEAD,
+                    Token {
+                        hops_left: 0,
+                        value: ev.value + 1,
+                    },
+                );
+            }
+        }
+    }
+
+    fn tie_run(mode: EpochMode) -> Vec<(u32, u64)> {
+        const ROUNDS: u64 = 40;
+        let mut parts: Vec<PartitionSim<TiePartition>> = (0..3)
+            .map(|id| {
+                PartitionSim::new(TiePartition {
+                    id,
+                    rounds: ROUNDS,
+                    received: Vec::new(),
+                })
+            })
+            .collect();
+        for sender in [1, 2] {
+            parts[sender].scheduler_mut().schedule_at(
+                SimTime::ZERO,
+                Token {
+                    hops_left: 0,
+                    value: 0,
+                },
+            );
+        }
+        // Two machines so some ties also cross the marshalling path.
+        let config = PdesConfig::round_robin(3, 2, LOOKAHEAD, 16).with_epoch_mode(mode);
+        let mut runner = PdesRunner::new(parts, config);
+        runner
+            .run_until(SimTime::from_secs(1))
+            .expect("healthy run");
+        runner.into_partitions().remove(0).into_world().received
+    }
+
+    #[test]
+    fn same_time_cross_sends_deliver_in_sender_order() {
+        // Regression for the old mailbox exchange, whose same-timestamp
+        // delivery order was lock-acquisition order: ties must resolve by
+        // (time, sender, send-seq), identically in both epoch modes and on
+        // repeat runs.
+        let adaptive = tie_run(EpochMode::Adaptive);
+        assert_eq!(adaptive.len(), 80);
+        let expected: Vec<(u32, u64)> = (0..40).flat_map(|r| [(1, r), (2, r)]).collect();
+        assert_eq!(adaptive, expected, "ties must deliver in sender order");
+        assert_eq!(adaptive, tie_run(EpochMode::Adaptive), "repeat run differs");
+        assert_eq!(adaptive, tie_run(EpochMode::Fixed), "fixed mode differs");
+    }
+
+    #[test]
+    #[should_panic(expected = "may not remote-send to itself")]
+    fn remote_self_send_is_rejected() {
+        let mut sink: RemoteSink<Token> = RemoteSink::new(3, LOOKAHEAD);
+        sink.send(
+            3,
+            SimTime::from_micros(5),
+            Token {
+                hops_left: 0,
+                value: 0,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn lookahead_violation_is_rejected() {
+        let mut sink: RemoteSink<Token> = RemoteSink::new(0, LOOKAHEAD);
+        sink.now = SimTime::from_micros(10);
+        // Delivery half a lookahead after `now`: inside the window other
+        // partitions may already have executed past.
+        sink.send(
+            1,
+            SimTime::from_nanos(10_500),
+            Token {
+                hops_left: 0,
+                value: 0,
+            },
         );
     }
 }

@@ -8,6 +8,15 @@
 //! order, where `sequence` is the order in which they were scheduled. Two
 //! events posted for the same instant therefore fire in posting order, which
 //! makes single-threaded runs bit-reproducible.
+//!
+//! The PDES engine inserts cross-partition deliveries through a second
+//! *remote lane* of the sequence space ([`Scheduler::schedule_remote`]): the
+//! top bit marks a remote event and the remaining bits encode the sender
+//! partition and the sender's own send counter. At equal timestamps remote
+//! events therefore sort after every local event and among themselves by
+//! `(sender, send-seq)` — an intrinsic key that does not depend on which
+//! epoch (or which chunked `run_until` call) happened to deliver them, so
+//! tie order is identical across epoch plans, partition counts held fixed.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
@@ -21,6 +30,26 @@ use crate::time::{SimDuration, SimTime};
 /// it is a no-op).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventKey(u64);
+
+/// Top bit of the sequence space: set for remote-lane (cross-partition)
+/// deliveries so they sort after all locally scheduled events at the same
+/// instant.
+const REMOTE_LANE: u64 = 1 << 63;
+/// Bits reserved for the sender's send counter in a remote-lane sequence.
+const SEND_SEQ_BITS: u32 = 47;
+const SEND_SEQ_MASK: u64 = (1 << SEND_SEQ_BITS) - 1;
+/// Sender partition ids must fit in the bits between the lane bit and the
+/// send counter.
+const MAX_SENDER: u64 = (1 << (63 - SEND_SEQ_BITS)) - 1;
+
+/// Builds the remote-lane sequence number for a delivery from `sender` with
+/// that sender's `send_seq`-th cross-partition message.
+#[inline]
+fn remote_seq(sender: usize, send_seq: u64) -> u64 {
+    debug_assert!((sender as u64) <= MAX_SENDER, "sender id out of range");
+    debug_assert!(send_seq <= SEND_SEQ_MASK, "send-seq counter overflow");
+    REMOTE_LANE | ((sender as u64) << SEND_SEQ_BITS) | (send_seq & SEND_SEQ_MASK)
+}
 
 #[derive(Debug)]
 struct Scheduled<E> {
@@ -107,6 +136,7 @@ impl<E> Scheduler<E> {
             self.now
         );
         let seq = self.next_seq;
+        debug_assert!(seq < REMOTE_LANE, "local sequence space exhausted");
         self.next_seq += 1;
         self.scheduled_total += 1;
         self.pending_keys.insert(seq);
@@ -129,6 +159,52 @@ impl<E> Scheduler<E> {
     #[inline]
     pub fn schedule_now(&mut self, event: E) -> EventKey {
         self.schedule_at(self.now, event)
+    }
+
+    /// Schedules a cross-partition delivery on the remote lane.
+    ///
+    /// The event's tie-break key is `(at, sender, send_seq)` — intrinsic to
+    /// the message, not to the insertion order — so a batch of same-timestamp
+    /// deliveries from different senders fires in the same order no matter
+    /// which epoch plan (or chunk boundary) carried them. Remote deliveries
+    /// sort after all local events at the same instant.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past, if `sender` does not fit in the
+    /// remote-lane sender field, or (debug) on send-counter overflow.
+    pub fn schedule_remote(&mut self, at: SimTime, sender: usize, send_seq: u64, event: E) {
+        assert!(
+            at >= self.now,
+            "remote delivery violates causality ({at} < now {})",
+            self.now
+        );
+        assert!(
+            (sender as u64) <= MAX_SENDER,
+            "sender partition id {sender} exceeds remote-lane capacity"
+        );
+        let seq = remote_seq(sender, send_seq);
+        self.scheduled_total += 1;
+        self.pending_keys.insert(seq);
+        self.heap.push(Reverse(Scheduled {
+            time: at,
+            seq,
+            event,
+        }));
+    }
+
+    /// Inserts a batch of remote deliveries, all from the same `sender`.
+    ///
+    /// Tie-break stability comes from the intrinsic `(sender, send_seq)` key,
+    /// not from insertion order, so callers may hand over per-sender batches
+    /// in any sender order and still get identical pop order.
+    pub fn schedule_remote_batch(
+        &mut self,
+        sender: usize,
+        batch: impl IntoIterator<Item = (SimTime, u64, E)>,
+    ) {
+        for (at, send_seq, event) in batch {
+            self.schedule_remote(at, sender, send_seq, event);
+        }
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the event was
@@ -307,6 +383,64 @@ mod tests {
         s.schedule_now("second");
         let (t, e) = s.pop().unwrap();
         assert_eq!((t, e), (SimTime::from_nanos(10), "second"));
+    }
+
+    #[test]
+    fn remote_lane_sorts_after_locals_and_by_sender_seq() {
+        let t = SimTime::from_nanos(7);
+        // Insert remote deliveries in scrambled order; locals afterwards.
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_remote(t, 2, 0, "r2.0");
+        s.schedule_remote(t, 1, 1, "r1.1");
+        s.schedule_at(t, "local0");
+        s.schedule_remote(t, 1, 0, "r1.0");
+        s.schedule_at(t, "local1");
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["local0", "local1", "r1.0", "r1.1", "r2.0"]);
+    }
+
+    #[test]
+    fn remote_tie_order_is_insertion_order_independent() {
+        let t = SimTime::from_nanos(3);
+        let mut forward: Scheduler<u32> = Scheduler::new();
+        let mut backward: Scheduler<u32> = Scheduler::new();
+        let msgs = [(0usize, 0u64, 10u32), (1, 0, 20), (2, 0, 30), (1, 1, 21)];
+        for &(sender, seq, v) in &msgs {
+            forward.schedule_remote(t, sender, seq, v);
+        }
+        for &(sender, seq, v) in msgs.iter().rev() {
+            backward.schedule_remote(t, sender, seq, v);
+        }
+        let f: Vec<_> = std::iter::from_fn(|| forward.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| backward.pop()).collect();
+        assert_eq!(f, b);
+        assert_eq!(
+            f.into_iter().map(|(_, v)| v).collect::<Vec<_>>(),
+            vec![10, 20, 21, 30]
+        );
+    }
+
+    #[test]
+    fn remote_batch_matches_singles() {
+        let t = SimTime::from_nanos(9);
+        let mut batched: Scheduler<u32> = Scheduler::new();
+        batched.schedule_remote_batch(4, vec![(t, 0, 1u32), (t, 1, 2), (t, 2, 3)]);
+        let mut singles: Scheduler<u32> = Scheduler::new();
+        for (seq, v) in [(2u64, 3u32), (0, 1), (1, 2)] {
+            singles.schedule_remote(t, 4, seq, v);
+        }
+        let a: Vec<_> = std::iter::from_fn(|| batched.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| singles.pop()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn remote_delivery_in_past_panics() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(10), ());
+        s.pop();
+        s.schedule_remote(SimTime::from_nanos(5), 0, 0, ());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use elephant::core::{
     run_pdes_full, run_pdes_hybrid, train_cluster_model, CacheStats, CacheStatsHandle,
     ClusterModel, DropPolicy, ElephantError, LearnedOracle, PdesRun, TrainingOptions,
 };
-use elephant::des::{SimDuration, SimTime};
+use elephant::des::{EpochMode, SimDuration, SimTime};
 use elephant::net::{
     ClosParams, ClusterOracle, FaultyOracle, FixedLatencyOracle, FlowSpec, GuardConfig,
     GuardStatsHandle, GuardedOracle, NetConfig, NetSampler, Network, OracleFaultMode, RttScope,
@@ -92,6 +92,10 @@ fn usage() -> ! {
          --pdes N          run under conservative PDES: N rack partitions for\n\
          \u{20}                `run`, one partition per cluster for `hybrid`\n\
          --machines M      emulated machines for --pdes marshalling (1)\n\
+         --adaptive-epochs plan PDES epochs from observed event frontiers,\n\
+         \u{20}                jumping idle stretches (default)\n\
+         --fixed-epochs    step PDES epochs by a fixed lookahead increment\n\
+         \u{20}                (escape hatch / A-B baseline for the planner)\n\
          \n\
          ORACLE FAST PATH (hybrid/compare; see DESIGN.md \"Oracle fast path\")\n\
          --oracle-cache         memoize verdicts for quantized feature keys\n\
@@ -138,6 +142,7 @@ struct Opts {
     sample_every: Option<SimDuration>,
     pdes: Option<usize>,
     machines: usize,
+    epoch_mode: EpochMode,
     profile: bool,
     metrics_out: Option<String>,
     oracle_cache: bool,
@@ -170,6 +175,7 @@ impl Opts {
             sample_every: None,
             pdes: None,
             machines: 1,
+            epoch_mode: EpochMode::Adaptive,
             profile: false,
             metrics_out: None,
             oracle_cache: false,
@@ -209,6 +215,8 @@ impl Opts {
                 }
                 "--pdes" => o.pdes = Some(parse(&val(), a)),
                 "--machines" => o.machines = parse(&val(), a),
+                "--adaptive-epochs" => o.epoch_mode = EpochMode::Adaptive,
+                "--fixed-epochs" => o.epoch_mode = EpochMode::Fixed,
                 "--profile" => o.profile = true,
                 "--metrics-out" => o.metrics_out = Some(val()),
                 "--oracle-cache" => o.oracle_cache = true,
@@ -498,11 +506,12 @@ fn finish_observability(
 /// per-partition wall-time breakdown (the timeline has the per-epoch view).
 fn print_pdes_summary(run: &PdesRun, horizon: SimTime) {
     println!(
-        "\nsimulated {:.3}s under PDES in {:.2}s wall ({} events, {} epochs, {} partitions)",
+        "\nsimulated {:.3}s under PDES in {:.2}s wall ({} events, {} epochs ({} jumped), {} partitions)",
         horizon.as_secs_f64(),
         run.wall.as_secs_f64(),
         run.report.events_executed,
         run.report.epochs,
+        run.report.epochs_jumped,
         run.report.partitions.len()
     );
     println!(
@@ -655,6 +664,7 @@ fn cmd_run(o: &Opts) {
             partitions,
             o.machines,
             64,
+            o.epoch_mode,
             sampler.as_mut(),
         )
         .unwrap_or_else(|e| {
@@ -876,6 +886,7 @@ fn cmd_hybrid(o: &Opts) {
             o.horizon,
             o.machines,
             64,
+            o.epoch_mode,
             sampler.as_mut(),
         )
         .unwrap_or_else(|e| {

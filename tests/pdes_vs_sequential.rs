@@ -8,7 +8,8 @@
 //! drain-to-quiescence run, delivered byte counts match exactly, and event
 //! counts agree to within tie-ordering noise.
 
-use elephant::des::SimTime;
+use elephant::core::{run_pdes_full, PdesRun};
+use elephant::des::{EpochMode, SimTime};
 use elephant::net::{ClosParams, NetConfig, RttScope};
 use elephant::trace::{generate, LoadProfile, Locality, SizeDist, WorkloadConfig};
 use elephant_bench::{run_hybrid_pdes, run_pdes, train_default_model};
@@ -85,6 +86,109 @@ fn pdes_event_totals_are_reproducible() {
     let rel = (a.report.events_executed as f64 - b.report.events_executed as f64).abs()
         / a.report.events_executed as f64;
     assert!(rel < 0.01, "repeat runs diverged: {a:?} vs {b:?}");
+}
+
+/// Everything a PDES run computes, per partition, to full precision.
+#[derive(PartialEq, Debug)]
+struct Fingerprint {
+    completed: u64,
+    delivered: u64,
+    drops: u64,
+    events: u64,
+    remote_sent: u64,
+    fct: Vec<(u64, u64, u64)>,
+}
+
+fn fingerprints(run: &PdesRun) -> Vec<Fingerprint> {
+    run.nets
+        .iter()
+        .zip(&run.report.partitions)
+        .map(|(net, p)| Fingerprint {
+            completed: net.stats.flows_completed,
+            delivered: net.stats.delivered_bytes,
+            drops: net.stats.drops.total(),
+            events: p.events,
+            remote_sent: p.remote_events_sent,
+            fct: net
+                .stats
+                .fct
+                .iter()
+                .map(|r| (r.flow.0, r.started.as_nanos(), r.completed.as_nanos()))
+                .collect(),
+        })
+        .collect()
+}
+
+#[test]
+fn adaptive_and_fixed_epochs_compute_identical_simulations() {
+    // Uneven partition loads (all traffic confined to half the racks) plus
+    // a long idle gap (a second flow wave 12ms after the first drains):
+    // the two conditions where the adaptive planner diverges most from
+    // fixed-increment stepping. The simulations must still be
+    // bit-identical — per-partition completions, delivered bytes, drops,
+    // event counts, and every flow-completion time to the nanosecond —
+    // while the adaptive planner executes strictly fewer epochs and jumps
+    // the gap instead of grinding it.
+    let params = ClosParams::leaf_spine(4);
+    let wl = WorkloadConfig {
+        load: 0.3,
+        sizes: SizeDist::fixed(30_000),
+        locality: Locality::leaf_spine(),
+        horizon: SimTime::from_millis(2),
+        seed: 53,
+        profile: LoadProfile::Constant,
+    };
+    // Uneven: keep only flows whose endpoints both sit in racks 0-1, so
+    // partitions 2-3 see nothing but pass-through fabric traffic.
+    let mut flows: Vec<_> = generate(&params, &wl)
+        .into_iter()
+        .filter(|f| f.src.rack < 2 && f.dst.rack < 2)
+        .collect();
+    assert!(flows.len() >= 4, "workload too small: {}", flows.len());
+    // Idle gap: replay the same wave 12ms later (thousands of lookaheads).
+    let wave: Vec<_> = flows.clone();
+    for f in wave {
+        let mut f = f;
+        f.id = elephant::net::FlowId(f.id.0 + 1_000_000);
+        f.start = SimTime::from_nanos(f.start.as_nanos() + 12_000_000);
+        flows.push(f);
+    }
+    let horizon = SimTime::from_millis(24);
+
+    let run = |mode: EpochMode| -> PdesRun {
+        run_pdes_full(params, &flows, horizon, 4, 2, 64, mode, None)
+            .unwrap_or_else(|e| panic!("PDES run failed: {e}"))
+    };
+    let adaptive = run(EpochMode::Adaptive);
+    let fixed = run(EpochMode::Fixed);
+
+    assert_eq!(
+        fingerprints(&adaptive),
+        fingerprints(&fixed),
+        "epoch planning changed the simulation"
+    );
+    assert!(
+        adaptive.report.epochs < fixed.report.epochs,
+        "adaptive must execute strictly fewer epochs: {} vs {}",
+        adaptive.report.epochs,
+        fixed.report.epochs
+    );
+    assert!(
+        adaptive.report.epochs_jumped > 0,
+        "the idle gap must be jumped, not ground through"
+    );
+    assert_eq!(fixed.report.epochs_jumped, 0, "fixed mode never jumps");
+    // The load imbalance must actually hold, or this test is vacuous.
+    let events: Vec<u64> = adaptive
+        .report
+        .partitions
+        .iter()
+        .map(|p| p.events)
+        .collect();
+    assert!(
+        events[0] + events[1] > 4 * (events[2] + events[3]),
+        "expected uneven loads, got {events:?}"
+    );
 }
 
 #[test]
