@@ -1,7 +1,7 @@
 //! Smoke bench: proves the observability layer is zero-cost when disabled.
 //!
-//! Runs one small ground-truth scenario three ways, interleaved to defeat
-//! thermal/frequency drift:
+//! Runs `scenarios/smoke.toml` (the paper's two-cluster Poisson web-search
+//! mix) three ways, interleaved to defeat thermal/frequency drift:
 //!
 //! * **baseline** — the plain [`elephant_core::run_ground_truth`] path,
 //!   timeline and metrics off (the pre-observability code path);
@@ -20,7 +20,10 @@ use elephant_bench::{emit_report, fmt_f, print_table, Args};
 use elephant_core::{run_ground_truth, run_ground_truth_observed};
 use elephant_des::SimDuration;
 use elephant_net::{NetSampler, TraceLog};
-use elephant_trace::{generate, WorkloadConfig};
+use elephant_scenario::{compile, load, CompileOverrides};
+
+/// The reference workload, shared with `elephant run-scenario`.
+const SCENARIO: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/smoke.toml");
 
 const ROUNDS: usize = 5;
 /// Relative overhead budget for the disabled path.
@@ -35,9 +38,20 @@ fn median(xs: &mut [f64]) -> f64 {
 
 fn main() {
     let args = Args::parse();
-    let params = elephant_net::ClosParams::paper_cluster(2);
     let horizon = args.horizon(20, 200);
-    let flows = generate(&params, &WorkloadConfig::paper_default(horizon, args.seed));
+    // The scenario's Poisson window is unspecified, so it stretches to the
+    // overridden horizon — quick and full modes come from one file.
+    let scenario = load(SCENARIO).unwrap_or_else(|e| panic!("cannot load scenario: {e}"));
+    let compiled = compile(
+        &scenario,
+        &CompileOverrides {
+            seed: Some(args.seed),
+            horizon_ms: Some(horizon.as_secs_f64() * 1e3),
+            repeat: None,
+        },
+    );
+    let params = compiled.params;
+    let flows = compiled.flows;
 
     // Warm-up: touch the allocator and page in the code paths once.
     run_ground_truth(params, Default::default(), None, &flows, horizon);

@@ -206,6 +206,7 @@ pub fn run_pdes_mode(
         envelope_bytes,
         mode,
         None,
+        None,
     )
     .unwrap_or_else(|e| panic!("PDES run failed: {e}"));
     PdesOutcome {
@@ -252,6 +253,7 @@ pub fn run_hybrid_pdes(
         machines,
         envelope_bytes,
         EpochMode::Adaptive,
+        None,
         None,
     )
     .unwrap_or_else(|e| panic!("PDES run failed: {e}"));

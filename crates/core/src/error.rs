@@ -58,12 +58,22 @@ pub enum ElephantError {
         /// What diverged.
         detail: String,
     },
+    /// A scenario file failed schema parsing or validation.
+    Scenario {
+        /// The scenario file.
+        path: String,
+        /// 1-based line of the offending value.
+        line: u32,
+        /// Diagnostic message.
+        detail: String,
+    },
 }
 
 impl ElephantError {
     /// The process exit code the CLI uses for this error family:
     /// `3` = I/O, `4` = invalid model artifact, `5` = simulation/pipeline
-    /// fault. (`2` is reserved for usage errors, `1` for generic failure.)
+    /// fault, `6` = scenario schema/validation error. (`2` is reserved for
+    /// usage errors, `1` for generic failure.)
     pub fn exit_code(&self) -> i32 {
         match self {
             ElephantError::Io { .. } => 3,
@@ -73,6 +83,7 @@ impl ElephantError {
             | ElephantError::ModelChecksum { .. }
             | ElephantError::ModelNonFinite { .. } => 4,
             ElephantError::CaptureMissing | ElephantError::StreamMisaligned { .. } => 5,
+            ElephantError::Scenario { .. } => 6,
         }
     }
 }
@@ -111,6 +122,9 @@ impl fmt::Display for ElephantError {
             ElephantError::StreamMisaligned { detail } => {
                 write!(f, "record streams misaligned: {detail}")
             }
+            ElephantError::Scenario { path, line, detail } => {
+                write!(f, "{path}:{line}: {detail}")
+            }
         }
     }
 }
@@ -148,6 +162,28 @@ mod tests {
             4
         );
         assert_eq!(ElephantError::CaptureMissing.exit_code(), 5);
+        assert_eq!(
+            ElephantError::Scenario {
+                path: "s.toml".into(),
+                line: 3,
+                detail: "bad".into()
+            }
+            .exit_code(),
+            6
+        );
+    }
+
+    #[test]
+    fn scenario_errors_print_file_and_line() {
+        let e = ElephantError::Scenario {
+            path: "scenarios/incast.toml".into(),
+            line: 12,
+            detail: "load: must be in (0, 1), got 1.5".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "scenarios/incast.toml:12: load: must be in (0, 1), got 1.5"
+        );
     }
 
     #[test]

@@ -18,8 +18,8 @@ use std::time::{Duration, Instant};
 use crate::error::ElephantError;
 
 use elephant_des::{
-    EpochMode, PartitionSim, PdesConfig, PdesError, PdesReport, PdesRunner, SimDuration, SimTime,
-    Simulator,
+    EpochMode, FaultPlan, PartitionSim, PdesConfig, PdesError, PdesReport, PdesRunner, SimDuration,
+    SimTime, Simulator,
 };
 use elephant_net::{
     run_sampled, schedule_flows, ClosParams, ClusterOracle, FlowSpec, NetConfig, NetEvent,
@@ -261,7 +261,9 @@ fn drive_pdes(
 /// per-epoch compute/barrier/marshal slices onto its own wall-clock track.
 /// `mode` selects the epoch planner ([`EpochMode::Adaptive`] unless the
 /// caller is A/B-ing against fixed-increment stepping); chunked sampling
-/// stays exact in either mode.
+/// stays exact in either mode. `faults` optionally injects the exchange-
+/// layer fault plan (drop/dup/corrupt/slowdown/stall) for resilience
+/// drills.
 #[allow(clippy::too_many_arguments)] // an experiment spec, not an API surface
 pub fn run_pdes_full(
     params: ClosParams,
@@ -271,6 +273,7 @@ pub fn run_pdes_full(
     machines: usize,
     envelope_bytes: usize,
     mode: EpochMode,
+    faults: Option<FaultPlan>,
     sampler: Option<&mut NetSampler>,
 ) -> Result<PdesRun, PdesError> {
     let topo = Arc::new(Topology::clos(params));
@@ -297,11 +300,12 @@ pub fn run_pdes_full(
             .schedule_at(f.start, NetEvent::FlowStart(*f));
     }
 
-    let mut runner = PdesRunner::new(
-        parts,
-        PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes)
-            .with_epoch_mode(mode),
-    );
+    let mut pdes_cfg = PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes)
+        .with_epoch_mode(mode);
+    if let Some(plan) = faults {
+        pdes_cfg = pdes_cfg.with_faults(plan);
+    }
+    let mut runner = PdesRunner::new(parts, pdes_cfg);
     let (report, wall) = drive_pdes(&mut runner, horizon, sampler)?;
     let nets = runner
         .into_partitions()
@@ -328,6 +332,7 @@ pub fn run_pdes_hybrid(
     machines: usize,
     envelope_bytes: usize,
     mode: EpochMode,
+    faults: Option<FaultPlan>,
     sampler: Option<&mut NetSampler>,
 ) -> Result<PdesRun, PdesError> {
     let stubs: Vec<u16> = (0..params.clusters)
@@ -359,11 +364,12 @@ pub fn run_pdes_hybrid(
             .schedule_at(f.start, NetEvent::FlowStart(*f));
     }
 
-    let mut runner = PdesRunner::new(
-        parts,
-        PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes)
-            .with_epoch_mode(mode),
-    );
+    let mut pdes_cfg = PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes)
+        .with_epoch_mode(mode);
+    if let Some(plan) = faults {
+        pdes_cfg = pdes_cfg.with_faults(plan);
+    }
+    let mut runner = PdesRunner::new(parts, pdes_cfg);
     let (report, wall) = drive_pdes(&mut runner, horizon, sampler)?;
     let nets = runner
         .into_partitions()

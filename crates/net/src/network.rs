@@ -35,7 +35,7 @@ use crate::trace_log::{TraceEntry, TraceKind, TraceLog};
 use crate::types::{Direction, FlowId, HostAddr, NodeId, NodeKind, PortId};
 
 /// One application transfer to simulate.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FlowSpec {
     /// Canonical flow id (must be unique, direction bit clear).
     pub id: FlowId,

@@ -20,7 +20,9 @@
 //!   arrivals, locality mixes) and CSV export;
 //! * [`flow`] — max-min fair fluid simulation, the related-work baseline;
 //! * [`core`] — the paper's contribution: macro model, features, learned
-//!   oracles, the train-and-approximate pipeline, accuracy metrics.
+//!   oracles, the train-and-approximate pipeline, accuracy metrics;
+//! * [`scenario`] — declarative TOML scenarios: schema, validating
+//!   loader, and the compiler lowering them onto the drivers above.
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the
 //! paper-to-module map, and `examples/` for runnable entry points.
@@ -33,4 +35,5 @@ pub use elephant_flow as flow;
 pub use elephant_net as net;
 pub use elephant_nn as nn;
 pub use elephant_obs as obs;
+pub use elephant_scenario as scenario;
 pub use elephant_trace as trace;

@@ -32,6 +32,10 @@ use elephant::trace::{filter_touching_cluster, generate, write_csv, WorkloadConf
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
+    if cmd == "run-scenario" {
+        // Takes a positional scenario file, which Opts::parse rejects.
+        return cmd_run_scenario(&args[1..]);
+    }
     let opts = Opts::parse(&args[1..]);
     if opts.observing() {
         elephant::obs::set_enabled(true);
@@ -63,6 +67,16 @@ fn usage() -> ! {
          train    ground-truth capture + model training; writes a model JSON\n\
          hybrid   hybrid simulation with a trained model serving stub fabrics\n\
          compare  run truth and hybrid side by side; print the accuracy table\n\
+         run-scenario FILE  run a declarative TOML scenario (see scenarios/)\n\
+         \n\
+         RUN-SCENARIO (see DESIGN.md \"Scenario subsystem\")\n\
+         --validate        load, validate, and compile only; print a summary\n\
+         --list-scenarios [DIR]  list scenario files under DIR (scenarios)\n\
+         --seed N          override the scenario's run.seed\n\
+         --horizon-ms N    override the scenario's run.horizon_ms\n\
+         --repeat N        override every traffic group's repeat count\n\
+         --pdes            run under PDES with the scenario's [topology.pdes]\n\
+         --partitions N    override the partition count (implies --pdes)\n\
          \n\
          OPTIONS (defaults in parentheses)\n\
          --clusters N      cluster count (4; train always uses 2)\n\
@@ -112,7 +126,8 @@ fn usage() -> ! {
          \n\
          EXIT CODES\n\
          0 success | 1 generic failure | 2 usage | 3 I/O error\n\
-         4 invalid model artifact | 5 simulation/pipeline fault"
+         4 invalid model artifact | 5 simulation/pipeline fault\n\
+         6 scenario schema/validation error"
     );
     exit(2)
 }
@@ -665,6 +680,7 @@ fn cmd_run(o: &Opts) {
             o.machines,
             64,
             o.epoch_mode,
+            None,
             sampler.as_mut(),
         )
         .unwrap_or_else(|e| {
@@ -724,6 +740,158 @@ fn cmd_run(o: &Opts) {
         format!("full fidelity, {} clusters, seed {}", o.clusters, o.seed),
         Some(&meta),
     );
+}
+
+/// `run-scenario FILE`: load, validate, compile, and run a declarative
+/// scenario. Scenario errors exit with code 6 and name the offending
+/// `file:line`; missing files exit 3.
+fn cmd_run_scenario(args: &[String]) {
+    use elephant::scenario::{compile, list_scenarios, load, run_fingerprint, CompileOverrides};
+
+    let mut file: Option<String> = None;
+    let mut over = CompileOverrides::default();
+    let mut validate = false;
+    let mut pdes = false;
+    let mut partitions: Option<usize> = None;
+    let mut epoch_mode = EpochMode::Adaptive;
+    let mut sample_every: Option<SimDuration> = None;
+    let mut samples_out: Option<String> = None;
+    let mut list_dir: Option<String> = None;
+
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next().map(|s| s.to_string()).unwrap_or_else(|| {
+                eprintln!("{a} needs a value");
+                exit(2)
+            })
+        };
+        match a.as_str() {
+            "--seed" => over.seed = Some(parse(&val(), a)),
+            "--horizon-ms" => over.horizon_ms = Some(parse(&val(), a)),
+            "--repeat" => over.repeat = Some(parse(&val(), a)),
+            "--validate" => validate = true,
+            "--pdes" => pdes = true,
+            "--partitions" => {
+                partitions = Some(parse(&val(), a));
+                pdes = true;
+            }
+            "--adaptive-epochs" => epoch_mode = EpochMode::Adaptive,
+            "--fixed-epochs" => epoch_mode = EpochMode::Fixed,
+            "--sample-every" => sample_every = Some(SimDuration::from_micros(parse(&val(), a))),
+            "--samples-out" => samples_out = Some(val()),
+            "--list-scenarios" => {
+                // DIR is optional; the next token is a directory unless it
+                // looks like a flag. `val` is unused on this path, so its
+                // borrow of the iterator has already ended.
+                let dir = match it.peek() {
+                    Some(next) if !next.starts_with('-') => it.next().expect("peeked").clone(),
+                    _ => "scenarios".to_string(),
+                };
+                list_dir = Some(dir);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown run-scenario option: {other}\n");
+                usage()
+            }
+            path => {
+                if file.replace(path.to_string()).is_some() {
+                    eprintln!("run-scenario takes one scenario file\n");
+                    usage()
+                }
+            }
+        }
+    }
+
+    if let Some(dir) = list_dir {
+        let files = list_scenarios(std::path::Path::new(&dir)).unwrap_or_else(|e| {
+            die(ElephantError::Io {
+                path: dir.clone(),
+                source: e,
+            })
+        });
+        if files.is_empty() {
+            println!("no scenario files under {dir}/");
+            return;
+        }
+        for f in files {
+            match load(&f.display().to_string()) {
+                Ok(s) => println!("{}  {} — {}", f.display(), s.name, s.description),
+                Err(e) => println!("{}  INVALID: {e}", f.display()),
+            }
+        }
+        return;
+    }
+
+    let Some(path) = file else {
+        eprintln!("run-scenario needs a scenario file (or --list-scenarios)\n");
+        usage()
+    };
+    let scenario = load(&path).unwrap_or_else(|e| die(e));
+    let compiled = compile(&scenario, &over);
+
+    if validate {
+        println!(
+            "{path}: ok — scenario `{}`: {} clusters, {} hosts, {} flows, horizon {}, \
+             {} PDES partitions",
+            compiled.name,
+            compiled.params.clusters,
+            compiled.params.total_hosts(),
+            compiled.flows.len(),
+            compiled.horizon,
+            compiled.partitions,
+        );
+        return;
+    }
+
+    println!(
+        "scenario `{}` ({path}): {} clusters, {} hosts, {} flows, horizon {}, seed {}{}",
+        compiled.name,
+        compiled.params.clusters,
+        compiled.params.total_hosts(),
+        compiled.flows.len(),
+        compiled.horizon,
+        compiled.seed,
+        if pdes {
+            format!(", PDES x{}", partitions.unwrap_or(compiled.partitions))
+        } else {
+            String::new()
+        }
+    );
+    if compiled.faults.is_some() && !pdes {
+        println!("note: the scenario's [faults] plan applies only under --pdes");
+    }
+
+    let mut sampler = sample_every
+        .or(compiled.sample_every)
+        .map(|d| NetSampler::new(d, &compiled.flows));
+
+    let fingerprint = if pdes {
+        let run = compiled
+            .run_pdes(partitions, epoch_mode, sampler.as_mut())
+            .unwrap_or_else(|e| {
+                eprintln!("elephant: PDES run failed: {e}");
+                exit(5)
+            });
+        print_pdes_summary(&run, compiled.horizon);
+        run_fingerprint(run.nets.iter())
+    } else {
+        let (net, meta) = compiled.run_sequential(sampler.as_mut());
+        print_summary(&net, &meta);
+        run_fingerprint([&net])
+    };
+    println!("  fingerprint: {fingerprint:#018x}");
+
+    if let Some(s) = &sampler {
+        let out = samples_out.unwrap_or_else(|| "samples.csv".into());
+        match write_csv(&out, &SAMPLE_CSV_HEADER, s.rows()) {
+            Ok(()) => println!("wrote {out} ({} samples)", s.rows().len()),
+            Err(e) => {
+                eprintln!("cannot write {out}: {e}");
+                exit(3)
+            }
+        }
+    }
 }
 
 /// Captures a short two-cluster ground truth and trains a deliberately
@@ -887,6 +1055,7 @@ fn cmd_hybrid(o: &Opts) {
             o.machines,
             64,
             o.epoch_mode,
+            None,
             sampler.as_mut(),
         )
         .unwrap_or_else(|e| {

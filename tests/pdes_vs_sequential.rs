@@ -156,7 +156,7 @@ fn adaptive_and_fixed_epochs_compute_identical_simulations() {
     let horizon = SimTime::from_millis(24);
 
     let run = |mode: EpochMode| -> PdesRun {
-        run_pdes_full(params, &flows, horizon, 4, 2, 64, mode, None)
+        run_pdes_full(params, &flows, horizon, 4, 2, 64, mode, None, None)
             .unwrap_or_else(|e| panic!("PDES run failed: {e}"))
     };
     let adaptive = run(EpochMode::Adaptive);

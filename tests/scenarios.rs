@@ -1,0 +1,217 @@
+//! End-to-end tests for the declarative scenario subsystem: every
+//! committed `scenarios/*.toml` must load and compile, runs must be
+//! deterministic by (scenario, seed) on both drivers, and the
+//! `run-scenario` CLI must honor its exit-code contract (6 with a
+//! `file:line` diagnostic for schema/validation errors, 3 for I/O).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use elephant::des::EpochMode;
+use elephant::scenario::{
+    compile, list_scenarios, load, run_fingerprint, CompileOverrides, Compiled, Scenario,
+};
+
+fn scenario_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+fn load_committed(name: &str) -> Scenario {
+    let path = scenario_dir().join(name);
+    load(&path.display().to_string()).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn every_committed_scenario_loads_and_compiles() {
+    let files = list_scenarios(&scenario_dir()).expect("scenarios/ is readable");
+    assert!(
+        files.len() >= 6,
+        "expected the committed scenario library, found {} files",
+        files.len()
+    );
+    for f in &files {
+        let s = load(&f.display().to_string()).unwrap_or_else(|e| panic!("{}: {e}", f.display()));
+        let c = compile(&s, &CompileOverrides::default());
+        assert!(
+            !c.flows.is_empty(),
+            "{}: compiled to zero flows",
+            f.display()
+        );
+        assert!(c.horizon.as_nanos() > 0, "{}: zero horizon", f.display());
+    }
+}
+
+#[test]
+fn sequential_runs_are_deterministic() {
+    for name in ["incast.toml", "allreduce.toml"] {
+        let s = load_committed(name);
+        let c = compile(
+            &s,
+            &CompileOverrides {
+                seed: Some(7),
+                ..Default::default()
+            },
+        );
+        let fp = |c: &Compiled| {
+            let (net, _) = c.run_sequential(None);
+            run_fingerprint([&net])
+        };
+        assert_eq!(fp(&c), fp(&c), "{name}: sequential fingerprint varies");
+    }
+}
+
+#[test]
+fn pdes_runs_are_deterministic() {
+    for name in ["incast.toml", "allreduce.toml"] {
+        let s = load_committed(name);
+        let c = compile(
+            &s,
+            &CompileOverrides {
+                seed: Some(7),
+                ..Default::default()
+            },
+        );
+        let fp = |c: &Compiled| {
+            let run = c
+                .run_pdes(None, EpochMode::Adaptive, None)
+                .unwrap_or_else(|e| panic!("{name}: PDES run failed: {e}"));
+            run_fingerprint(run.nets.iter())
+        };
+        assert_eq!(fp(&c), fp(&c), "{name}: PDES fingerprint varies");
+    }
+}
+
+#[test]
+fn compilation_is_a_pure_function_of_scenario_and_seed() {
+    let s = load_committed("websearch_storage.toml");
+    let over = CompileOverrides {
+        seed: Some(123),
+        ..Default::default()
+    };
+    let a = compile(&s, &over);
+    let b = compile(&s, &over);
+    assert_eq!(a.flows, b.flows);
+    // A different seed must actually change the Poisson groups.
+    let c = compile(
+        &s,
+        &CompileOverrides {
+            seed: Some(124),
+            ..Default::default()
+        },
+    );
+    assert_ne!(a.flows, c.flows, "seed does not reach the workload");
+}
+
+// ---- CLI contract ------------------------------------------------------
+
+fn elephant_cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_elephant"))
+}
+
+#[test]
+fn cli_validates_every_committed_scenario() {
+    for f in list_scenarios(&scenario_dir()).expect("scenarios/ is readable") {
+        let out = elephant_cli()
+            .args(["run-scenario", &f.display().to_string(), "--validate"])
+            .output()
+            .expect("spawns");
+        assert!(
+            out.status.success(),
+            "{}: validate failed: {}",
+            f.display(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("ok"),
+            "{}: no ok line: {stdout}",
+            f.display()
+        );
+    }
+}
+
+#[test]
+fn cli_scenario_errors_exit_6_and_name_the_line() {
+    let bad = std::env::temp_dir().join("elephant_bad_scenario.toml");
+    std::fs::write(
+        &bad,
+        "schema = 1\n[scenario]\nname = \"bad\"\n[topology]\nclusters = 2\n\
+         [run]\nhorizon_ms = 1.0\n[[traffic]]\nkind = \"poisson\"\nload = 1.5\n",
+    )
+    .expect("temp file writes");
+    let out = elephant_cli()
+        .args(["run-scenario", &bad.display().to_string()])
+        .output()
+        .expect("spawns");
+    assert_eq!(out.status.code(), Some(6), "scenario errors exit 6");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("elephant_bad_scenario.toml:10"),
+        "stderr names file:line of the bad load: {stderr}"
+    );
+    assert!(
+        stderr.contains("load"),
+        "stderr names the bad key: {stderr}"
+    );
+    let _ = std::fs::remove_file(&bad);
+}
+
+#[test]
+fn cli_missing_scenario_exits_3() {
+    let out = elephant_cli()
+        .args(["run-scenario", "definitely_missing_scenario.toml"])
+        .output()
+        .expect("spawns");
+    assert_eq!(out.status.code(), Some(3), "missing files are I/O errors");
+}
+
+#[test]
+fn cli_lists_the_committed_library() {
+    let out = elephant_cli()
+        .args([
+            "run-scenario",
+            "--list-scenarios",
+            &scenario_dir().display().to_string(),
+        ])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["incast.toml", "allreduce.toml", "smoke.toml"] {
+        assert!(stdout.contains(name), "listing misses {name}: {stdout}");
+    }
+    assert!(
+        !stdout.contains("INVALID"),
+        "committed file invalid: {stdout}"
+    );
+}
+
+#[test]
+fn cli_fingerprint_is_stable_across_invocations() {
+    let path = scenario_dir().join("incast.toml").display().to_string();
+    let fingerprint = |extra: &[&str]| -> String {
+        let mut args = vec!["run-scenario", path.as_str(), "--seed", "7"];
+        args.extend_from_slice(extra);
+        let out = elephant_cli().args(&args).output().expect("spawns");
+        assert!(
+            out.status.success(),
+            "run failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        stdout
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("fingerprint: ").map(str::to_string))
+            .unwrap_or_else(|| panic!("no fingerprint line in: {stdout}"))
+    };
+    assert_eq!(
+        fingerprint(&[]),
+        fingerprint(&[]),
+        "sequential fingerprints differ across invocations"
+    );
+    assert_eq!(
+        fingerprint(&["--pdes"]),
+        fingerprint(&["--pdes"]),
+        "PDES fingerprints differ across invocations"
+    );
+}
