@@ -11,13 +11,20 @@
 //! * **enabled** — timeline + strided trace + 100µs sampler, reported for
 //!   information only.
 //!
-//! The CI gate: the median *disabled* wall time may exceed the median
-//! *baseline* by at most 5% (plus a small absolute allowance so
-//! microsecond-scale jitter on a fast run cannot trip the ratio). Exits
-//! non-zero on violation. Writes `BENCH_smoke.json` under `--out`.
+//! A fourth interleaved variant measures checkpoint overhead:
+//!
+//! * **checkpointed** — the supervised sequential driver at the default
+//!   checkpoint interval, no faults injected, so every cost is the
+//!   periodic world snapshot.
+//!
+//! The CI gates: the median *disabled* wall time may exceed the median
+//! *baseline* by at most 5%, and so may the median *checkpointed* wall
+//! time (each plus a small absolute allowance so microsecond-scale
+//! jitter on a fast run cannot trip the ratio). Exits non-zero on
+//! violation. Writes `BENCH_smoke.json` under `--out`.
 
 use elephant_bench::{emit_report, fmt_f, print_table, Args};
-use elephant_core::{run_ground_truth, run_ground_truth_observed};
+use elephant_core::{run_ground_truth, run_ground_truth_observed, run_sequential_supervised};
 use elephant_des::SimDuration;
 use elephant_net::{NetSampler, TraceLog};
 use elephant_scenario::{compile, load, CompileOverrides};
@@ -56,9 +63,12 @@ fn main() {
     // Warm-up: touch the allocator and page in the code paths once.
     run_ground_truth(params, Default::default(), None, &flows, horizon);
 
+    let policy = elephant_core::RecoveryPolicy::default();
     let mut base = Vec::with_capacity(ROUNDS);
     let mut disabled = Vec::with_capacity(ROUNDS);
+    let mut checkpointed = Vec::with_capacity(ROUNDS);
     let mut events = 0u64;
+    let mut checkpoints_taken = 0u64;
     for _ in 0..ROUNDS {
         let (_, m) = run_ground_truth(params, Default::default(), None, &flows, horizon);
         base.push(m.wall.as_secs_f64());
@@ -73,6 +83,10 @@ fn main() {
             None,
         );
         disabled.push(m.wall.as_secs_f64());
+        let run = run_sequential_supervised(params, Default::default(), &flows, horizon, &policy)
+            .unwrap_or_else(|e| panic!("supervised run failed: {e}"));
+        checkpoints_taken = run.log.checkpoints_taken;
+        checkpointed.push(run.wall.as_secs_f64());
     }
 
     // One enabled run, informational: full timeline + sampler + trace.
@@ -96,12 +110,14 @@ fn main() {
 
     let med_base = median(&mut base);
     let med_disabled = median(&mut disabled);
+    let med_checkpointed = median(&mut checkpointed);
     let med_enabled = enabled_meta.wall.as_secs_f64();
     let overhead_disabled = (med_disabled - med_base) / med_base;
+    let overhead_checkpointed = (med_checkpointed - med_base) / med_base;
     let overhead_enabled = (med_enabled - med_base) / med_base;
 
     print_table(
-        "observability overhead (median wall seconds)",
+        "observability + checkpoint overhead (median wall seconds)",
         &["variant", "wall_s", "vs baseline"],
         &[
             vec!["baseline".into(), fmt_f(med_base), "-".into()],
@@ -109,6 +125,11 @@ fn main() {
                 "obs disabled".into(),
                 fmt_f(med_disabled),
                 format!("{:+.2}%", overhead_disabled * 100.0),
+            ],
+            vec![
+                format!("checkpointed x{checkpoints_taken}"),
+                fmt_f(med_checkpointed),
+                format!("{:+.2}%", overhead_checkpointed * 100.0),
             ],
             vec![
                 "obs enabled".into(),
@@ -122,8 +143,11 @@ fn main() {
     report.set_run(med_disabled, events, horizon.as_secs_f64());
     report.scalar("wall_baseline_s", med_base);
     report.scalar("wall_disabled_s", med_disabled);
+    report.scalar("wall_checkpointed_s", med_checkpointed);
     report.scalar("wall_enabled_s", med_enabled);
     report.scalar("overhead_disabled", overhead_disabled);
+    report.scalar("overhead_checkpointed", overhead_checkpointed);
+    report.scalar("checkpoints_taken", checkpoints_taken as f64);
     report.scalar("overhead_enabled", overhead_enabled);
     report.scalar("timeline_records", timeline_records as f64);
     report.scalar("sampler_rows", sampler.rows().len() as f64);
@@ -140,9 +164,22 @@ fn main() {
         );
         std::process::exit(1);
     }
+    let ckpt_delta = med_checkpointed - med_base;
+    if overhead_checkpointed > MAX_OVERHEAD && ckpt_delta > ABS_SLACK {
+        eprintln!(
+            "FAIL: checkpoint overhead {:+.2}% at the default interval exceeds the \
+             {:.0}% budget ({}s over baseline, {checkpoints_taken} checkpoints)",
+            overhead_checkpointed * 100.0,
+            MAX_OVERHEAD * 100.0,
+            fmt_f(ckpt_delta),
+        );
+        std::process::exit(1);
+    }
     println!(
-        "PASS: disabled-path overhead {:+.2}% within the {:.0}% budget",
+        "PASS: disabled-path overhead {:+.2}% and checkpoint overhead {:+.2}% \
+         within the {:.0}% budget",
         overhead_disabled * 100.0,
+        overhead_checkpointed * 100.0,
         MAX_OVERHEAD * 100.0
     );
 }

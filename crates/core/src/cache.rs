@@ -217,6 +217,7 @@ impl CacheStatsHandle {
 /// Sentinel for "no slot" in the intrusive LRU links.
 const NIL: u32 = u32::MAX;
 
+#[derive(Clone)]
 struct Slot {
     key: VerdictKey,
     verdict: RawVerdict,
@@ -227,6 +228,12 @@ struct Slot {
 /// Bounded LRU memo from [`VerdictKey`] to the [`RawVerdict`] last served
 /// for that bucket. Recency links live in a slab, so steady-state
 /// operation performs no per-entry allocation once the slab is full.
+///
+/// Cloning (for checkpoint/restore) deep-copies the map and slab, so a
+/// restored run replays the same hit/miss sequence as an uninterrupted
+/// one; the stats handle is shared with the original — cache counters are
+/// monotonic observability, outside checkpoint scope.
+#[derive(Clone)]
 pub struct VerdictCache {
     cap: usize,
     map: HashMap<VerdictKey, u32>,

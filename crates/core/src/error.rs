@@ -67,13 +67,20 @@ pub enum ElephantError {
         /// Diagnostic message.
         detail: String,
     },
+    /// The supervised retry ladder ran out of rungs: every retry and every
+    /// degradation step failed, so the run cannot complete even degraded.
+    RecoveryExhausted {
+        /// What kept failing, including the last failure's diagnostics.
+        detail: String,
+    },
 }
 
 impl ElephantError {
     /// The process exit code the CLI uses for this error family:
     /// `3` = I/O, `4` = invalid model artifact, `5` = simulation/pipeline
-    /// fault, `6` = scenario schema/validation error. (`2` is reserved for
-    /// usage errors, `1` for generic failure.)
+    /// fault, `6` = scenario schema/validation error, `7` = recovery
+    /// ladder exhausted. (`2` is reserved for usage errors, `1` for
+    /// generic failure.)
     pub fn exit_code(&self) -> i32 {
         match self {
             ElephantError::Io { .. } => 3,
@@ -84,6 +91,7 @@ impl ElephantError {
             | ElephantError::ModelNonFinite { .. } => 4,
             ElephantError::CaptureMissing | ElephantError::StreamMisaligned { .. } => 5,
             ElephantError::Scenario { .. } => 6,
+            ElephantError::RecoveryExhausted { .. } => 7,
         }
     }
 }
@@ -124,6 +132,9 @@ impl fmt::Display for ElephantError {
             }
             ElephantError::Scenario { path, line, detail } => {
                 write!(f, "{path}:{line}: {detail}")
+            }
+            ElephantError::RecoveryExhausted { detail } => {
+                write!(f, "recovery ladder exhausted: {detail}")
             }
         }
     }

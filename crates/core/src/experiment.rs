@@ -276,6 +276,34 @@ pub fn run_pdes_full(
     faults: Option<FaultPlan>,
     sampler: Option<&mut NetSampler>,
 ) -> Result<PdesRun, PdesError> {
+    let (parts, lookahead) = build_full_partitions(params, flows, partitions);
+
+    let mut pdes_cfg = PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes)
+        .with_epoch_mode(mode);
+    if let Some(plan) = faults {
+        pdes_cfg = pdes_cfg.with_faults(plan);
+    }
+    let mut runner = PdesRunner::new(parts, pdes_cfg);
+    let (report, wall) = drive_pdes(&mut runner, horizon, sampler)?;
+    let nets = runner
+        .into_partitions()
+        .into_iter()
+        .map(|p| p.into_world().net)
+        .collect();
+    Ok(PdesRun { report, wall, nets })
+}
+
+/// Builds the rack-partitioned logical processes for a full-fidelity PDES
+/// run and seeds each partition's scheduler with the flows it owns.
+/// Returns the partitions plus the min-cut lookahead. Shared between
+/// [`run_pdes_full`] and the supervised driver
+/// ([`crate::run_pdes_full_supervised`]) so their runs are constructed
+/// identically — the precondition for bit-equal fingerprints across them.
+pub(crate) fn build_full_partitions(
+    params: ClosParams,
+    flows: &[FlowSpec],
+    partitions: usize,
+) -> (Vec<PartitionSim<NetPartition>>, SimDuration) {
     let topo = Arc::new(Topology::clos(params));
     let map = Arc::new(topo.partition_by_rack(partitions));
     let lookahead = topo
@@ -299,20 +327,7 @@ pub fn run_pdes_full(
             .scheduler_mut()
             .schedule_at(f.start, NetEvent::FlowStart(*f));
     }
-
-    let mut pdes_cfg = PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes)
-        .with_epoch_mode(mode);
-    if let Some(plan) = faults {
-        pdes_cfg = pdes_cfg.with_faults(plan);
-    }
-    let mut runner = PdesRunner::new(parts, pdes_cfg);
-    let (report, wall) = drive_pdes(&mut runner, horizon, sampler)?;
-    let nets = runner
-        .into_partitions()
-        .into_iter()
-        .map(|p| p.into_world().net)
-        .collect();
-    Ok(PdesRun { report, wall, nets })
+    (parts, lookahead)
 }
 
 /// Runs the *hybrid* simulator under PDES, partitioned by cluster: the

@@ -192,6 +192,7 @@ pub struct OracleStats {
     pub per_state: [u64; 4],
 }
 
+#[derive(Clone)]
 struct ClusterRuntime {
     macro_model: MacroModel,
     up_fx: FeatureExtractor,
@@ -205,6 +206,7 @@ struct ClusterRuntime {
 }
 
 /// Cache parameters shared by all of one oracle's per-cluster caches.
+#[derive(Clone)]
 struct CacheCfg {
     capacity: usize,
     quantizer: FeatureQuantizer,
@@ -213,6 +215,7 @@ struct CacheCfg {
 
 /// Cached metrics-registry handles; resolved once per oracle so the
 /// per-verdict cost while disabled is a relaxed flag load.
+#[derive(Clone)]
 struct OracleMetrics {
     elided: elephant_obs::Counter,
     drops: elephant_obs::Counter,
@@ -237,6 +240,14 @@ impl OracleMetrics {
 }
 
 /// A [`ClusterOracle`] that serves [`ClusterModel`] predictions.
+///
+/// Cloning (for checkpoint/restore) deep-copies *everything that shapes
+/// verdicts*: the weights, the drop-sampling RNG position, and every
+/// cluster's macro regime, RNN states, feature extractors, and verdict
+/// cache — so a restored run issues bit-identical verdicts to an
+/// uninterrupted one. Metrics and cache-stats handles are shared with the
+/// original (monotonic observability, outside checkpoint scope).
+#[derive(Clone)]
 pub struct LearnedOracle {
     model: ClusterModel,
     params: ClosParams,
@@ -351,6 +362,10 @@ impl ClusterOracle for LearnedOracle {
 
     fn macro_state_of(&self, cluster: u16) -> Option<u8> {
         Some(self.macro_state(cluster).index() as u8)
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn ClusterOracle + Send>> {
+        Some(Box::new(self.clone()))
     }
 
     fn classify_raw(&mut self, ctx: &OracleCtx<'_>, pkt: &Packet, now: SimTime) -> RawVerdict {

@@ -59,6 +59,7 @@ mod experiment;
 mod features;
 mod learned;
 mod macro_model;
+mod supervise;
 mod train;
 
 pub use accuracy::{
@@ -79,6 +80,10 @@ pub use learned::{
     MODEL_VERSION,
 };
 pub use macro_model::{MacroConfig, MacroModel, MacroState};
+pub use supervise::{
+    run_pdes_full_supervised, run_sequential_supervised, RecoveryEvent, RecoveryLog,
+    RecoveryPolicy, Rung, SupervisedRun, DEFAULT_CHECKPOINT_EVERY, DEFAULT_MAX_RETRIES,
+};
 pub use train::{
     build_samples, calibrate_macro, evaluate, model_meta, train_cluster_model, DirectionReport,
     EvalMetrics, TrainReport, TrainingOptions,

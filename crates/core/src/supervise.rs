@@ -1,0 +1,564 @@
+//! Supervised runs: checkpoint-backed retry with a deterministic
+//! degradation ladder.
+//!
+//! The experiment drivers in [`crate::experiment`] throw the whole run
+//! away on the first [`PdesError`]; at hour-long, 100k-host scale that is
+//! untenable. A supervised run instead takes a checkpoint
+//! ([`elephant_des::PdesCheckpoint`] / [`elephant_des::SimCheckpoint`])
+//! every [`RecoveryPolicy::checkpoint_every`] of simulated time — at an
+//! epoch barrier under PDES, between `run_until` chunks sequentially —
+//! and reacts to failures by climbing down a *ladder*:
+//!
+//! 1. **Retry**: restore the latest checkpoint and re-run the failed
+//!    chunk, up to [`RecoveryPolicy::max_retries`] times per rung.
+//! 2. **Adaptive → fixed epochs**: restore and switch the epoch planner
+//!    to [`EpochMode::Fixed`] — the conservative planner with no frontier
+//!    jumping — then retry the chunk with a fresh retry budget.
+//! 3. **PDES → sequential**: abandon parallel execution and re-run the
+//!    whole scenario on the sequential engine from time zero. Remote
+//!    delivery uses plan-independent `(time, sender, seq)` keys, so a
+//!    healthy sequential run is bit-identical to the PDES run it
+//!    replaces — degrading preserves the fingerprint. Exchange-layer
+//!    fault injection does not exist sequentially, so scripted stalls
+//!    (and drop/dup fault plans) cannot follow the run down this rung.
+//!
+//! Every transition is observable: a `recovery/*` counter and a
+//! [`elephant_obs::PID_RECOVERY`] timeline instant per checkpoint,
+//! restore, and degradation. The [`RecoveryLog`] records the same
+//! transitions as plain data, so tests can assert that identical failure
+//! sequences produce identical ladders.
+//!
+//! Determinism: restoring a checkpoint rewinds *everything that shapes
+//! the simulation* (FEL, per-flow TCP state, fault-plan RNG position,
+//! epoch counters), so a run that failed and recovered produces the same
+//! fingerprint as one that never failed. Global observability (metrics
+//! registry, timeline) is deliberately outside checkpoint scope: counters
+//! are monotonic telemetry and keep the failed attempts' contributions.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::ElephantError;
+use crate::experiment::build_full_partitions;
+
+use elephant_des::{
+    EpochMode, FaultPlan, PdesConfig, PdesError, PdesReport, PdesRunner, SimDuration, SimTime,
+    Simulator, StopReason,
+};
+use elephant_net::{schedule_flows, ClosParams, FlowSpec, NetConfig, Network, RttScope, Topology};
+use elephant_obs::{TraceRecord, PID_RECOVERY};
+
+/// Default checkpoint interval: 10 simulated milliseconds.
+pub const DEFAULT_CHECKPOINT_EVERY: SimDuration = SimDuration::from_millis(10);
+/// Default retry budget per ladder rung.
+pub const DEFAULT_MAX_RETRIES: u32 = 2;
+
+/// Knobs for a supervised run.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryPolicy {
+    /// Simulated time between checkpoints (also the granularity of lost
+    /// work on a restore). Clamped to at least one nanosecond.
+    pub checkpoint_every: SimDuration,
+    /// Restores attempted per ladder rung before degrading to the next.
+    pub max_retries: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            max_retries: DEFAULT_MAX_RETRIES,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    fn interval(&self) -> SimDuration {
+        self.checkpoint_every.max(SimDuration::from_nanos(1))
+    }
+}
+
+/// A rung of the degradation ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rung {
+    /// PDES with the adaptive epoch planner.
+    Adaptive,
+    /// PDES with fixed-increment epochs.
+    Fixed,
+    /// The sequential engine (terminal rung).
+    Sequential,
+}
+
+impl Rung {
+    /// Short label for metrics and summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Rung::Adaptive => "pdes-adaptive",
+            Rung::Fixed => "pdes-fixed",
+            Rung::Sequential => "sequential",
+        }
+    }
+}
+
+/// One ladder transition, as plain comparable data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// A checkpoint restore followed by a retry on the same rung.
+    Restored {
+        /// Simulated time of the failure that triggered the restore.
+        at: SimTime,
+        /// The rung the retry runs on.
+        rung: Rung,
+        /// Failure family ("stalled", "corrupt", "panicked").
+        cause: &'static str,
+    },
+    /// A step down the ladder after the retry budget ran out.
+    Degraded {
+        /// Simulated time of the exhausting failure.
+        at: SimTime,
+        /// The abandoned rung.
+        from: Rung,
+        /// The rung the run continues on.
+        to: Rung,
+    },
+}
+
+/// What the supervisor did, as plain data: counters plus the ordered
+/// transition list. Two supervised runs over identical failure sequences
+/// produce equal logs — the determinism contract tests assert.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryLog {
+    /// Checkpoints captured (including the time-zero baseline).
+    pub checkpoints_taken: u64,
+    /// Checkpoint restores performed (retries and degradations alike).
+    pub restores: u64,
+    /// Ladder steps taken.
+    pub degradations: u64,
+    /// Every restore and degradation, in order.
+    pub transitions: Vec<RecoveryEvent>,
+    /// The rung the run finished on.
+    pub final_rung: Rung,
+}
+
+impl RecoveryLog {
+    fn new(rung: Rung) -> Self {
+        RecoveryLog {
+            checkpoints_taken: 0,
+            restores: 0,
+            degradations: 0,
+            transitions: Vec::new(),
+            final_rung: rung,
+        }
+    }
+
+    /// One-line summary for run reports (greppable by CI).
+    pub fn summary(&self) -> String {
+        format!(
+            "recovery: checkpoints={} restores={} degradations={} final_rung={}",
+            self.checkpoints_taken,
+            self.restores,
+            self.degradations,
+            self.final_rung.label()
+        )
+    }
+
+    fn note_checkpoint(&mut self, at: SimTime) {
+        self.checkpoints_taken += 1;
+        if elephant_obs::enabled() {
+            elephant_obs::counter("recovery/checkpoints", "").inc();
+        }
+        instant("checkpoint", at);
+    }
+
+    fn note_restore(&mut self, at: SimTime, rung: Rung, cause: &'static str) {
+        self.restores += 1;
+        self.transitions
+            .push(RecoveryEvent::Restored { at, rung, cause });
+        if elephant_obs::enabled() {
+            elephant_obs::counter("recovery/restores", cause).inc();
+        }
+        instant("restore", at);
+    }
+
+    fn note_degrade(&mut self, at: SimTime, from: Rung, to: Rung) {
+        self.degradations += 1;
+        self.transitions
+            .push(RecoveryEvent::Degraded { at, from, to });
+        self.final_rung = to;
+        if elephant_obs::enabled() {
+            elephant_obs::counter(
+                "recovery/degradations",
+                format!("{}->{}", from.label(), to.label()),
+            )
+            .inc();
+        }
+        instant("degrade", at);
+    }
+
+    /// Folds a nested run's log (the sequential rung re-runs under its own
+    /// supervisor) into this one.
+    fn absorb(&mut self, inner: RecoveryLog) {
+        self.checkpoints_taken += inner.checkpoints_taken;
+        self.restores += inner.restores;
+        self.degradations += inner.degradations;
+        self.transitions.extend(inner.transitions);
+        self.final_rung = inner.final_rung;
+    }
+}
+
+fn instant(name: &'static str, at: SimTime) {
+    if elephant_obs::timeline_enabled() {
+        elephant_obs::timeline().record(TraceRecord::instant(
+            PID_RECOVERY,
+            0,
+            name,
+            at.as_secs_f64() * 1e6,
+        ));
+    }
+}
+
+/// A completed supervised run.
+pub struct SupervisedRun {
+    /// Final network state: one per partition under PDES, a single entry
+    /// after sequential completion (initial run or terminal-rung restart).
+    pub nets: Vec<Network>,
+    /// Events executed on the *successful* path (failed attempts between a
+    /// checkpoint and their restore are excluded, exactly as if the
+    /// failure never happened).
+    pub events: u64,
+    /// Wall-clock duration including all failed attempts and restores.
+    pub wall: Duration,
+    /// Merged kernel report; `None` once the run degraded to (or started
+    /// on) the sequential engine.
+    pub report: Option<PdesReport>,
+    /// What the supervisor did.
+    pub log: RecoveryLog,
+}
+
+fn cause_label(e: &PdesError) -> &'static str {
+    match e {
+        PdesError::Stalled { .. } => "stalled",
+        PdesError::Corrupt { .. } => "corrupt",
+        PdesError::Panicked { .. } => "panicked",
+    }
+}
+
+fn failure_time(e: &PdesError) -> SimTime {
+    match e {
+        PdesError::Stalled { at, .. }
+        | PdesError::Corrupt { at, .. }
+        | PdesError::Panicked { at, .. } => *at,
+    }
+}
+
+/// Runs the full-fidelity simulator under PDES with checkpointing and the
+/// retry ladder. Constructed identically to
+/// [`crate::run_pdes_full`] (same partitions, lookahead, flow seeding), so
+/// a supervised run that never fails produces the same fingerprint as an
+/// unsupervised one.
+#[allow(clippy::too_many_arguments)] // an experiment spec, not an API surface
+pub fn run_pdes_full_supervised(
+    params: ClosParams,
+    flows: &[FlowSpec],
+    horizon: SimTime,
+    partitions: usize,
+    machines: usize,
+    envelope_bytes: usize,
+    mode: EpochMode,
+    faults: Option<FaultPlan>,
+    policy: &RecoveryPolicy,
+) -> Result<SupervisedRun, ElephantError> {
+    let _span = elephant_obs::span("pdes_supervised");
+    let t0 = Instant::now();
+    let (parts, lookahead) = build_full_partitions(params, flows, partitions);
+    let mut pdes_cfg = PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes)
+        .with_epoch_mode(mode);
+    if let Some(plan) = faults.clone() {
+        pdes_cfg = pdes_cfg.with_faults(plan);
+    }
+    let mut runner = PdesRunner::new(parts, pdes_cfg);
+
+    let mut rung = match mode {
+        EpochMode::Adaptive => Rung::Adaptive,
+        EpochMode::Fixed => Rung::Fixed,
+    };
+    let mut log = RecoveryLog::new(rung);
+    let mut checkpoint = runner.checkpoint();
+    log.note_checkpoint(SimTime::ZERO);
+
+    let interval = policy.interval();
+    let mut cursor = SimTime::ZERO;
+    let mut retries = 0u32;
+    let mut total: Option<PdesReport> = None;
+
+    loop {
+        let next = (cursor + interval).min(horizon);
+        match runner.run_until(next) {
+            Ok(chunk) => {
+                match &mut total {
+                    None => total = Some(chunk),
+                    Some(t) => t.merge(&chunk),
+                }
+                cursor = next;
+                if cursor >= horizon {
+                    break;
+                }
+                checkpoint = runner.checkpoint();
+                log.note_checkpoint(cursor);
+            }
+            Err(e) => {
+                let at = failure_time(&e);
+                if retries < policy.max_retries {
+                    retries += 1;
+                    runner.restore(&checkpoint);
+                    log.note_restore(at, rung, cause_label(&e));
+                    // `total` covers exactly [0, last checkpoint]; the
+                    // failed attempt's partial report is discarded along
+                    // with its state.
+                } else {
+                    match rung {
+                        Rung::Adaptive => {
+                            runner.restore(&checkpoint);
+                            runner.set_epoch_mode(EpochMode::Fixed);
+                            log.note_degrade(at, Rung::Adaptive, Rung::Fixed);
+                            rung = Rung::Fixed;
+                            retries = 0;
+                        }
+                        Rung::Fixed => {
+                            // Terminal rung: restart sequentially from
+                            // time zero with the same construction the
+                            // PDES partitions had (fingerprint-preserving
+                            // for fault-free dynamics).
+                            log.note_degrade(at, Rung::Fixed, Rung::Sequential);
+                            let cfg = NetConfig {
+                                rtt_scope: RttScope::None,
+                                ..Default::default()
+                            };
+                            let mut inner =
+                                run_sequential_supervised(params, cfg, flows, horizon, policy)?;
+                            log.absorb(std::mem::replace(
+                                &mut inner.log,
+                                RecoveryLog::new(Rung::Sequential),
+                            ));
+                            return Ok(SupervisedRun {
+                                nets: inner.nets,
+                                events: inner.events,
+                                wall: t0.elapsed(),
+                                report: None,
+                                log,
+                            });
+                        }
+                        Rung::Sequential => unreachable!("sequential runs have no PDES errors"),
+                    }
+                }
+            }
+        }
+    }
+
+    log.final_rung = rung;
+    let report = total.expect("supervised run executes at least one chunk");
+    let events = report.events_executed;
+    let nets = runner
+        .into_partitions()
+        .into_iter()
+        .map(|p| p.into_world().net)
+        .collect();
+    Ok(SupervisedRun {
+        nets,
+        events,
+        wall: t0.elapsed(),
+        report: Some(report),
+        log,
+    })
+}
+
+/// Runs the sequential full-fidelity simulator with checkpointing. The
+/// sequential engine has no barrier to stall and no exchange to corrupt;
+/// the failures it survives are model panics, caught at the chunk
+/// boundary, rolled back to the latest checkpoint, and retried up to
+/// [`RecoveryPolicy::max_retries`] times. A failure that persists past
+/// the budget is [`ElephantError::RecoveryExhausted`] — there is no rung
+/// below sequential.
+pub fn run_sequential_supervised(
+    params: ClosParams,
+    cfg: NetConfig,
+    flows: &[FlowSpec],
+    horizon: SimTime,
+    policy: &RecoveryPolicy,
+) -> Result<SupervisedRun, ElephantError> {
+    let _span = elephant_obs::span("sequential_supervised");
+    let t0 = Instant::now();
+    let topo = Arc::new(Topology::clos(params));
+    let mut sim = Simulator::new(Network::new(topo, cfg));
+    schedule_flows(&mut sim, flows);
+
+    let mut log = RecoveryLog::new(Rung::Sequential);
+    let mut checkpoint = sim.checkpoint();
+    log.note_checkpoint(SimTime::ZERO);
+
+    let interval = policy.interval();
+    let mut cursor = SimTime::ZERO;
+    let mut retries = 0u32;
+
+    loop {
+        let next = (cursor + interval).min(horizon);
+        match catch_unwind(AssertUnwindSafe(|| sim.run_until(next))) {
+            Ok(stop) => {
+                cursor = next;
+                if cursor >= horizon || stop == StopReason::Exhausted {
+                    break;
+                }
+                checkpoint = sim.checkpoint();
+                log.note_checkpoint(cursor);
+            }
+            Err(payload) => {
+                if retries >= policy.max_retries {
+                    return Err(ElephantError::RecoveryExhausted {
+                        detail: format!(
+                            "sequential model panic persisted through {} retries \
+                             of the chunk ending at {next}: {}",
+                            policy.max_retries,
+                            panic_message(payload.as_ref()),
+                        ),
+                    });
+                }
+                retries += 1;
+                sim.restore(&checkpoint);
+                log.note_restore(cursor, Rung::Sequential, "panicked");
+            }
+        }
+    }
+
+    let events = sim.scheduler().executed_total();
+    Ok(SupervisedRun {
+        nets: vec![sim.into_world()],
+        events,
+        wall: t0.elapsed(),
+        report: None,
+        log,
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elephant_trace::{generate, WorkloadConfig};
+
+    fn drill_flows(params: &ClosParams, horizon: SimTime) -> Vec<FlowSpec> {
+        generate(params, &WorkloadConfig::paper_default(horizon, 17))
+    }
+
+    #[test]
+    fn supervised_without_failures_matches_unsupervised() {
+        let params = ClosParams::paper_cluster(2);
+        let horizon = SimTime::from_millis(8);
+        let flows = drill_flows(&params, horizon);
+
+        let clean = crate::run_pdes_full(
+            params,
+            &flows,
+            horizon,
+            4,
+            2,
+            0,
+            EpochMode::Adaptive,
+            None,
+            None,
+        )
+        .expect("clean run");
+        let policy = RecoveryPolicy {
+            checkpoint_every: SimDuration::from_millis(2),
+            max_retries: 2,
+        };
+        let sup = run_pdes_full_supervised(
+            params,
+            &flows,
+            horizon,
+            4,
+            2,
+            0,
+            EpochMode::Adaptive,
+            None,
+            &policy,
+        )
+        .expect("supervised run");
+        assert_eq!(sup.log.restores, 0);
+        assert_eq!(sup.log.degradations, 0);
+        assert!(sup.log.checkpoints_taken >= 2, "{}", sup.log.summary());
+        assert_eq!(sup.events, clean.events());
+        let clean_completed: u64 = clean.nets.iter().map(|n| n.stats.flows_completed).sum();
+        let sup_completed: u64 = sup.nets.iter().map(|n| n.stats.flows_completed).sum();
+        assert_eq!(sup_completed, clean_completed);
+    }
+
+    #[test]
+    fn scripted_stall_restores_and_degrades_deterministically() {
+        let params = ClosParams::paper_cluster(2);
+        let horizon = SimTime::from_millis(8);
+        let flows = drill_flows(&params, horizon);
+        // A stall that re-arms every restore (epoch progress is part of
+        // the checkpoint, so the stall re-fires deterministically): the
+        // ladder must walk adaptive → fixed → sequential and complete.
+        let faults = FaultPlan {
+            stall_partition: Some((1, 8)),
+            ..Default::default()
+        };
+        let policy = RecoveryPolicy {
+            checkpoint_every: SimDuration::from_millis(2),
+            max_retries: 1,
+        };
+        let run_once = || {
+            run_pdes_full_supervised(
+                params,
+                &flows,
+                horizon,
+                4,
+                2,
+                0,
+                EpochMode::Adaptive,
+                Some(faults.clone()),
+                &policy,
+            )
+            .expect("ladder bottoms out sequentially")
+        };
+        let a = run_once();
+        assert_eq!(a.log.final_rung, Rung::Sequential);
+        assert!(a.log.restores >= 2, "{}", a.log.summary());
+        assert_eq!(a.log.degradations, 2, "{}", a.log.summary());
+        assert!(
+            a.report.is_none(),
+            "sequential completion has no PDES report"
+        );
+
+        // Identical failure sequence → identical ladder.
+        let b = run_once();
+        assert_eq!(a.log, b.log);
+
+        // The degraded run's outcome matches a clean sequential run.
+        let cfg = NetConfig {
+            rtt_scope: RttScope::None,
+            ..Default::default()
+        };
+        let clean = run_sequential_supervised(params, cfg, &flows, horizon, &policy)
+            .expect("clean sequential");
+        assert_eq!(
+            a.nets[0].stats.flows_completed,
+            clean.nets[0].stats.flows_completed
+        );
+        assert_eq!(
+            a.nets[0].stats.delivered_bytes,
+            clean.nets[0].stats.delivered_bytes
+        );
+    }
+}

@@ -93,6 +93,17 @@ impl FaultRng {
         FaultRng { state: seed }
     }
 
+    /// The raw stream position, persisted across `run_until` chunks and
+    /// checkpoints so a resumed run rolls the identical fault sequence.
+    pub(crate) fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds the stream at a previously captured position.
+    pub(crate) fn from_state(state: u64) -> Self {
+        FaultRng { state }
+    }
+
     fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         splitmix64(self.state)

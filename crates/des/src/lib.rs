@@ -53,6 +53,7 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod fault;
 mod pdes;
 mod rng;
@@ -61,6 +62,10 @@ mod sim;
 mod stats;
 mod time;
 
+pub use checkpoint::{
+    CheckpointError, CheckpointManifest, PdesCheckpoint, SimCheckpoint, CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+};
 pub use fault::{FaultCounts, FaultPlan};
 pub use pdes::{
     EpochMode, PartitionId, PartitionSim, PartitionStats, PartitionWorld, PdesConfig, PdesError,

@@ -190,6 +190,14 @@ pub struct PartitionSim<W: PartitionWorld> {
     /// posted, across `run_until` chunks — the `send-seq` half of the remote
     /// tie-break key, so chunk boundaries cannot collide or reorder keys.
     send_seq: u64,
+    /// Fault-RNG stream position, persisted across `run_until` chunks and
+    /// checkpoints so a chunked or resumed run rolls the identical fault
+    /// sequence as an uninterrupted one. `None` until a faulted run starts.
+    fault_rng_state: Option<u64>,
+    /// Epochs this partition has executed across all chunks — the counter a
+    /// scripted [`FaultPlan::stall_partition`] fault measures against, so a
+    /// restored run re-stalls (or not) exactly where the original did.
+    epochs_run: u64,
 }
 
 impl<W: PartitionWorld> PartitionSim<W> {
@@ -199,12 +207,19 @@ impl<W: PartitionWorld> PartitionSim<W> {
             world,
             sched: Scheduler::new(),
             send_seq: 0,
+            fault_rng_state: None,
+            epochs_run: 0,
         }
     }
 
     /// Access the scheduler, e.g. to seed initial events.
     pub fn scheduler_mut(&mut self) -> &mut Scheduler<W::Event> {
         &mut self.sched
+    }
+
+    /// Immutable access to the scheduler (clock, counters).
+    pub fn scheduler(&self) -> &Scheduler<W::Event> {
+        &self.sched
     }
 
     /// Immutable access to the world.
@@ -220,6 +235,24 @@ impl<W: PartitionWorld> PartitionSim<W> {
     /// Consumes the partition, returning its world (post-run statistics).
     pub fn into_world(self) -> W {
         self.world
+    }
+}
+
+// Cloning a partition snapshots the world, the FEL, and every piece of
+// cross-chunk progress (send-seq, fault-RNG position, epoch count): a clone
+// resumed at a chunk boundary is bit-identical to the original continuing.
+impl<W: PartitionWorld + Clone> Clone for PartitionSim<W>
+where
+    W::Event: Clone,
+{
+    fn clone(&self) -> Self {
+        PartitionSim {
+            world: self.world.clone(),
+            sched: self.sched.clone(),
+            send_seq: self.send_seq,
+            fault_rng_state: self.fault_rng_state,
+            epochs_run: self.epochs_run,
+        }
     }
 }
 
@@ -311,8 +344,9 @@ pub enum PdesError {
         at: SimTime,
         /// Consecutive non-advancing epochs observed before aborting.
         epochs: u64,
-        /// Partial statistics gathered up to the abort.
-        report: PdesReport,
+        /// Partial statistics gathered up to the abort (boxed to keep the
+        /// `Err` variant small on the hot `Result` path).
+        report: Box<PdesReport>,
     },
     /// A marshalled cross-machine message failed to decode on the far side.
     Corrupt {
@@ -321,7 +355,21 @@ pub enum PdesError {
         /// Scheduled delivery time of the lost message.
         at: SimTime,
         /// Partial statistics gathered up to the abort.
-        report: PdesReport,
+        report: Box<PdesReport>,
+    },
+    /// A partition's event handler panicked. The panic is caught at the
+    /// handler boundary and folded into the normal abort protocol, so one
+    /// panicking worker produces this single structured error instead of a
+    /// cascade of poisoned-barrier panics across every other thread.
+    Panicked {
+        /// The partition whose handler panicked.
+        partition: PartitionId,
+        /// Timestamp of the event being handled when the panic unwound.
+        at: SimTime,
+        /// The panic payload, when it was a string.
+        message: String,
+        /// Partial statistics gathered up to the abort.
+        report: Box<PdesReport>,
     },
 }
 
@@ -329,7 +377,9 @@ impl PdesError {
     /// The partial report assembled when the run aborted.
     pub fn report(&self) -> &PdesReport {
         match self {
-            PdesError::Stalled { report, .. } | PdesError::Corrupt { report, .. } => report,
+            PdesError::Stalled { report, .. }
+            | PdesError::Corrupt { report, .. }
+            | PdesError::Panicked { report, .. } => report,
         }
     }
 }
@@ -352,6 +402,16 @@ impl std::fmt::Display for PdesError {
                 "PDES transport corruption: message from partition {partition} \
                  due at {at} failed to decode"
             ),
+            PdesError::Panicked {
+                partition,
+                at,
+                message,
+                ..
+            } => write!(
+                f,
+                "PDES worker panic: partition {partition} panicked handling an \
+                 event at {at}: {message}"
+            ),
         }
     }
 }
@@ -360,13 +420,14 @@ impl std::error::Error for PdesError {}
 
 /// Which failure a worker thread observed; folded into [`PdesError`] with
 /// the final report once all threads have drained.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 enum FailureCause {
     Stalled { epochs: u64 },
     Corrupt,
+    Panicked { message: String },
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 struct Failure {
     partition: PartitionId,
     at: SimTime,
@@ -562,7 +623,15 @@ impl EpochBarrier {
             // miss the change), and wake everyone parked.
             self.arrived.store(0, Ordering::Relaxed);
             {
-                let _g = self.lock.lock().expect("barrier lock");
+                // The guarded state is `()`: poisoning (a peer panicked while
+                // holding the lock) carries no broken invariant, so recover
+                // instead of cascading secondary panics through every thread
+                // parked here. The original panic is surfaced exactly once,
+                // as a structured error, by the abort protocol.
+                let _g = self
+                    .lock
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 self.generation.fetch_add(1, Ordering::Release);
             }
             self.cvar.notify_all();
@@ -574,9 +643,15 @@ impl EpochBarrier {
             }
             std::hint::spin_loop();
         }
-        let mut guard = self.lock.lock().expect("barrier lock");
+        let mut guard = self
+            .lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         while self.generation.load(Ordering::Acquire) == gen {
-            guard = self.cvar.wait(guard).expect("barrier condvar");
+            guard = self
+                .cvar
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
@@ -739,7 +814,7 @@ impl<W: PartitionWorld> PdesRunner<W> {
                 partition,
                 at,
                 epochs,
-                report,
+                report: Box::new(report),
             }),
             Some(Failure {
                 partition,
@@ -748,7 +823,17 @@ impl<W: PartitionWorld> PdesRunner<W> {
             }) => Err(PdesError::Corrupt {
                 partition,
                 at,
-                report,
+                report: Box::new(report),
+            }),
+            Some(Failure {
+                partition,
+                at,
+                cause: FailureCause::Panicked { message },
+            }) => Err(PdesError::Panicked {
+                partition,
+                at,
+                message,
+                report: Box::new(report),
             }),
             None => Ok(report),
         }
@@ -762,6 +847,43 @@ impl<W: PartitionWorld> PdesRunner<W> {
     /// Immutable view of the partitions.
     pub fn partitions(&self) -> &[PartitionSim<W>] {
         &self.partitions
+    }
+
+    /// The epoch planning mode currently in effect.
+    pub fn epoch_mode(&self) -> EpochMode {
+        self.config.epoch_mode
+    }
+
+    /// Switches the epoch planning mode for subsequent `run_until` calls.
+    ///
+    /// Safe at any chunk boundary: cross-partition tie order is intrinsic
+    /// (`(time, sender, send-seq)`), so results are bit-identical across
+    /// epoch modes and the degradation ladder may drop from adaptive to
+    /// fixed planning mid-run without perturbing the simulation.
+    pub fn set_epoch_mode(&mut self, mode: EpochMode) {
+        self.config.epoch_mode = mode;
+    }
+}
+
+impl<W: PartitionWorld + Clone> PdesRunner<W>
+where
+    W::Event: Clone,
+{
+    /// Snapshots every partition (world, FEL, and cross-chunk fault/seq
+    /// progress) at a quiescent chunk boundary. Call only between
+    /// `run_until` chunks — the exchange is drained there, so the
+    /// partitions' private state is the complete run state.
+    pub fn checkpoint(&self) -> crate::checkpoint::PdesCheckpoint<W> {
+        crate::checkpoint::PdesCheckpoint::capture(&self.partitions)
+    }
+
+    /// Rewinds the runner to a previously captured checkpoint. The next
+    /// `run_until` resumes bit-identically to the run that was snapshotted.
+    ///
+    /// # Panics
+    /// Panics if the checkpoint's partition count differs from the runner's.
+    pub fn restore(&mut self, checkpoint: &crate::checkpoint::PdesCheckpoint<W>) {
+        self.partitions = checkpoint.restore_partitions(self.partitions.len());
     }
 }
 
@@ -945,8 +1067,14 @@ fn partition_main<W: PartitionWorld>(
     let mut tl = PartitionTimeline::new(shared.started, id);
 
     // Fault-injection state: deterministic per-partition RNG stream plus
-    // the two partition-level faults, resolved once up front.
-    let mut fault_rng: Option<FaultRng> = config.faults.as_ref().map(|f| f.rng_for(id));
+    // the two partition-level faults, resolved once up front. The stream
+    // position and the epoch counter resume from the partition's persisted
+    // progress so chunked and checkpoint-restored runs roll the identical
+    // fault sequence an uninterrupted run would.
+    let mut fault_rng: Option<FaultRng> = part
+        .fault_rng_state
+        .map(FaultRng::from_state)
+        .or_else(|| config.faults.as_ref().map(|f| f.rng_for(id)));
     let slow_here: Option<std::time::Duration> = config
         .faults
         .as_ref()
@@ -959,7 +1087,7 @@ fn partition_main<W: PartitionWorld>(
         .and_then(|f| f.stall_partition)
         .filter(|&(p, _)| p == id)
         .map(|(_, k)| k);
-    let mut my_epochs: u64 = 0;
+    let mut my_epochs: u64 = part.epochs_run;
 
     // Planner state, used by thread 0 only.
     //
@@ -1115,7 +1243,25 @@ fn partition_main<W: PartitionWorld>(
                 }
                 let (t, ev) = part.sched.pop().expect("peeked event vanished");
                 remote.now = t;
-                part.world.handle(ev, &mut part.sched, &mut remote);
+                // Catch model panics at the handler boundary: record a
+                // structured failure and keep following the barrier protocol
+                // so every peer exits cleanly through the planner's
+                // terminating plan. The world may hold broken invariants
+                // after an unwind (hence AssertUnwindSafe) — callers must
+                // discard or checkpoint-restore it, never resume it.
+                let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    part.world.handle(ev, &mut part.sched, &mut remote);
+                }));
+                if let Err(payload) = unwound {
+                    shared.record_failure(Failure {
+                        partition: id,
+                        at: t,
+                        cause: FailureCause::Panicked {
+                            message: panic_message(payload.as_ref()),
+                        },
+                    });
+                    break;
+                }
                 executed += 1;
             }
             stats.work_seconds += t0.elapsed().as_secs_f64();
@@ -1236,11 +1382,24 @@ fn partition_main<W: PartitionWorld>(
     }
 
     part.send_seq = send_seq;
+    part.fault_rng_state = fault_rng.as_ref().map(FaultRng::state);
+    part.epochs_run = my_epochs;
     stats.next_time = part.sched.peek_time();
     if let Some(tl) = tl.take() {
         tl.flush(&stats);
     }
     shared.per_partition.lock()[id] = stats;
+}
+
+/// Renders a caught panic payload for [`PdesError::Panicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Pushes an event through the simulated machine boundary: encode, wrap in
@@ -1295,7 +1454,7 @@ mod tests {
     /// counter on each arrival. Cross-partition delay = LOOKAHEAD.
     const LOOKAHEAD: SimDuration = SimDuration::from_micros(1);
 
-    #[derive(Debug, PartialEq)]
+    #[derive(Clone, Debug, PartialEq)]
     struct Token {
         hops_left: u32,
         value: u64,
@@ -1317,6 +1476,7 @@ mod tests {
         }
     }
 
+    #[derive(Clone)]
     struct Ring {
         id: PartitionId,
         n: usize,
@@ -1738,6 +1898,209 @@ mod tests {
         assert_eq!(adaptive, expected, "ties must deliver in sender order");
         assert_eq!(adaptive, tie_run(EpochMode::Adaptive), "repeat run differs");
         assert_eq!(adaptive, tie_run(EpochMode::Fixed), "fixed mode differs");
+    }
+
+    /// Ring runner prepared for chunked runs: token seeded on partition 0.
+    fn ring_runner(n: usize, hops: u32, machines: usize, envelope: usize) -> PdesRunner<Ring> {
+        let mut parts: Vec<PartitionSim<Ring>> = (0..n)
+            .map(|id| {
+                PartitionSim::new(Ring {
+                    id,
+                    n,
+                    arrivals: 0,
+                    last_value: 0,
+                })
+            })
+            .collect();
+        parts[0].scheduler_mut().schedule_at(
+            SimTime::ZERO,
+            Token {
+                hops_left: hops,
+                value: 0,
+            },
+        );
+        let config = PdesConfig::round_robin(n, machines, LOOKAHEAD, envelope);
+        PdesRunner::new(parts, config)
+    }
+
+    fn ring_state(runner: &PdesRunner<Ring>) -> Vec<(u64, u64)> {
+        runner
+            .partitions()
+            .iter()
+            .map(|p| (p.world().arrivals, p.world().last_value))
+            .collect()
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bit_identical() {
+        let horizon = SimTime::from_secs(10);
+        let mid = SimTime::from_micros(40);
+
+        // Uninterrupted reference run.
+        let mut clean = ring_runner(4, 99, 2, 32);
+        clean.run_until(horizon).expect("healthy run");
+        let reference = ring_state(&clean);
+
+        // Chunked run: checkpoint at the chunk boundary, finish, then rewind
+        // and finish again — both continuations must match the reference.
+        let mut runner = ring_runner(4, 99, 2, 32);
+        runner.run_until(mid).expect("first chunk");
+        let ck = runner.checkpoint();
+        assert_eq!(ck.partitions(), 4);
+        assert!(ck.at() >= mid);
+        runner.run_until(horizon).expect("first continuation");
+        assert_eq!(ring_state(&runner), reference);
+
+        runner.restore(&ck);
+        runner.run_until(horizon).expect("resumed continuation");
+        assert_eq!(ring_state(&runner), reference, "restore diverged");
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_identical_fault_sequence() {
+        let horizon = SimTime::from_secs(10);
+        let mid = SimTime::from_micros(40);
+        let plan = FaultPlan {
+            seed: 7,
+            drop_prob: 0.10,
+            dup_prob: 0.10,
+            ..Default::default()
+        };
+
+        let run_chunks = |restore_at_mid: bool| {
+            let mut parts: Vec<PartitionSim<Ring>> = (0..4)
+                .map(|id| {
+                    PartitionSim::new(Ring {
+                        id,
+                        n: 4,
+                        arrivals: 0,
+                        last_value: 0,
+                    })
+                })
+                .collect();
+            parts[0].scheduler_mut().schedule_at(
+                SimTime::ZERO,
+                Token {
+                    hops_left: 99,
+                    value: 0,
+                },
+            );
+            let config = PdesConfig::round_robin(4, 2, LOOKAHEAD, 32).with_faults(plan.clone());
+            let mut runner = PdesRunner::new(parts, config);
+            let mut report = runner.run_until(mid).expect("first chunk");
+            let ck = runner.checkpoint();
+            if restore_at_mid {
+                // Burn some state past the boundary, then rewind: the fault
+                // RNG position must rewind with it.
+                runner.run_until(horizon).expect("burned continuation");
+                runner.restore(&ck);
+            }
+            report.merge(&runner.run_until(horizon).expect("continuation"));
+            (ring_state(&runner), report.faults)
+        };
+
+        let (state_a, faults_a) = run_chunks(false);
+        let (state_b, faults_b) = run_chunks(true);
+        assert!(
+            faults_a.total() > 0,
+            "fault plan was inert; test is vacuous"
+        );
+        assert_eq!(state_a, state_b, "fault-RNG state not restored");
+        assert_eq!(faults_a, faults_b, "fault sequence diverged after restore");
+    }
+
+    /// Panics when handling any token whose value reaches `boom_at`.
+    #[derive(Clone)]
+    struct Grenade {
+        id: PartitionId,
+        n: usize,
+        boom_at: u64,
+    }
+
+    impl PartitionWorld for Grenade {
+        type Event = Token;
+        fn handle(
+            &mut self,
+            ev: Token,
+            sched: &mut Scheduler<Token>,
+            remote: &mut RemoteSink<Token>,
+        ) {
+            assert!(ev.value < self.boom_at, "scripted model panic");
+            if ev.hops_left == 0 {
+                return;
+            }
+            let next = Token {
+                hops_left: ev.hops_left - 1,
+                value: ev.value + 1,
+            };
+            let at = sched.now() + LOOKAHEAD;
+            let dst = (self.id + 1) % self.n;
+            if dst == self.id {
+                sched.schedule_at(at, next);
+            } else {
+                remote.send(dst, at, next);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_single_structured_error() {
+        // Token value 7 first arrives on partition 7 % 3 == 1.
+        let parts: Vec<PartitionSim<Grenade>> = (0..3)
+            .map(|id| {
+                PartitionSim::new(Grenade {
+                    id,
+                    n: 3,
+                    boom_at: 7,
+                })
+            })
+            .collect();
+        let mut runner = PdesRunner::new(parts, PdesConfig::single_machine(3, LOOKAHEAD));
+        runner.partitions[0].scheduler_mut().schedule_at(
+            SimTime::ZERO,
+            Token {
+                hops_left: 99,
+                value: 0,
+            },
+        );
+        let err = runner
+            .run_until(SimTime::from_secs(1))
+            .expect_err("grenade must fire");
+        match err {
+            PdesError::Panicked {
+                partition,
+                at,
+                ref message,
+                ref report,
+            } => {
+                assert_eq!(partition, 1);
+                assert_eq!(at, SimTime::from_micros(7));
+                assert!(message.contains("scripted model panic"), "got {message:?}");
+                assert_eq!(report.events_executed, 7, "events before the panic");
+            }
+            other => panic!("expected Panicked, got {other}"),
+        }
+        // The barrier is not poisoned: the runner can restart after restore.
+        let parts: Vec<PartitionSim<Grenade>> = (0..3)
+            .map(|id| {
+                PartitionSim::new(Grenade {
+                    id,
+                    n: 3,
+                    boom_at: u64::MAX,
+                })
+            })
+            .collect();
+        let mut runner = PdesRunner::new(parts, PdesConfig::single_machine(3, LOOKAHEAD));
+        runner.partitions[0].scheduler_mut().schedule_at(
+            SimTime::ZERO,
+            Token {
+                hops_left: 9,
+                value: 0,
+            },
+        );
+        runner
+            .run_until(SimTime::from_secs(1))
+            .expect("healthy rerun");
     }
 
     #[test]

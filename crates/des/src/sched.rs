@@ -51,7 +51,7 @@ fn remote_seq(sender: usize, send_seq: u64) -> u64 {
     REMOTE_LANE | ((sender as u64) << SEND_SEQ_BITS) | (send_seq & SEND_SEQ_MASK)
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Scheduled<E> {
     time: SimTime,
     seq: u64,
@@ -83,7 +83,10 @@ impl<E> Ord for Scheduled<E> {
 /// Cancellation uses lazy deletion: cancelled keys go into a tombstone set
 /// and the event is discarded when it reaches the top of the heap. This keeps
 /// `cancel` O(1) while the heap stays a plain binary heap.
-#[derive(Debug)]
+/// Cloning a scheduler (possible whenever the event type is `Clone`) deep-
+/// copies the heap, clock, and tombstone sets, so a clone is an independent
+/// resumable snapshot — the substrate of [`crate::checkpoint`].
+#[derive(Debug, Clone)]
 pub struct Scheduler<E> {
     now: SimTime,
     heap: BinaryHeap<Reverse<Scheduled<E>>>,

@@ -194,6 +194,31 @@ impl<W: World> Simulator<W> {
     }
 }
 
+impl<W: World + Clone> Simulator<W>
+where
+    W::Event: Clone,
+{
+    /// Deep-copies the world and scheduler into a resumable snapshot.
+    ///
+    /// Call between `run_until` chunks (the engine is parked there);
+    /// restoring the snapshot and running on is bit-identical to never
+    /// having stopped. Global observability (metrics registry, timeline)
+    /// is deliberately outside the snapshot: counters are monotonic
+    /// telemetry and keep the aborted attempt's contribution.
+    pub fn checkpoint(&self) -> crate::checkpoint::SimCheckpoint<W> {
+        crate::checkpoint::SimCheckpoint {
+            world: self.world.clone(),
+            sched: self.sched.clone(),
+        }
+    }
+
+    /// Rewinds the simulator to a previously captured snapshot.
+    pub fn restore(&mut self, checkpoint: &crate::checkpoint::SimCheckpoint<W>) {
+        self.world = checkpoint.world.clone();
+        self.sched = checkpoint.sched.clone();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,7 +64,7 @@ struct Pending {
 }
 
 /// Collects [`BoundaryRecord`]s for one cluster during a full-fidelity run.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct CaptureState {
     cluster: u16,
     pending: HashMap<u64, Pending>,

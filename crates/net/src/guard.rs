@@ -344,6 +344,28 @@ impl ClusterOracle for GuardedOracle {
     fn macro_state_of(&self, cluster: u16) -> Option<u8> {
         self.primary.macro_state_of(cluster)
     }
+
+    /// Snapshottable iff both wrapped oracles are. The clone *shares* the
+    /// `Arc`'d stats block with the original: guard counters are monotonic
+    /// observability (like the global metrics registry, deliberately outside
+    /// checkpoint scope), and a restored run keeps accumulating onto them.
+    /// The drop-rate window and permanent-fallback latch, which *do* shape
+    /// verdicts, live in `cfg`/`window_*`/`fallback_active` and travel with
+    /// the snapshot (the latch is inside the shared stats, so an abandoned
+    /// primary stays abandoned after restore — the conservative choice).
+    fn clone_box(&self) -> Option<Box<dyn ClusterOracle + Send>> {
+        let primary = self.primary.clone_box()?;
+        let fallback = self.fallback.clone_box()?;
+        Some(Box::new(GuardedOracle {
+            primary,
+            fallback,
+            cfg: self.cfg.clone(),
+            stats: Arc::clone(&self.stats),
+            ceiling_secs: self.ceiling_secs,
+            window_total: self.window_total,
+            window_drops: self.window_drops,
+        }))
+    }
 }
 
 /// The ways a [`FaultyOracle`] can misbehave.
@@ -365,6 +387,7 @@ pub enum OracleFaultMode {
 /// for: [`ClusterOracle::classify`] converts the malformed f64 through
 /// `SimDuration::from_secs_f64`, which panics on NaN or negative input.
 /// Behind a [`GuardedOracle`] the same stream is absorbed as trips.
+#[derive(Clone)]
 pub struct FaultyOracle {
     mode: OracleFaultMode,
     every: u64,
@@ -394,6 +417,10 @@ impl ClusterOracle for FaultyOracle {
                 latency: SimDuration::from_secs_f64(latency_secs),
             },
         }
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn ClusterOracle + Send>> {
+        Some(Box::new(self.clone()))
     }
 
     fn classify_raw(&mut self, _ctx: &OracleCtx<'_>, _pkt: &Packet, _now: SimTime) -> RawVerdict {

@@ -83,7 +83,7 @@ impl DropCounts {
 }
 
 /// All measurement state owned by a [`crate::Network`].
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct NetStats {
     scope: RttScope,
     /// Histogram of all in-scope RTT samples, in seconds.

@@ -122,6 +122,7 @@ impl Default for NetConfig {
     }
 }
 
+#[derive(Clone)]
 struct Conn {
     tcp: TcpConn,
     peer: HostAddr,
@@ -130,11 +131,13 @@ struct Conn {
     delack_key: Option<EventKey>,
 }
 
+#[derive(Clone)]
 struct HostState {
     addr: HostAddr,
     conns: HashMap<FlowId, Conn>,
 }
 
+#[derive(Clone)]
 struct FlowMeta {
     src: HostAddr,
     dst: HostAddr,
@@ -142,6 +145,7 @@ struct FlowMeta {
     started: SimTime,
 }
 
+#[derive(Clone)]
 struct PartitionCtx {
     my: PartitionId,
     node_part: Arc<Vec<u32>>,
@@ -149,6 +153,7 @@ struct PartitionCtx {
 
 /// Cached metrics-registry handles, labeled by switch tier; resolved once
 /// at construction so the per-packet cost is a relaxed flag load.
+#[derive(Clone)]
 struct NetMetrics {
     enqueued: [elephant_obs::Counter; 4],
     drops: [elephant_obs::Counter; 4],
@@ -203,6 +208,45 @@ pub struct Network {
     outbox: Vec<(PartitionId, SimTime, NetEvent)>,
     trace: Option<TraceLog>,
     metrics: NetMetrics,
+}
+
+/// Cloning a network deep-copies every piece of simulation state — port
+/// queues, TCP connections, flow metadata, measurement state, capture and
+/// trace buffers, and (via [`ClusterOracle::clone_box`]) the installed
+/// oracle with its regime, RNN, and verdict-cache state. The topology and
+/// partition map stay shared (`Arc`, immutable), and the cached metrics
+/// handles keep pointing at the global registry (counters are monotonic
+/// telemetry, deliberately outside checkpoint scope).
+///
+/// # Panics
+/// Panics if an installed oracle does not support [`ClusterOracle::clone_box`]
+/// — such a network cannot be checkpointed; rebuild the oracle cold instead.
+impl Clone for Network {
+    fn clone(&self) -> Self {
+        let oracle = self.oracle.as_ref().map(|o| {
+            o.clone_box().expect(
+                "installed oracle does not support clone_box(); a network \
+                 holding it cannot be checkpointed — rebuild the oracle cold",
+            )
+        });
+        Network {
+            topo: Arc::clone(&self.topo),
+            cfg: self.cfg,
+            ports: self.ports.clone(),
+            hosts: self.hosts.clone(),
+            flow_meta: self.flow_meta.clone(),
+            stats: self.stats.clone(),
+            capture: self.capture.clone(),
+            oracle,
+            boundary_gate: self.boundary_gate.clone(),
+            next_pkt_id: self.next_pkt_id,
+            scratch: TcpOutput::default(),
+            partition: self.partition.clone(),
+            outbox: self.outbox.clone(),
+            trace: self.trace.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
 }
 
 impl Network {
@@ -867,6 +911,7 @@ pub fn schedule_flows(sim: &mut Simulator<Network>, flows: &[FlowSpec]) {
 // ----------------------------------------------------------------------
 
 /// Wraps a partition-aware [`Network`] as a [`PartitionWorld`].
+#[derive(Clone)]
 pub struct NetPartition {
     /// The partition's slice of the network.
     pub net: Network,

@@ -104,6 +104,15 @@ pub trait ClusterOracle {
         let _ = cluster;
         None
     }
+
+    /// Deep-copies the oracle — including any regime, RNN, and verdict-cache
+    /// state — for checkpoint/restore. Returns `None` (the default) when the
+    /// oracle cannot be snapshotted; a [`crate::Network`] holding such an
+    /// oracle refuses to be cloned, and the recovery driver must rebuild it
+    /// cold instead. Every shipped oracle overrides this.
+    fn clone_box(&self) -> Option<Box<dyn ClusterOracle + Send>> {
+        None
+    }
 }
 
 /// Zero-queueing baseline: every packet crosses the fabric at wire speed
@@ -143,6 +152,10 @@ impl ClusterOracle for IdealOracle {
             latency: Self::base_latency(ctx, pkt),
         }
     }
+
+    fn clone_box(&self) -> Option<Box<dyn ClusterOracle + Send>> {
+        Some(Box::new(*self))
+    }
 }
 
 /// Delivers everything after a fixed latency; drops nothing. Handy for
@@ -153,6 +166,10 @@ pub struct FixedLatencyOracle(pub SimDuration);
 impl ClusterOracle for FixedLatencyOracle {
     fn classify(&mut self, _ctx: &OracleCtx<'_>, _pkt: &Packet, _now: SimTime) -> OracleVerdict {
         OracleVerdict::Deliver { latency: self.0 }
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn ClusterOracle + Send>> {
+        Some(Box::new(*self))
     }
 }
 

@@ -50,7 +50,7 @@ pub struct PortCounters {
 }
 
 /// Runtime state of one output port.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct PortState {
     spec: PortSpec,
     queue: VecDeque<Packet>,

@@ -211,7 +211,7 @@ struct SegMeta {
 }
 
 /// Sender-side congestion/loss state.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Sender {
     total: u64,
     snd_una: u64,
@@ -239,7 +239,7 @@ struct Sender {
 }
 
 /// Receiver-side reassembly state.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Receiver {
     rcv_nxt: u64,
     /// Out-of-order ranges `[start, end)`, non-overlapping, gap-separated.
@@ -257,7 +257,7 @@ struct Receiver {
 }
 
 /// One endpoint of a TCP connection.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct TcpConn {
     cfg: TcpConfig,
     state: State,

@@ -64,7 +64,7 @@ pub struct TraceEntry {
 }
 
 /// Bounded deterministic event trace (first-N or strided retention).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct TraceLog {
     entries: Vec<TraceEntry>,
     limit: usize,

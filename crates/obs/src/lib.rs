@@ -24,7 +24,7 @@ pub use registry::{
 pub use report::{MetricRow, PartitionRow, ProfileRow, RunReport};
 pub use timeline::{
     set_timeline_enabled, timeline, timeline_enabled, ArgValue, Timeline, TimelineWriter,
-    TracePhase, TraceRecord, MAX_TIMELINE_RECORDS, PID_FLOWS, PID_PDES, PID_SAMPLES,
+    TracePhase, TraceRecord, MAX_TIMELINE_RECORDS, PID_FLOWS, PID_PDES, PID_RECOVERY, PID_SAMPLES,
 };
 
 #[cfg(test)]

@@ -38,6 +38,9 @@ pub const PID_PDES: u32 = 1;
 pub const PID_FLOWS: u32 = 2;
 /// Trace process id for sim-time sampler counter tracks.
 pub const PID_SAMPLES: u32 = 3;
+/// Trace process id for recovery-driver instants (checkpoints taken,
+/// restores, degradation-ladder transitions), stamped in sim time.
+pub const PID_RECOVERY: u32 = 4;
 
 /// Hard cap on retained records; further records are counted as dropped.
 /// Generous for real runs (a record is ~100 bytes) while bounding memory

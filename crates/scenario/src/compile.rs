@@ -17,7 +17,10 @@
 //! hand-rolled bench builders used to produce.
 
 use crate::schema::{ProfileSpec, RegimeWindow, Scenario, SizeSpec, TrafficGroup, TrafficKind};
-use elephant_core::{run_ground_truth_observed, run_pdes_full, PdesRun, RunMeta};
+use elephant_core::{
+    run_ground_truth_observed, run_pdes_full, run_pdes_full_supervised, run_sequential_supervised,
+    ElephantError, PdesRun, RecoveryPolicy, RunMeta, SupervisedRun,
+};
 use elephant_des::{EpochMode, FaultPlan, PdesError, SimDuration, SimTime};
 use elephant_net::{
     ClosParams, FlowId, FlowSpec, HostAddr, NetConfig, NetSampler, Network, RttScope, TcpConfig,
@@ -65,6 +68,9 @@ pub struct Compiled {
     pub envelope_bytes: usize,
     /// Lowered fault plan (PDES only), if the scenario declares one.
     pub faults: Option<FaultPlan>,
+    /// Supervised checkpoint/retry policy, if `[recovery]` is declared
+    /// and enabled.
+    pub recovery: Option<RecoveryPolicy>,
     /// Sampling period from `[outputs]`, if declared.
     pub sample_every: Option<SimDuration>,
 }
@@ -99,6 +105,15 @@ pub fn compile(s: &Scenario, overrides: &CompileOverrides) -> Compiled {
         stall_partition: f.stall_partition,
     });
 
+    let recovery = s
+        .recovery
+        .as_ref()
+        .filter(|r| r.enabled)
+        .map(|r| RecoveryPolicy {
+            checkpoint_every: SimDuration::from_secs_f64(r.checkpoint_every_ms / 1e3),
+            max_retries: r.max_retries,
+        });
+
     Compiled {
         name: s.name.clone(),
         params,
@@ -110,6 +125,7 @@ pub fn compile(s: &Scenario, overrides: &CompileOverrides) -> Compiled {
         machines: s.topology.pdes.machines,
         envelope_bytes: s.topology.pdes.envelope_bytes,
         faults,
+        recovery,
         sample_every: s.outputs.sample_every_us.map(SimDuration::from_micros),
     }
 }
@@ -393,6 +409,43 @@ impl Compiled {
             mode,
             self.faults.clone(),
             sampler,
+        )
+    }
+
+    /// Runs the scenario sequentially under checkpoint/restore supervision.
+    pub fn run_sequential_supervised(
+        &self,
+        policy: &RecoveryPolicy,
+    ) -> Result<SupervisedRun, ElephantError> {
+        run_sequential_supervised(
+            self.params,
+            self.net_config(),
+            &self.flows,
+            self.horizon,
+            policy,
+        )
+    }
+
+    /// Runs the scenario under supervised PDES: checkpoints at `policy`
+    /// intervals, restores on engine faults, and walks the degradation
+    /// ladder (adaptive → fixed epochs → sequential) when retries are
+    /// exhausted.
+    pub fn run_pdes_supervised(
+        &self,
+        partitions: Option<usize>,
+        mode: EpochMode,
+        policy: &RecoveryPolicy,
+    ) -> Result<SupervisedRun, ElephantError> {
+        run_pdes_full_supervised(
+            self.params,
+            &self.flows,
+            self.horizon,
+            partitions.unwrap_or(self.partitions),
+            self.machines,
+            self.envelope_bytes,
+            mode,
+            self.faults.clone(),
+            policy,
         )
     }
 }

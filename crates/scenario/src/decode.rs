@@ -9,8 +9,8 @@
 
 use crate::schema::{
     FaultSpec, GuardSpec, HostSelector, LinkSpecToml, LocalitySpec, OracleSpec, OutputSpec,
-    PdesSpec, ProfileSpec, RegimeWindow, RunSpec, Scenario, SizeSpec, TopologySpec, TrafficGroup,
-    TrafficKind, SCHEMA_VERSION,
+    PdesSpec, ProfileSpec, RecoverySpec, RegimeWindow, RunSpec, Scenario, SizeSpec, TopologySpec,
+    TrafficGroup, TrafficKind, SCHEMA_VERSION,
 };
 use crate::toml::{self, Spanned, Table, TomlValue};
 use crate::ScenarioError;
@@ -152,7 +152,7 @@ pub fn from_toml_str(src: &str) -> Result<Scenario, ScenarioError> {
         "scenario file",
         &[
             "schema", "scenario", "topology", "run", "traffic", "regime", "faults", "guard",
-            "oracle", "outputs",
+            "recovery", "oracle", "outputs",
         ],
     )?;
 
@@ -215,6 +215,10 @@ pub fn from_toml_str(src: &str) -> Result<Scenario, ScenarioError> {
         None => None,
         Some(s) => Some(decode_guard(table_of(s, "guard")?)?),
     };
+    let recovery = match root.get("recovery") {
+        None => None,
+        Some(s) => Some(decode_recovery(table_of(s, "recovery")?)?),
+    };
     let oracle = match root.get("oracle") {
         None => OracleSpec::default(),
         Some(s) => decode_oracle(table_of(s, "oracle")?, &topology)?,
@@ -233,6 +237,7 @@ pub fn from_toml_str(src: &str) -> Result<Scenario, ScenarioError> {
         regimes,
         faults,
         guard,
+        recovery,
         oracle,
         outputs,
     })
@@ -1007,6 +1012,33 @@ fn decode_guard(t: &Table) -> Result<GuardSpec, ScenarioError> {
             return Err(err(s.line, "guard.trip_limit: must be >= 1"));
         }
         spec.trip_limit = v;
+    }
+    Ok(spec)
+}
+
+fn decode_recovery(t: &Table) -> Result<RecoverySpec, ScenarioError> {
+    reject_unknown(
+        t,
+        "[recovery]",
+        &["enabled", "checkpoint_every_ms", "max_retries"],
+    )?;
+    let mut spec = RecoverySpec::default();
+    if let Some(s) = t.get("enabled") {
+        spec.enabled = bool_of(s, "recovery.enabled")?;
+    }
+    if let Some(s) = t.get("checkpoint_every_ms") {
+        spec.checkpoint_every_ms = positive(
+            float_of(s, "recovery.checkpoint_every_ms")?,
+            s.line,
+            "recovery.checkpoint_every_ms",
+        )?;
+    }
+    if let Some(s) = t.get("max_retries") {
+        let v = u64_of(s, "recovery.max_retries")?;
+        if v == 0 {
+            return Err(err(s.line, "recovery.max_retries: must be >= 1"));
+        }
+        spec.max_retries = v as u32;
     }
     Ok(spec)
 }

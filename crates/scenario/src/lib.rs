@@ -33,8 +33,8 @@ use std::path::{Path, PathBuf};
 pub use compile::{compile, ms_to_time, run_fingerprint, CompileOverrides, Compiled};
 pub use schema::{
     FaultSpec, GuardSpec, HostSelector, LinkSpecToml, LocalitySpec, OracleSpec, OutputSpec,
-    PdesSpec, ProfileSpec, RegimeWindow, RunSpec, Scenario, SizeSpec, TopologySpec, TrafficGroup,
-    TrafficKind, SCHEMA_VERSION,
+    PdesSpec, ProfileSpec, RecoverySpec, RegimeWindow, RunSpec, Scenario, SizeSpec, TopologySpec,
+    TrafficGroup, TrafficKind, SCHEMA_VERSION,
 };
 
 use elephant_core::ElephantError;
@@ -197,6 +197,11 @@ ceiling_ms = 50.0
 tolerance = 0.2
 trip_limit = 16
 
+[recovery]
+enabled = true
+checkpoint_every_ms = 2.0
+max_retries = 3
+
 [oracle]
 cache = true
 cache_cap = 1024
@@ -218,6 +223,10 @@ sample_every_us = 100
         assert_eq!(s.regimes.len(), 2);
         assert!(s.faults.is_some());
         assert!(s.guard.is_some());
+        let r = s.recovery.as_ref().expect("[recovery] decoded");
+        assert!(r.enabled);
+        assert_eq!(r.checkpoint_every_ms, 2.0);
+        assert_eq!(r.max_retries, 3);
         assert!(s.oracle.cache);
         assert_eq!(s.outputs.sample_every_us, Some(100));
         match &s.traffic[0].kind {
@@ -249,6 +258,9 @@ sample_every_us = 100
         assert!(!a.flows.is_empty());
         assert_eq!(a.seed, 42);
         assert!(a.faults.is_some());
+        let policy = a.recovery.expect("[recovery] lowers to a policy");
+        assert_eq!(policy.checkpoint_every.as_nanos(), 2_000_000);
+        assert_eq!(policy.max_retries, 3);
         // Ids live in their group blocks and keep the direction bit clear.
         for f in &a.flows {
             assert_eq!(f.id.0 & (1 << 63), 0);
@@ -424,6 +436,24 @@ sample_every_us = 100
             expect_err(&doc, "tolerance: must be in [0, 1]");
             let doc = format!("{}\n[oracle]\nfull_cluster = 4\n", base());
             expect_err(&doc, "full_cluster: cluster 4 out of range");
+        }
+
+        #[test]
+        fn recovery_ranges_and_typos() {
+            let doc = format!("{}\n[recovery]\ncheckpoint_every_ms = 0.0\n", base());
+            expect_err(&doc, "checkpoint_every_ms: must be > 0");
+            let doc = format!("{}\n[recovery]\nmax_retries = 0\n", base());
+            expect_err(&doc, "max_retries: must be >= 1");
+            let doc = format!("{}\n[recovery]\nmax_retrys = 2\n", base());
+            expect_err(&doc, "unknown key `max_retrys`");
+        }
+
+        #[test]
+        fn disabled_recovery_compiles_to_none() {
+            let doc = format!("{}\n[recovery]\nenabled = false\n", base());
+            let s = Scenario::from_toml_str(&doc).expect("valid scenario");
+            let c = compile(&s, &CompileOverrides::default());
+            assert!(c.recovery.is_none(), "disabled [recovery] lowers to None");
         }
 
         #[test]

@@ -36,6 +36,8 @@ pub struct Scenario {
     pub faults: Option<FaultSpec>,
     /// Optional oracle guardrail configuration (hybrid runs).
     pub guard: Option<GuardSpec>,
+    /// Optional checkpoint/restore + retry-ladder configuration.
+    pub recovery: Option<RecoverySpec>,
     /// Oracle-cache configuration (hybrid runs).
     pub oracle: OracleSpec,
     /// Sampler / artifact outputs.
@@ -440,6 +442,28 @@ impl Default for FaultSpec {
     }
 }
 
+/// Checkpoint/restore + degradation-ladder configuration for supervised
+/// runs (`[recovery]`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoverySpec {
+    /// Whether the run is supervised at all.
+    pub enabled: bool,
+    /// Simulated milliseconds between checkpoints.
+    pub checkpoint_every_ms: f64,
+    /// Checkpoint restores per ladder rung before degrading.
+    pub max_retries: u32,
+}
+
+impl Default for RecoverySpec {
+    fn default() -> Self {
+        RecoverySpec {
+            enabled: true,
+            checkpoint_every_ms: 10.0,
+            max_retries: 2,
+        }
+    }
+}
+
 /// Oracle guardrail configuration for hybrid runs.
 #[derive(Clone, Debug, PartialEq)]
 pub struct GuardSpec {
@@ -676,6 +700,16 @@ impl Scenario {
             out.push_str(&format!("ceiling_ms = {}\n", toml_f64(g.ceiling_ms)));
             out.push_str(&format!("tolerance = {}\n", toml_f64(g.tolerance)));
             out.push_str(&format!("trip_limit = {}\n", g.trip_limit));
+        }
+
+        if let Some(r) = &self.recovery {
+            out.push_str("\n[recovery]\n");
+            out.push_str(&format!("enabled = {}\n", r.enabled));
+            out.push_str(&format!(
+                "checkpoint_every_ms = {}\n",
+                toml_f64(r.checkpoint_every_ms)
+            ));
+            out.push_str(&format!("max_retries = {}\n", r.max_retries));
         }
 
         let o = &self.oracle;

@@ -17,9 +17,10 @@ use std::process::exit;
 use elephant::core::{
     capture_records, compare_cdfs, run_ground_truth, run_hybrid, run_hybrid_observed,
     run_pdes_full, run_pdes_hybrid, train_cluster_model, CacheStats, CacheStatsHandle,
-    ClusterModel, DropPolicy, ElephantError, LearnedOracle, PdesRun, TrainingOptions,
+    ClusterModel, DropPolicy, ElephantError, LearnedOracle, PdesRun, SupervisedRun,
+    TrainingOptions,
 };
-use elephant::des::{EpochMode, SimDuration, SimTime};
+use elephant::des::{EpochMode, FaultCounts, FaultPlan, SimDuration, SimTime};
 use elephant::net::{
     ClosParams, ClusterOracle, FaultyOracle, FixedLatencyOracle, FlowSpec, GuardConfig,
     GuardStatsHandle, GuardedOracle, NetConfig, NetSampler, Network, OracleFaultMode, RttScope,
@@ -77,6 +78,12 @@ fn usage() -> ! {
          --repeat N        override every traffic group's repeat count\n\
          --pdes            run under PDES with the scenario's [topology.pdes]\n\
          --partitions N    override the partition count (implies --pdes)\n\
+         --checkpoint-every-ms F  checkpoint interval; enables supervision and\n\
+         \u{20}                overrides the scenario's [recovery] interval\n\
+         --max-retries N   restores per degradation-ladder rung; enables\n\
+         \u{20}                supervision and overrides [recovery] (2)\n\
+         --profile         print the metrics report (recovery/*, fault/*)\n\
+         --metrics-out P   write the run report as JSON to P\n\
          \n\
          OPTIONS (defaults in parentheses)\n\
          --clusters N      cluster count (4; train always uses 2)\n\
@@ -127,7 +134,7 @@ fn usage() -> ! {
          EXIT CODES\n\
          0 success | 1 generic failure | 2 usage | 3 I/O error\n\
          4 invalid model artifact | 5 simulation/pipeline fault\n\
-         6 scenario schema/validation error"
+         6 scenario schema/validation error | 7 recovery ladder exhausted"
     );
     exit(2)
 }
@@ -545,6 +552,68 @@ fn print_pdes_summary(run: &PdesRun, horizon: SimTime) {
             p.partition, p.events, p.work_seconds, p.barrier_wait_seconds, p.marshal_seconds
         );
     }
+    print_fault_line(&run.report.faults);
+}
+
+/// The `[faults]` injection tally, printed whenever a run injected any.
+fn print_fault_line(f: &FaultCounts) {
+    if f.total() > 0 {
+        println!(
+            "  faults    : {} injected (dropped {}, duplicated {}, corrupted {})",
+            f.total(),
+            f.dropped,
+            f.duplicated,
+            f.corrupted
+        );
+    }
+}
+
+/// Post-run summary for a supervised (checkpoint + retry ladder) run.
+fn print_supervised_summary(run: &SupervisedRun, horizon: SimTime) {
+    let engine = match &run.report {
+        Some(r) => format!(
+            "{} epochs ({} jumped), {} partitions",
+            r.epochs,
+            r.epochs_jumped,
+            r.partitions.len()
+        ),
+        None => "sequential".to_string(),
+    };
+    println!(
+        "\nsimulated {:.3}s supervised in {:.2}s wall ({} events, {engine})",
+        horizon.as_secs_f64(),
+        run.wall.as_secs_f64(),
+        run.events,
+    );
+    let completed: u64 = run.nets.iter().map(|n| n.stats.flows_completed).sum();
+    println!("  flows     : {completed} completed");
+    if let Some(r) = &run.report {
+        print_fault_line(&r.faults);
+    }
+    println!("  {}", run.log.summary());
+}
+
+/// Mirrors `FaultCounts` into `fault/*` metrics and warns when a plan with
+/// probabilistic message faults fired none of them (horizon too short, or
+/// too little cross-machine traffic for the configured probabilities).
+/// Scripted stalls/slowdowns are excluded: they manifest through the
+/// watchdog and the recovery ladder, not through injection counts.
+fn report_fault_counts(plan: Option<&FaultPlan>, counts: Option<FaultCounts>) {
+    let Some(counts) = counts else { return };
+    elephant::obs::counter("fault/dropped", "").add(counts.dropped);
+    elephant::obs::counter("fault/duplicated", "").add(counts.duplicated);
+    elephant::obs::counter("fault/corrupted", "").add(counts.corrupted);
+    if let Some(p) = plan {
+        let probabilistic = p.drop_prob > 0.0 || p.dup_prob > 0.0 || p.corrupt_prob > 0.0;
+        if probabilistic && counts.total() == 0 {
+            eprintln!(
+                "warning: the [faults] plan was active but injected zero faults; \
+                 the run exercised no failure paths (extend the horizon, raise the \
+                 probabilities, or add cross-machine traffic)"
+            );
+            elephant::obs::counter("fault/zero_injected", "").inc();
+        }
+    }
 }
 
 fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
@@ -757,6 +826,10 @@ fn cmd_run_scenario(args: &[String]) {
     let mut sample_every: Option<SimDuration> = None;
     let mut samples_out: Option<String> = None;
     let mut list_dir: Option<String> = None;
+    let mut checkpoint_every_ms: Option<f64> = None;
+    let mut max_retries: Option<u32> = None;
+    let mut profile = false;
+    let mut metrics_out: Option<String> = None;
 
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -780,6 +853,24 @@ fn cmd_run_scenario(args: &[String]) {
             "--fixed-epochs" => epoch_mode = EpochMode::Fixed,
             "--sample-every" => sample_every = Some(SimDuration::from_micros(parse(&val(), a))),
             "--samples-out" => samples_out = Some(val()),
+            "--checkpoint-every-ms" => {
+                let ms: f64 = parse(&val(), a);
+                if ms <= 0.0 {
+                    eprintln!("--checkpoint-every-ms must be > 0, got {ms}");
+                    exit(2)
+                }
+                checkpoint_every_ms = Some(ms);
+            }
+            "--max-retries" => {
+                let n: u32 = parse(&val(), a);
+                if n == 0 {
+                    eprintln!("--max-retries must be >= 1");
+                    exit(2)
+                }
+                max_retries = Some(n);
+            }
+            "--profile" => profile = true,
+            "--metrics-out" => metrics_out = Some(val()),
             "--list-scenarios" => {
                 // DIR is optional; the next token is a directory unless it
                 // looks like a flag. `val` is unused on this path, so its
@@ -862,11 +953,49 @@ fn cmd_run_scenario(args: &[String]) {
         println!("note: the scenario's [faults] plan applies only under --pdes");
     }
 
+    if profile || metrics_out.is_some() {
+        elephant::obs::set_enabled(true);
+    }
+
+    // CLI flags enable supervision even without a [recovery] section and
+    // override the section's knobs when present.
+    let mut recovery = compiled.recovery;
+    if checkpoint_every_ms.is_some() || max_retries.is_some() {
+        let mut p = recovery.unwrap_or_default();
+        if let Some(ms) = checkpoint_every_ms {
+            p.checkpoint_every = SimDuration::from_secs_f64(ms / 1e3);
+        }
+        if let Some(n) = max_retries {
+            p.max_retries = n;
+        }
+        recovery = Some(p);
+    }
+
     let mut sampler = sample_every
         .or(compiled.sample_every)
         .map(|d| NetSampler::new(d, &compiled.flows));
+    if recovery.is_some() && sampler.is_some() {
+        println!(
+            "note: samplers observe a single timeline and cannot follow checkpoint \
+             restores; sampling is disabled under [recovery] supervision"
+        );
+        sampler = None;
+    }
 
-    let fingerprint = if pdes {
+    let (fingerprint, wall, events) = if let Some(policy) = recovery {
+        let run = if pdes {
+            compiled.run_pdes_supervised(partitions, epoch_mode, &policy)
+        } else {
+            compiled.run_sequential_supervised(&policy)
+        }
+        .unwrap_or_else(|e| die(e));
+        print_supervised_summary(&run, compiled.horizon);
+        report_fault_counts(
+            compiled.faults.as_ref().filter(|_| pdes),
+            run.report.as_ref().map(|r| r.faults),
+        );
+        (run_fingerprint(run.nets.iter()), run.wall, run.events)
+    } else if pdes {
         let run = compiled
             .run_pdes(partitions, epoch_mode, sampler.as_mut())
             .unwrap_or_else(|e| {
@@ -874,13 +1003,35 @@ fn cmd_run_scenario(args: &[String]) {
                 exit(5)
             });
         print_pdes_summary(&run, compiled.horizon);
-        run_fingerprint(run.nets.iter())
+        report_fault_counts(compiled.faults.as_ref(), Some(run.report.faults));
+        (run_fingerprint(run.nets.iter()), run.wall, run.events())
     } else {
         let (net, meta) = compiled.run_sequential(sampler.as_mut());
         print_summary(&net, &meta);
-        run_fingerprint([&net])
+        (run_fingerprint([&net]), meta.wall, meta.events)
     };
     println!("  fingerprint: {fingerprint:#018x}");
+
+    if profile || metrics_out.is_some() {
+        let mut report = elephant::obs::RunReport::new(
+            "run-scenario",
+            format!("scenario `{}`, seed {}", compiled.name, compiled.seed),
+        );
+        report.set_run(wall.as_secs_f64(), events, compiled.horizon.as_secs_f64());
+        report.gather();
+        if profile {
+            println!("\n{}", report.to_table());
+        }
+        if let Some(path) = &metrics_out {
+            match report.save(std::path::Path::new(path)) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1)
+                }
+            }
+        }
+    }
 
     if let Some(s) = &sampler {
         let out = samples_out.unwrap_or_else(|| "samples.csv".into());

@@ -1,7 +1,10 @@
 //! Robustness: corrupted model artifacts fail loudly with typed errors,
 //! a misbehaving oracle behind the guardrail degrades gracefully instead
-//! of panicking, and an untripped guard costs nothing — the guarded run
-//! is bit-identical to the unguarded one.
+//! of panicking, an untripped guard costs nothing — the guarded run is
+//! bit-identical to the unguarded one — and crash-safe runs hold their
+//! determinism contract: a checkpoint-restored run is bit-identical to an
+//! uninterrupted one, and the supervised retry ladder walks a scripted
+//! stall down to the healthy fingerprint.
 
 use elephant::core::{
     run_ground_truth, run_hybrid, train_cluster_model, ClusterModel, DropPolicy, ElephantError,
@@ -291,4 +294,136 @@ fn untripped_guard_preserves_the_fingerprint() {
     assert_eq!(handle.snapshot().trips(), 0, "guard must not have tripped");
     assert!(handle.snapshot().verdicts > 0, "guard actually in the path");
     assert_eq!(bare, wrapped, "untripped guard must be invisible");
+}
+
+/// A resumed sequential run is bit-identical to an uninterrupted one:
+/// checkpoint mid-run, finish, rewind to the checkpoint, finish again —
+/// all three timelines end on the same fingerprint.
+#[test]
+fn sequential_checkpoint_resume_is_bit_identical() {
+    use elephant::des::Simulator;
+    use elephant::net::{schedule_flows, Network, Topology};
+    use elephant::scenario::run_fingerprint;
+    use std::sync::Arc;
+
+    let params = ClosParams::paper_cluster(2);
+    let flows = generate(&params, &WorkloadConfig::paper_default(HORIZON, 21));
+    let cfg = NetConfig {
+        rtt_scope: RttScope::All,
+        ..Default::default()
+    };
+    let mk = || {
+        let mut sim = Simulator::new(Network::new(Arc::new(Topology::clos(params)), cfg));
+        schedule_flows(&mut sim, &flows);
+        sim
+    };
+
+    let mut uninterrupted = mk();
+    uninterrupted.run_until(HORIZON);
+    let want = run_fingerprint([&uninterrupted.into_world()]);
+
+    let mut sim = mk();
+    sim.run_until(SimTime::from_millis(5));
+    let snap = sim.checkpoint();
+    sim.run_until(HORIZON);
+    assert_eq!(
+        run_fingerprint([sim.world()]),
+        want,
+        "taking a checkpoint must not perturb the run"
+    );
+
+    // "Crash" after the checkpoint: rewind and replay the second half.
+    sim.restore(&snap);
+    sim.run_until(HORIZON);
+    assert_eq!(
+        run_fingerprint([sim.world()]),
+        want,
+        "a restored run must finish bit-identical to the uninterrupted one"
+    );
+}
+
+/// Satellite of the same contract for the PDES driver, end to end through
+/// the scenario layer: the committed recovery drill's scripted stall trips
+/// the watchdog, the supervisor restores, re-stalls drain the retry
+/// budget, and the ladder degrades (adaptive → fixed → sequential) — yet
+/// the run completes with the healthy run's exact fingerprint, because
+/// checkpoints capture everything the dynamics depend on.
+#[test]
+fn scripted_stall_recovers_to_the_healthy_fingerprint() {
+    use elephant::des::EpochMode;
+    use elephant::scenario::{compile, load, run_fingerprint, CompileOverrides};
+
+    let scenario = load("scenarios/recovery_drill.toml").expect("drill scenario loads");
+    let compiled = compile(&scenario, &CompileOverrides::default());
+    let policy = compiled
+        .recovery
+        .expect("[recovery] is enabled in the drill");
+
+    // Healthy baseline: the stall re-arms after every restore, so the
+    // ladder provably lands on the sequential rung — the healthy run to
+    // match is the sequential driver's (PDES partitioning/marshalling has
+    // its own dynamics, so cross-driver fingerprints are not comparable).
+    let (healthy, _) = compiled.run_sequential(None);
+    let want = run_fingerprint([&healthy]);
+
+    let run = compiled
+        .run_pdes_supervised(None, EpochMode::Adaptive, &policy)
+        .expect("supervised run must survive the scripted stall");
+    assert!(
+        run.log.restores >= 2,
+        "watchdog restores expected, log: {}",
+        run.log.summary()
+    );
+    assert_eq!(
+        run.log.degradations,
+        2,
+        "stall re-arms until the ladder reaches sequential, log: {}",
+        run.log.summary()
+    );
+    assert_eq!(
+        run_fingerprint(run.nets.iter()),
+        want,
+        "recovered run must match the healthy fingerprint"
+    );
+
+    // Ladder determinism, end to end: an identical failure sequence
+    // produces the identical transition log.
+    let again = compiled
+        .run_pdes_supervised(None, EpochMode::Adaptive, &policy)
+        .expect("supervised run is repeatable");
+    assert_eq!(
+        run.log, again.log,
+        "recovery transitions must be deterministic"
+    );
+}
+
+/// With no faults, supervision is invisible: the supervised PDES run takes
+/// its checkpoints and still lands on the unsupervised fingerprint.
+#[test]
+fn supervised_pdes_without_faults_matches_unsupervised_fingerprint() {
+    use elephant::des::EpochMode;
+    use elephant::scenario::{compile, load, run_fingerprint, CompileOverrides};
+
+    let scenario = load("scenarios/recovery_drill.toml").expect("drill scenario loads");
+    let mut compiled = compile(&scenario, &CompileOverrides::default());
+    compiled.faults = None;
+    let policy = compiled
+        .recovery
+        .expect("[recovery] is enabled in the drill");
+
+    let clean = compiled
+        .run_pdes(None, EpochMode::Adaptive, None)
+        .expect("unsupervised run completes");
+    let run = compiled
+        .run_pdes_supervised(None, EpochMode::Adaptive, &policy)
+        .expect("supervised run completes");
+
+    assert_eq!(run.log.restores, 0, "no faults, no restores");
+    assert_eq!(run.log.degradations, 0, "no faults, no degradations");
+    assert!(run.log.checkpoints_taken >= 2, "checkpoints were taken");
+    assert_eq!(
+        run_fingerprint(run.nets.iter()),
+        run_fingerprint(clean.nets.iter()),
+        "checkpointing must not perturb the dynamics"
+    );
 }
