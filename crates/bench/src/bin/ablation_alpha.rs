@@ -78,5 +78,5 @@ fn main() {
     println!("shape target: latency RMSE falls as alpha rises; drop accuracy holds or dips.");
 
     run_report.gather();
-    emit_report(&run_report, &args.out);
+    emit_report(&run_report, &args);
 }

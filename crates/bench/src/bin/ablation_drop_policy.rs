@@ -108,5 +108,5 @@ fn main() {
 
     report.scalar("truth_drops", truth.stats.drops.total() as f64);
     report.gather();
-    emit_report(&report, &args.out);
+    emit_report(&report, &args);
 }

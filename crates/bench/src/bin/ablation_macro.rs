@@ -103,5 +103,5 @@ fn main() {
     println!("under bursty load it typically costs latency accuracy (§4.1's rationale).");
 
     run_report.gather();
-    emit_report(&run_report, &args.out);
+    emit_report(&run_report, &args);
 }

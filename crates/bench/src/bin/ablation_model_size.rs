@@ -128,5 +128,5 @@ fn main() {
     println!("shape target: accuracy saturates while train+inference cost keeps rising (§7).");
 
     run_report.gather();
-    emit_report(&run_report, &args.out);
+    emit_report(&run_report, &args);
 }

@@ -113,5 +113,5 @@ fn main() {
     println!("shape target: GRU ~3/4 the parameters and cost, comparable accuracy (§7).");
 
     run_report.gather();
-    emit_report(&run_report, &args.out);
+    emit_report(&run_report, &args);
 }

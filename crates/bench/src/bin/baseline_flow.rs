@@ -103,7 +103,7 @@ fn main() {
     );
 
     report.gather();
-    emit_report(&report, &args.out);
+    emit_report(&report, &args);
 }
 
 #[allow(clippy::too_many_arguments)] // an experiment spec, not an API surface

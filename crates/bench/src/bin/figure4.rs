@@ -164,5 +164,5 @@ fn main() {
     run_report.scalar("approx_drops", approx_net.stats.drops.total() as f64);
     run_report.scalar("oracle_drops", approx_net.stats.drops.oracle as f64);
     run_report.gather();
-    emit_report(&run_report, &args.out);
+    emit_report(&run_report, &args);
 }

@@ -129,5 +129,5 @@ fn main() {
     println!("shape target: speedup grows with cluster count (paper: 1.2x -> 4.5x over 2 -> 16).");
 
     report.gather();
-    emit_report(&report, &args.out);
+    emit_report(&report, &args);
 }

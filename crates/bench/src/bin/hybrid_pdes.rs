@@ -146,5 +146,5 @@ fn main() {
     );
 
     report.gather();
-    emit_report(&report, &args.out);
+    emit_report(&report, &args);
 }

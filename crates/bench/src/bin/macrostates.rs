@@ -182,7 +182,7 @@ fn main() {
         );
     }
     report.gather();
-    emit_report(&report, &args.out);
+    emit_report(&report, &args);
 }
 
 fn spread(xs: &[f64]) -> f64 {

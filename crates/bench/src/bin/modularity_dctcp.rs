@@ -132,5 +132,5 @@ fn main() {
     );
 
     run_report.gather();
-    emit_report(&run_report, &args.out);
+    emit_report(&run_report, &args);
 }

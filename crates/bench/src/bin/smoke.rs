@@ -152,7 +152,7 @@ fn main() {
     report.scalar("timeline_records", timeline_records as f64);
     report.scalar("sampler_rows", sampler.rows().len() as f64);
     report.gather();
-    emit_report(&report, &args.out);
+    emit_report(&report, &args);
 
     let delta = med_disabled - med_base;
     if overhead_disabled > MAX_OVERHEAD && delta > ABS_SLACK {

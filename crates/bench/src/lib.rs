@@ -150,13 +150,26 @@ pub fn partition_rows(report: &PdesReport) -> Vec<elephant_obs::PartitionRow> {
         .collect()
 }
 
-/// Prints a [`elephant_obs::RunReport`] and writes `BENCH_<name>.json` into
-/// `dir` — the single output path every harness binary funnels through.
-pub fn emit_report(report: &elephant_obs::RunReport, dir: &std::path::Path) {
+/// Prints a [`elephant_obs::RunReport`] and writes `BENCH_<name>.json`
+/// into `args.out` as a sealed schema-v1 [`elephant_core::RunLedger`] —
+/// the single artifact path every harness binary funnels through. The
+/// shape matches the CLI's `--metrics-out`, so `elephant compare` accepts
+/// bench artifacts directly (e.g. to gate a branch's bench run against a
+/// baseline artifact).
+pub fn emit_report(report: &elephant_obs::RunReport, args: &Args) {
     println!("\n{}", report.to_table());
-    match report.write_bench(dir) {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("failed to write bench report: {e}"),
+    let mut ledger =
+        elephant_core::RunLedger::new(format!("bench-{}", report.name), report.clone());
+    ledger.scenario = report.scenario.clone();
+    ledger.seed = args.seed;
+    let path = args.out.join(format!("BENCH_{}.json", report.name));
+    match ledger.save(&path) {
+        Ok(()) => println!(
+            "wrote {} (schema-v{} run ledger)",
+            path.display(),
+            elephant_core::LEDGER_SCHEMA_VERSION
+        ),
+        Err(e) => eprintln!("failed to write bench ledger: {e}"),
     }
 }
 

@@ -207,6 +207,11 @@ impl Serialize for f64 {
 
 impl Deserialize for f64 {
     fn from_value(v: &Value) -> Result<Self, Error> {
+        // JSON has no NaN/inf literal; the writer emits `null` for
+        // non-finite floats, so `null` parses back as NaN.
+        if matches!(v, Value::Null) {
+            return Ok(f64::NAN);
+        }
         v.as_f64()
             .ok_or_else(|| Error::custom(format!("expected number, got {v:?}")))
     }
@@ -220,6 +225,9 @@ impl Serialize for f32 {
 
 impl Deserialize for f32 {
     fn from_value(v: &Value) -> Result<Self, Error> {
+        if matches!(v, Value::Null) {
+            return Ok(f32::NAN);
+        }
         v.as_f64()
             .map(|f| f as f32)
             .ok_or_else(|| Error::custom(format!("expected number, got {v:?}")))

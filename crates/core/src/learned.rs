@@ -688,11 +688,14 @@ mod tests {
             matches!(err, ElephantError::ModelNonFinite { count } if count == 1),
             "{err}"
         );
-        // Through JSON the NaN serializes as `null` (serde_json's
-        // behaviour for non-finite floats), so the artifact fails one
-        // layer earlier — but it still refuses to load.
+        // Through JSON the NaN serializes as `null` and parses back as
+        // NaN (the writer/reader are symmetric about non-finite floats),
+        // so the same finiteness validator is what refuses the artifact.
         let err = ClusterModel::load_json(&m.to_file_json()).unwrap_err();
-        assert!(matches!(err, ElephantError::ModelParse { .. }), "{err}");
+        assert!(
+            matches!(err, ElephantError::ModelNonFinite { count } if count == 1),
+            "{err}"
+        );
     }
 
     #[test]

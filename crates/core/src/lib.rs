@@ -53,11 +53,13 @@
 #![warn(missing_docs)]
 
 mod accuracy;
+mod audit;
 mod cache;
 mod error;
 mod experiment;
 mod features;
 mod learned;
+mod ledger;
 mod macro_model;
 mod supervise;
 mod train;
@@ -65,6 +67,7 @@ mod train;
 pub use accuracy::{
     compare_cdfs, macro_agreement, macro_confusion, CdfComparison, PercentileRow, REPORT_QUANTILES,
 };
+pub use audit::{run_audit, AuditHooks, AuditRun};
 pub use cache::{
     CacheStats, CacheStatsHandle, FeatureQuantizer, QuantizerConfig, VerdictCache, VerdictKey,
     DEFAULT_LEVELS, KEY_BYTES, NAN_BUCKET,
@@ -79,6 +82,7 @@ pub use learned::{
     ClusterModel, DropPolicy, LearnedOracle, ModelFile, ModelMeta, OracleStats, MODEL_MAGIC,
     MODEL_VERSION,
 };
+pub use ledger::{compare_ledgers, fnv1a_64, RunLedger, LEDGER_SCHEMA_VERSION};
 pub use macro_model::{MacroConfig, MacroModel, MacroState};
 pub use supervise::{
     run_pdes_full_supervised, run_sequential_supervised, RecoveryEvent, RecoveryLog,

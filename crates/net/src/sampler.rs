@@ -30,8 +30,10 @@ use elephant_obs::{timeline, timeline_enabled, TraceRecord, PID_FLOWS, PID_SAMPL
 use crate::network::{FlowSpec, Network};
 use crate::trace_log::TraceKind;
 
-/// CSV column layout of [`NetSampler::rows`].
-pub const SAMPLE_CSV_HEADER: [&str; 12] = [
+/// CSV column layout of [`NetSampler::rows`]. The two latency columns are
+/// cumulative quantiles of the in-scope RTT histogram (merged across
+/// partitions for PDES runs), in microseconds; 0 until the first sample.
+pub const SAMPLE_CSV_HEADER: [&str; 14] = [
     "time_us",
     "queue_host_bytes",
     "queue_tor_bytes",
@@ -44,6 +46,8 @@ pub const SAMPLE_CSV_HEADER: [&str; 12] = [
     "oracle_drop_rate_window",
     "macro_states",
     "flows_completed",
+    "rtt_p50_us",
+    "rtt_p99_us",
 ];
 
 /// Periodic observer of one or more [`Network`]s (several for PDES runs,
@@ -191,6 +195,19 @@ impl NetSampler {
             tl.record_batch(batch);
         }
 
+        // Cumulative in-scope RTT quantiles, merged across partitions
+        // (every Network uses the same latency-seconds geometry).
+        let (rtt_p50_us, rtt_p99_us) = match nets.split_first() {
+            Some((first, rest)) => {
+                let mut hist = first.stats.rtt_hist.clone();
+                for net in rest {
+                    hist.merge(&net.stats.rtt_hist);
+                }
+                (hist.quantile(0.5) * 1e6, hist.quantile(0.99) * 1e6)
+            }
+            None => (0.0, 0.0),
+        };
+
         let states_str = states
             .iter()
             .map(|(c, s)| format!("{c}:{s}"))
@@ -209,6 +226,8 @@ impl NetSampler {
             format!("{drop_rate:.6}"),
             states_str,
             completed.to_string(),
+            format!("{rtt_p50_us:.3}"),
+            format!("{rtt_p99_us:.3}"),
         ]);
     }
 }
@@ -387,6 +406,18 @@ mod tests {
         // All 8 flows fit in 5ms on an idle fabric.
         let completed: u64 = rows.last().unwrap()[11].parse().unwrap();
         assert_eq!(completed, 8);
+        // Latency columns: cumulative RTT quantiles in microseconds,
+        // positive once samples exist, with p50 <= p99.
+        let last = rows.last().unwrap();
+        let p50: f64 = last[12].parse().unwrap();
+        let p99: f64 = last[13].parse().unwrap();
+        assert!(p50 > 0.0, "p50 populated once RTTs are observed: {p50}");
+        assert!(p50 <= p99, "p50 {p50} must not exceed p99 {p99}");
+        // Every row parses: the columns are present from the first sample.
+        for r in rows {
+            let (a, b): (f64, f64) = (r[12].parse().unwrap(), r[13].parse().unwrap());
+            assert!(a >= 0.0 && b >= a);
+        }
     }
 
     #[test]

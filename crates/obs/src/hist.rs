@@ -421,6 +421,97 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = LogHistogram::for_latency_seconds();
+        assert_eq!(h.count(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "empty histogram at q={q}");
+        }
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.cdf_points().is_empty());
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = LogHistogram::for_latency_seconds();
+        h.record(3.7e-4);
+        // Every quantile lands in the one occupied bucket; the bucket's
+        // relative width bounds the error.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(
+                (v - 3.7e-4).abs() / 3.7e-4 < 0.05,
+                "q={q} gave {v}, expected ~3.7e-4"
+            );
+        }
+        assert!((h.mean() - 3.7e-4).abs() < 1e-18);
+    }
+
+    #[test]
+    fn saturated_single_bucket_interpolates_within_it() {
+        // Hammer one value: all mass in one bucket. Quantiles interpolate
+        // inside that bucket, so they stay within its bounds and are
+        // monotone in q.
+        let mut h = LogHistogram::new(1e-3, 1.0, 30);
+        for _ in 0..100_000 {
+            h.record(0.05);
+        }
+        assert_eq!(h.count(), 100_000);
+        let lo = h.quantile(0.001);
+        let hi = h.quantile(1.0);
+        assert!(lo <= hi, "bucket interpolation monotone: {lo} vs {hi}");
+        let width = (1.0f64 / 1e-3).powf(1.0 / 30.0);
+        assert!(hi / lo <= width * 1.0001, "spread within one bucket");
+        assert!((0.05 / width..=0.05 * width).contains(&lo));
+    }
+
+    #[test]
+    fn underflow_and_overflow_saturation_clamps() {
+        let mut h = LogHistogram::new(1e-3, 1.0, 8);
+        for _ in 0..1000 {
+            h.record(1e-12); // all underflow
+        }
+        assert!((h.quantile(0.5) - 1e-3).abs() < 1e-12, "clamped at lo");
+        let mut h = LogHistogram::new(1e-3, 1.0, 8);
+        for _ in 0..1000 {
+            h.record(1e12); // all overflow
+        }
+        assert!((h.quantile(0.5) - 1.0).abs() < 1e-12, "clamped at hi");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(64))]
+
+        /// Quantiles are monotone in q for arbitrary sample sets (spanning
+        /// under/overflow), and every quantile stays within the histogram's
+        /// clamped geometry.
+        #[test]
+        fn quantiles_monotone_in_q(
+            samples in proptest::collection::vec(1e-10f64..1e4, 1..200),
+        ) {
+            let mut h = LogHistogram::for_latency_seconds();
+            for &s in &samples {
+                h.record(s);
+            }
+            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+            let vals: Vec<f64> = qs.iter().map(|&q| h.quantile(q)).collect();
+            for w in vals.windows(2) {
+                proptest::prop_assert!(
+                    w[0] <= w[1] * (1.0 + 1e-12),
+                    "quantiles not monotone: {:?}", vals
+                );
+            }
+            // Clamped to [lo, hi] up to powf round-trip noise.
+            for &v in &vals {
+                proptest::prop_assert!(
+                    (1e-8 * 0.999..=1e2 * 1.001).contains(&v),
+                    "quantile {v} outside histogram geometry"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn empirical_cdf_basics() {
         let c = EmpiricalCdf::from_samples(&[3.0, 1.0, 2.0, 4.0]);
         assert_eq!(c.len(), 4);

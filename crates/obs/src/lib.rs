@@ -9,12 +9,16 @@
 //! DESIGN.md — e.g. `des/kernel/events_executed`,
 //! `pdes/epoch/barrier_wait`, `net/port/drops`, `hybrid/oracle/infer`.
 
+pub mod diverge;
 pub mod hist;
 pub mod profile;
 pub mod registry;
 pub mod report;
 pub mod timeline;
 
+pub use diverge::{
+    ks_distance, wasserstein1, DivergenceBounds, DivergenceReport, DriftRow, HistSummary,
+};
 pub use hist::{EmpiricalCdf, LogHistogram, Summary};
 pub use profile::{profiler, render_tree, span, tree_from_rows, ProfileNode, Profiler, SpanGuard};
 pub use registry::{

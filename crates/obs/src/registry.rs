@@ -102,17 +102,29 @@ impl Gauge {
 pub struct HistogramHandle(Arc<Mutex<LogHistogram>>);
 
 impl HistogramHandle {
-    /// Records one observation (no-op while disabled).
+    /// Records one observation (no-op while disabled). A poisoned lock —
+    /// another thread panicked mid-record — drops the sample and bumps
+    /// `obs/hist/poisoned` instead of propagating the panic: one crashed
+    /// worker must not take the whole metrics pipeline down with it.
     #[inline]
     pub fn record(&self, x: f64) {
         if enabled() {
-            self.0.lock().expect("histogram lock").record(x);
+            match self.0.lock() {
+                Ok(mut h) => h.record(x),
+                Err(_) => counter("obs/hist/poisoned", "").inc(),
+            }
         }
     }
 
-    /// A point-in-time copy of the underlying histogram.
+    /// A point-in-time copy of the underlying histogram. A poisoned lock
+    /// yields the histogram as the panicking thread left it (bucket counts
+    /// are updated atomically enough for reporting — each `record` is a
+    /// single-threaded mutation under the lock).
     pub fn snapshot(&self) -> LogHistogram {
-        self.0.lock().expect("histogram lock").clone()
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
     }
 }
 
@@ -158,7 +170,7 @@ impl Registry {
             g.store(0, Ordering::Relaxed);
         }
         for h in self.histograms.lock().expect("registry lock").values() {
-            *h.lock().expect("histogram lock") = LogHistogram::for_latency_seconds();
+            *h.lock().unwrap_or_else(|p| p.into_inner()) = LogHistogram::for_latency_seconds();
         }
     }
 
@@ -179,7 +191,7 @@ impl Registry {
             }
         }
         for ((name, label), h) in self.histograms.lock().expect("registry lock").iter() {
-            let h = h.lock().expect("histogram lock");
+            let h = h.lock().unwrap_or_else(|p| p.into_inner());
             if h.count() != 0 {
                 rows.push(MetricRow::histogram(name, label, &h));
             }
@@ -282,6 +294,36 @@ mod tests {
         assert_eq!(c.get(), 0);
         c.inc();
         assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn poisoned_histogram_degrades_instead_of_panicking() {
+        let _on = EnableScope::new();
+        let reg = Registry::default();
+        let h = reg.histogram("test/poisoned/hist", "");
+        h.record(1e-3);
+        // Poison the lock: a thread panics while holding it.
+        let h2 = h.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = h2.0.lock().expect("not yet poisoned");
+            panic!("poison the histogram lock");
+        })
+        .join();
+        let before = crate::registry::counter("obs/hist/poisoned", "").get();
+        // record: sample dropped, counter bumped, no panic.
+        h.record(2e-3);
+        let after = crate::registry::counter("obs/hist/poisoned", "").get();
+        assert_eq!(after, before + 1, "dropped sample counted");
+        // snapshot: recovers the pre-poison contents, no panic.
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1, "poisoned record dropped, earlier kept");
+        // The registry-wide snapshot path tolerates the poisoned lock too.
+        let rows = reg.snapshot();
+        assert!(rows
+            .iter()
+            .any(|r| r.name == "test/poisoned/hist" && r.count == 1));
+        reg.reset();
+        assert_eq!(h.snapshot().count(), 0, "reset survives poisoning");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use std::collections::BTreeMap;
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
@@ -378,15 +378,12 @@ impl RunReport {
     }
 
     /// Writes the pretty JSON to `path`.
+    ///
+    /// Note: runs that produce a durable artifact should wrap the report
+    /// in a checksummed `RunLedger` (elephant-core) instead of saving the
+    /// bare report — this raw form carries no schema version or seal.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         std::fs::write(path, self.to_json_pretty())
-    }
-
-    /// Writes `BENCH_<name>.json` into `dir`, returning the path.
-    pub fn write_bench(&self, dir: &Path) -> io::Result<PathBuf> {
-        let path = dir.join(format!("BENCH_{}.json", self.name));
-        self.save(&path)?;
-        Ok(path)
     }
 }
 

@@ -25,6 +25,7 @@ use elephant_des::{EpochMode, FaultPlan, PdesError, SimDuration, SimTime};
 use elephant_net::{
     ClosParams, FlowId, FlowSpec, HostAddr, NetConfig, NetSampler, Network, RttScope, TcpConfig,
 };
+use elephant_obs::DivergenceBounds;
 use elephant_trace::{generate, LoadProfile, Locality, SizeDist, WorkloadConfig};
 
 /// Id distance between traffic groups.
@@ -73,6 +74,9 @@ pub struct Compiled {
     pub recovery: Option<RecoveryPolicy>,
     /// Sampling period from `[outputs]`, if declared.
     pub sample_every: Option<SimDuration>,
+    /// Divergence bounds for `elephant audit`, if `[audit]` is declared
+    /// and enabled.
+    pub audit_bounds: Option<DivergenceBounds>,
 }
 
 /// Converts scenario-file milliseconds to simulation time.
@@ -127,6 +131,15 @@ pub fn compile(s: &Scenario, overrides: &CompileOverrides) -> Compiled {
         faults,
         recovery,
         sample_every: s.outputs.sample_every_us.map(SimDuration::from_micros),
+        audit_bounds: s
+            .audit
+            .as_ref()
+            .filter(|a| a.enabled)
+            .map(|a| DivergenceBounds {
+                max_drop_rate_error: a.max_drop_rate_error,
+                max_ks: a.max_ks,
+                max_w1_ratio: a.max_w1_ratio,
+            }),
     }
 }
 

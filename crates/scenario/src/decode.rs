@@ -8,9 +8,9 @@
 //! are all rejected here, before anything touches the engines.
 
 use crate::schema::{
-    FaultSpec, GuardSpec, HostSelector, LinkSpecToml, LocalitySpec, OracleSpec, OutputSpec,
-    PdesSpec, ProfileSpec, RecoverySpec, RegimeWindow, RunSpec, Scenario, SizeSpec, TopologySpec,
-    TrafficGroup, TrafficKind, SCHEMA_VERSION,
+    AuditSpec, FaultSpec, GuardSpec, HostSelector, LinkSpecToml, LocalitySpec, OracleSpec,
+    OutputSpec, PdesSpec, ProfileSpec, RecoverySpec, RegimeWindow, RunSpec, Scenario, SizeSpec,
+    TopologySpec, TrafficGroup, TrafficKind, SCHEMA_VERSION,
 };
 use crate::toml::{self, Spanned, Table, TomlValue};
 use crate::ScenarioError;
@@ -152,7 +152,7 @@ pub fn from_toml_str(src: &str) -> Result<Scenario, ScenarioError> {
         "scenario file",
         &[
             "schema", "scenario", "topology", "run", "traffic", "regime", "faults", "guard",
-            "recovery", "oracle", "outputs",
+            "recovery", "audit", "oracle", "outputs",
         ],
     )?;
 
@@ -219,6 +219,10 @@ pub fn from_toml_str(src: &str) -> Result<Scenario, ScenarioError> {
         None => None,
         Some(s) => Some(decode_recovery(table_of(s, "recovery")?)?),
     };
+    let audit = match root.get("audit") {
+        None => None,
+        Some(s) => Some(decode_audit(table_of(s, "audit")?)?),
+    };
     let oracle = match root.get("oracle") {
         None => OracleSpec::default(),
         Some(s) => decode_oracle(table_of(s, "oracle")?, &topology)?,
@@ -238,6 +242,7 @@ pub fn from_toml_str(src: &str) -> Result<Scenario, ScenarioError> {
         faults,
         guard,
         recovery,
+        audit,
         oracle,
         outputs,
     })
@@ -1039,6 +1044,36 @@ fn decode_recovery(t: &Table) -> Result<RecoverySpec, ScenarioError> {
             return Err(err(s.line, "recovery.max_retries: must be >= 1"));
         }
         spec.max_retries = v as u32;
+    }
+    Ok(spec)
+}
+
+fn decode_audit(t: &Table) -> Result<AuditSpec, ScenarioError> {
+    reject_unknown(
+        t,
+        "[audit]",
+        &["enabled", "max_drop_rate_error", "max_ks", "max_w1_ratio"],
+    )?;
+    let mut spec = AuditSpec::default();
+    if let Some(s) = t.get("enabled") {
+        spec.enabled = bool_of(s, "audit.enabled")?;
+    }
+    if let Some(s) = t.get("max_drop_rate_error") {
+        spec.max_drop_rate_error = probability(
+            float_of(s, "audit.max_drop_rate_error")?,
+            s.line,
+            "audit.max_drop_rate_error",
+        )?;
+    }
+    if let Some(s) = t.get("max_ks") {
+        spec.max_ks = probability(float_of(s, "audit.max_ks")?, s.line, "audit.max_ks")?;
+    }
+    if let Some(s) = t.get("max_w1_ratio") {
+        spec.max_w1_ratio = positive(
+            float_of(s, "audit.max_w1_ratio")?,
+            s.line,
+            "audit.max_w1_ratio",
+        )?;
     }
     Ok(spec)
 }

@@ -32,9 +32,9 @@ use std::path::{Path, PathBuf};
 
 pub use compile::{compile, ms_to_time, run_fingerprint, CompileOverrides, Compiled};
 pub use schema::{
-    FaultSpec, GuardSpec, HostSelector, LinkSpecToml, LocalitySpec, OracleSpec, OutputSpec,
-    PdesSpec, ProfileSpec, RecoverySpec, RegimeWindow, RunSpec, Scenario, SizeSpec, TopologySpec,
-    TrafficGroup, TrafficKind, SCHEMA_VERSION,
+    AuditSpec, FaultSpec, GuardSpec, HostSelector, LinkSpecToml, LocalitySpec, OracleSpec,
+    OutputSpec, PdesSpec, ProfileSpec, RecoverySpec, RegimeWindow, RunSpec, Scenario, SizeSpec,
+    TopologySpec, TrafficGroup, TrafficKind, SCHEMA_VERSION,
 };
 
 use elephant_core::ElephantError;
@@ -202,6 +202,12 @@ enabled = true
 checkpoint_every_ms = 2.0
 max_retries = 3
 
+[audit]
+enabled = true
+max_drop_rate_error = 0.02
+max_ks = 0.4
+max_w1_ratio = 0.1
+
 [oracle]
 cache = true
 cache_cap = 1024
@@ -227,6 +233,11 @@ sample_every_us = 100
         assert!(r.enabled);
         assert_eq!(r.checkpoint_every_ms, 2.0);
         assert_eq!(r.max_retries, 3);
+        let a = s.audit.as_ref().expect("[audit] decoded");
+        assert!(a.enabled);
+        assert_eq!(a.max_drop_rate_error, 0.02);
+        assert_eq!(a.max_ks, 0.4);
+        assert_eq!(a.max_w1_ratio, 0.1);
         assert!(s.oracle.cache);
         assert_eq!(s.outputs.sample_every_us, Some(100));
         match &s.traffic[0].kind {
@@ -446,6 +457,34 @@ sample_every_us = 100
             expect_err(&doc, "max_retries: must be >= 1");
             let doc = format!("{}\n[recovery]\nmax_retrys = 2\n", base());
             expect_err(&doc, "unknown key `max_retrys`");
+        }
+
+        #[test]
+        fn audit_ranges_and_typos() {
+            let doc = format!("{}\n[audit]\nmax_ks = 1.5\n", base());
+            expect_err(&doc, "max_ks: must be in [0, 1]");
+            let doc = format!("{}\n[audit]\nmax_w1_ratio = 0.0\n", base());
+            expect_err(&doc, "max_w1_ratio: must be > 0");
+            let doc = format!("{}\n[audit]\nmax_kss = 0.2\n", base());
+            expect_err(&doc, "unknown key `max_kss`");
+        }
+
+        #[test]
+        fn disabled_audit_compiles_to_none() {
+            let doc = format!("{}\n[audit]\nenabled = false\n", base());
+            let s = Scenario::from_toml_str(&doc).expect("valid scenario");
+            let c = compile(&s, &CompileOverrides::default());
+            assert!(c.audit_bounds.is_none(), "disabled [audit] lowers to None");
+        }
+
+        #[test]
+        fn audit_bounds_lower_into_compiled() {
+            let doc = format!("{}\n[audit]\nmax_ks = 0.2\n", base());
+            let s = Scenario::from_toml_str(&doc).expect("valid scenario");
+            let c = compile(&s, &CompileOverrides::default());
+            let b = c.audit_bounds.expect("[audit] lowers to bounds");
+            assert_eq!(b.max_ks, 0.2);
+            assert_eq!(b.max_drop_rate_error, 0.01, "unset bounds keep defaults");
         }
 
         #[test]

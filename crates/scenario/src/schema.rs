@@ -38,6 +38,8 @@ pub struct Scenario {
     pub guard: Option<GuardSpec>,
     /// Optional checkpoint/restore + retry-ladder configuration.
     pub recovery: Option<RecoverySpec>,
+    /// Optional paired-run divergence bounds (`elephant audit`).
+    pub audit: Option<AuditSpec>,
     /// Oracle-cache configuration (hybrid runs).
     pub oracle: OracleSpec,
     /// Sampler / artifact outputs.
@@ -464,6 +466,34 @@ impl Default for RecoverySpec {
     }
 }
 
+/// Divergence bounds for the paired-run accuracy audit (`[audit]`).
+///
+/// The defaults mirror the reference bounds the oracle-cache accuracy
+/// tests hold the hybrid to; scenarios tighten or loosen them per
+/// workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuditSpec {
+    /// Whether `elephant audit` gates this scenario at all.
+    pub enabled: bool,
+    /// Max absolute drop-rate error between truth and hybrid.
+    pub max_drop_rate_error: f64,
+    /// Max Kolmogorov-Smirnov distance between FCT distributions.
+    pub max_ks: f64,
+    /// Max Wasserstein-1 distance as a fraction of the truth mean FCT.
+    pub max_w1_ratio: f64,
+}
+
+impl Default for AuditSpec {
+    fn default() -> Self {
+        AuditSpec {
+            enabled: true,
+            max_drop_rate_error: 0.01,
+            max_ks: 0.35,
+            max_w1_ratio: 0.05,
+        }
+    }
+}
+
 /// Oracle guardrail configuration for hybrid runs.
 #[derive(Clone, Debug, PartialEq)]
 pub struct GuardSpec {
@@ -710,6 +740,17 @@ impl Scenario {
                 toml_f64(r.checkpoint_every_ms)
             ));
             out.push_str(&format!("max_retries = {}\n", r.max_retries));
+        }
+
+        if let Some(a) = &self.audit {
+            out.push_str("\n[audit]\n");
+            out.push_str(&format!("enabled = {}\n", a.enabled));
+            out.push_str(&format!(
+                "max_drop_rate_error = {}\n",
+                toml_f64(a.max_drop_rate_error)
+            ));
+            out.push_str(&format!("max_ks = {}\n", toml_f64(a.max_ks)));
+            out.push_str(&format!("max_w1_ratio = {}\n", toml_f64(a.max_w1_ratio)));
         }
 
         let o = &self.oracle;

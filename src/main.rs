@@ -15,10 +15,10 @@
 use std::process::exit;
 
 use elephant::core::{
-    capture_records, compare_cdfs, run_ground_truth, run_hybrid, run_hybrid_observed,
-    run_pdes_full, run_pdes_hybrid, train_cluster_model, CacheStats, CacheStatsHandle,
-    ClusterModel, DropPolicy, ElephantError, LearnedOracle, PdesRun, SupervisedRun,
-    TrainingOptions,
+    capture_records, compare_cdfs, compare_ledgers, run_audit, run_ground_truth, run_hybrid,
+    run_hybrid_observed, run_pdes_full, run_pdes_hybrid, train_cluster_model, AuditHooks,
+    CacheStats, CacheStatsHandle, ClusterModel, DropPolicy, ElephantError, LearnedOracle, PdesRun,
+    RunLedger, SupervisedRun, TrainingOptions, LEDGER_SCHEMA_VERSION,
 };
 use elephant::des::{EpochMode, FaultCounts, FaultPlan, SimDuration, SimTime};
 use elephant::net::{
@@ -27,7 +27,8 @@ use elephant::net::{
     TcpConfig, TraceLog, MAX_FLOW_TRACKS, SAMPLE_CSV_HEADER,
 };
 use elephant::nn::RnnKind;
-use elephant::obs::{TimelineWriter, TraceRecord, PID_FLOWS};
+use elephant::obs::{DivergenceReport, RunReport, TimelineWriter, TraceRecord, PID_FLOWS};
+use elephant::scenario::run_fingerprint;
 use elephant::trace::{filter_touching_cluster, generate, write_csv, WorkloadConfig};
 
 fn main() {
@@ -36,6 +37,14 @@ fn main() {
     if cmd == "run-scenario" {
         // Takes a positional scenario file, which Opts::parse rejects.
         return cmd_run_scenario(&args[1..]);
+    }
+    if cmd == "audit" {
+        return cmd_audit(&args[1..]);
+    }
+    if cmd == "compare" && args.len() >= 2 && !args[1].starts_with('-') {
+        // `compare A.json B.json` diffs two run-ledger artifacts; the
+        // legacy accuracy table always leads with --model.
+        return cmd_compare_ledgers(&args[1..]);
     }
     let opts = Opts::parse(&args[1..]);
     if opts.observing() {
@@ -68,7 +77,24 @@ fn usage() -> ! {
          train    ground-truth capture + model training; writes a model JSON\n\
          hybrid   hybrid simulation with a trained model serving stub fabrics\n\
          compare  run truth and hybrid side by side; print the accuracy table\n\
+         compare A.json B.json  diff two run-ledger artifacts; exit 8 on drift\n\
          run-scenario FILE  run a declarative TOML scenario (see scenarios/)\n\
+         audit FILE         paired truth+hybrid run of a scenario; print the\n\
+         \u{20}                  divergence table and gate on its [audit] bounds\n\
+         \n\
+         AUDIT (see DESIGN.md \"Accuracy observatory\")\n\
+         --model PATH      trained model for the hybrid side (default: capture\n\
+         \u{20}                and quick-train a small one first)\n\
+         --seed N          override the scenario's run.seed\n\
+         --horizon-ms N    override the scenario's run.horizon_ms\n\
+         --sample-every T  macro-regime timeline granularity in us (200)\n\
+         --ledger-out P    write the hybrid-side run ledger (with divergence\n\
+         \u{20}                block) to P and the truth-side ledger to\n\
+         \u{20}                P-minus-.json + .truth.json\n\
+         --oracle-cache / --oracle-cache-cap N / --no-guard  as for hybrid\n\
+         \n\
+         COMPARE LEDGERS\n\
+         --tolerance F     relative drift tolerance for events/scalars (0.05)\n\
          \n\
          RUN-SCENARIO (see DESIGN.md \"Scenario subsystem\")\n\
          --validate        load, validate, and compile only; print a summary\n\
@@ -83,7 +109,7 @@ fn usage() -> ! {
          --max-retries N   restores per degradation-ladder rung; enables\n\
          \u{20}                supervision and overrides [recovery] (2)\n\
          --profile         print the metrics report (recovery/*, fault/*)\n\
-         --metrics-out P   write the run report as JSON to P\n\
+         --metrics-out P   write a schema-v1 run-ledger JSON to P\n\
          \n\
          OPTIONS (defaults in parentheses)\n\
          --clusters N      cluster count (4; train always uses 2)\n\
@@ -100,7 +126,8 @@ fn usage() -> ! {
          --gru             GRU trunk instead of LSTM\n\
          --trace N         retain the first N raw events and print a sample\n\
          --profile         collect metrics + span timings; print the report\n\
-         --metrics-out P   write the run report as JSON to P (implies collection)\n\
+         --metrics-out P   write a schema-v1 run-ledger JSON to P (implies\n\
+         \u{20}                collection; `elephant compare` diffs two of them)\n\
          \n\
          TIMELINES (run/hybrid; see DESIGN.md \"Observability\")\n\
          --trace-out P     write a Chrome-trace JSON timeline to P (open in\n\
@@ -134,7 +161,8 @@ fn usage() -> ! {
          EXIT CODES\n\
          0 success | 1 generic failure | 2 usage | 3 I/O error\n\
          4 invalid model artifact | 5 simulation/pipeline fault\n\
-         6 scenario schema/validation error | 7 recovery ladder exhausted"
+         6 scenario schema/validation error | 7 recovery ladder exhausted\n\
+         8 audit/compare divergence outside bounds"
     );
     exit(2)
 }
@@ -623,15 +651,51 @@ fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
     })
 }
 
+/// Seals and writes a schema-v1 [`RunLedger`] wrapping `report` — the one
+/// artifact shape every driver's `--metrics-out`/`--ledger-out` emits, and
+/// the input `elephant compare A.json B.json` diffs.
+#[allow(clippy::too_many_arguments)] // an artifact spec, not an API surface
+fn write_ledger(
+    path: &str,
+    driver: &str,
+    mode: &str,
+    seed: u64,
+    fingerprint: u64,
+    recovery: Vec<String>,
+    divergence: Option<DivergenceReport>,
+    report: RunReport,
+) {
+    let mut ledger = RunLedger::new(driver, report);
+    ledger.scenario = ledger.report.scenario.clone();
+    ledger.seed = seed;
+    ledger.fingerprint = fingerprint;
+    ledger.mode = mode.to_string();
+    ledger.recovery = recovery;
+    ledger.divergence = divergence;
+    match ledger.save(std::path::Path::new(path)) {
+        Ok(()) => println!("wrote {path} (schema-v{LEDGER_SCHEMA_VERSION} run ledger)"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            exit(3)
+        }
+    }
+}
+
 /// Builds the run report from the global registry/profiler, prints it when
-/// `--profile` is set, and writes JSON when `--metrics-out` is set.
-/// Sequential runs get one zero-wait partition row so the schema matches
-/// PDES reports.
-fn emit_metrics(o: &Opts, name: &str, scenario: String, meta: Option<&elephant::core::RunMeta>) {
+/// `--profile` is set, and writes a sealed run ledger when `--metrics-out`
+/// is set. Sequential runs get one zero-wait partition row so the schema
+/// matches PDES reports.
+fn emit_metrics(
+    o: &Opts,
+    name: &str,
+    scenario: String,
+    meta: Option<&elephant::core::RunMeta>,
+    fingerprint: u64,
+) {
     if !o.observing() {
         return;
     }
-    let mut report = elephant::obs::RunReport::new(name, scenario);
+    let mut report = RunReport::new(name, scenario);
     if let Some(m) = meta {
         report.set_run(m.wall.as_secs_f64(), m.events, m.sim_seconds);
         report.partitions = vec![elephant::obs::PartitionRow {
@@ -647,13 +711,23 @@ fn emit_metrics(o: &Opts, name: &str, scenario: String, meta: Option<&elephant::
         println!("\n{}", report.to_table());
     }
     if let Some(path) = &o.metrics_out {
-        match report.save(std::path::Path::new(path)) {
-            Ok(()) => println!("wrote {path}"),
-            Err(e) => {
-                eprintln!("cannot write {path}: {e}");
-                exit(1)
-            }
-        }
+        let (driver, mode) = match name {
+            "run" => ("sequential", "full-fidelity"),
+            "run-pdes" => ("pdes", "full-fidelity"),
+            "hybrid" => ("hybrid", "sequential"),
+            "hybrid-pdes" => ("hybrid", "pdes"),
+            other => (other, ""),
+        };
+        write_ledger(
+            path,
+            driver,
+            mode,
+            o.seed,
+            fingerprint,
+            Vec::new(),
+            None,
+            report,
+        );
     }
 }
 
@@ -772,6 +846,7 @@ fn cmd_run(o: &Opts) {
                 o.clusters, o.seed
             ),
             Some(&meta),
+            run_fingerprint(run.nets.iter()),
         );
         return;
     }
@@ -808,6 +883,7 @@ fn cmd_run(o: &Opts) {
         "run",
         format!("full fidelity, {} clusters, seed {}", o.clusters, o.seed),
         Some(&meta),
+        run_fingerprint([sim.world()]),
     );
 }
 
@@ -815,7 +891,7 @@ fn cmd_run(o: &Opts) {
 /// scenario. Scenario errors exit with code 6 and name the offending
 /// `file:line`; missing files exit 3.
 fn cmd_run_scenario(args: &[String]) {
-    use elephant::scenario::{compile, list_scenarios, load, run_fingerprint, CompileOverrides};
+    use elephant::scenario::{compile, list_scenarios, load, CompileOverrides};
 
     let mut file: Option<String> = None;
     let mut over = CompileOverrides::default();
@@ -982,7 +1058,7 @@ fn cmd_run_scenario(args: &[String]) {
         sampler = None;
     }
 
-    let (fingerprint, wall, events) = if let Some(policy) = recovery {
+    let (fingerprint, wall, events, recovery_lines, driver) = if let Some(policy) = recovery {
         let run = if pdes {
             compiled.run_pdes_supervised(partitions, epoch_mode, &policy)
         } else {
@@ -994,7 +1070,15 @@ fn cmd_run_scenario(args: &[String]) {
             compiled.faults.as_ref().filter(|_| pdes),
             run.report.as_ref().map(|r| r.faults),
         );
-        (run_fingerprint(run.nets.iter()), run.wall, run.events)
+        let mut lines = vec![run.log.summary()];
+        lines.extend(run.log.transitions.iter().map(|t| format!("{t:?}")));
+        (
+            run_fingerprint(run.nets.iter()),
+            run.wall,
+            run.events,
+            lines,
+            "supervised",
+        )
     } else if pdes {
         let run = compiled
             .run_pdes(partitions, epoch_mode, sampler.as_mut())
@@ -1004,16 +1088,28 @@ fn cmd_run_scenario(args: &[String]) {
             });
         print_pdes_summary(&run, compiled.horizon);
         report_fault_counts(compiled.faults.as_ref(), Some(run.report.faults));
-        (run_fingerprint(run.nets.iter()), run.wall, run.events())
+        (
+            run_fingerprint(run.nets.iter()),
+            run.wall,
+            run.events(),
+            Vec::new(),
+            "pdes",
+        )
     } else {
         let (net, meta) = compiled.run_sequential(sampler.as_mut());
         print_summary(&net, &meta);
-        (run_fingerprint([&net]), meta.wall, meta.events)
+        (
+            run_fingerprint([&net]),
+            meta.wall,
+            meta.events,
+            Vec::new(),
+            "sequential",
+        )
     };
     println!("  fingerprint: {fingerprint:#018x}");
 
     if profile || metrics_out.is_some() {
-        let mut report = elephant::obs::RunReport::new(
+        let mut report = RunReport::new(
             "run-scenario",
             format!("scenario `{}`, seed {}", compiled.name, compiled.seed),
         );
@@ -1023,13 +1119,21 @@ fn cmd_run_scenario(args: &[String]) {
             println!("\n{}", report.to_table());
         }
         if let Some(path) = &metrics_out {
-            match report.save(std::path::Path::new(path)) {
-                Ok(()) => println!("wrote {path}"),
-                Err(e) => {
-                    eprintln!("cannot write {path}: {e}");
-                    exit(1)
-                }
-            }
+            let mode = if pdes {
+                format!("{epoch_mode:?}").to_lowercase()
+            } else {
+                String::new()
+            };
+            write_ledger(
+                path,
+                driver,
+                &mode,
+                compiled.seed,
+                fingerprint,
+                recovery_lines,
+                None,
+                report,
+            );
         }
     }
 
@@ -1147,6 +1251,8 @@ fn cmd_train(o: &Opts) {
             o.seed
         ),
         Some(&meta),
+        // The captured net was consumed by training; no fingerprint.
+        0,
     );
 }
 
@@ -1253,6 +1359,7 @@ fn cmd_hybrid(o: &Opts) {
                 o.seed
             ),
             Some(&meta),
+            run_fingerprint(run.nets.iter()),
         );
         return;
     }
@@ -1285,6 +1392,7 @@ fn cmd_hybrid(o: &Opts) {
             o.seed
         ),
         Some(&meta),
+        run_fingerprint([&net]),
     );
 }
 
@@ -1327,5 +1435,234 @@ fn cmd_compare(o: &Opts) {
         "compare",
         format!("truth vs hybrid, {} clusters, seed {}", o.clusters, o.seed),
         Some(&hmeta),
+        run_fingerprint([&hybrid]),
     );
+}
+
+/// `audit FILE`: ground truth and hybrid over the same compiled scenario
+/// and seed, the divergence table attributed by regime/layer/oracle, and a
+/// gate on the scenario's `[audit]` bounds — exit 8 when the hybrid
+/// diverges beyond them. `--ledger-out` writes both sides' run ledgers.
+fn cmd_audit(args: &[String]) {
+    use elephant::scenario::{compile, load, CompileOverrides};
+
+    let mut file: Option<String> = None;
+    let mut over = CompileOverrides::default();
+    let mut model_path: Option<String> = None;
+    let mut ledger_out: Option<String> = None;
+    let mut sample_every = SimDuration::from_micros(200);
+    let mut oracle_cache = false;
+    let mut oracle_cache_cap = 65_536usize;
+    let mut no_guard = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next().map(|s| s.to_string()).unwrap_or_else(|| {
+                eprintln!("{a} needs a value");
+                exit(2)
+            })
+        };
+        match a.as_str() {
+            "--seed" => over.seed = Some(parse(&val(), a)),
+            "--horizon-ms" => over.horizon_ms = Some(parse(&val(), a)),
+            "--repeat" => over.repeat = Some(parse(&val(), a)),
+            "--model" => model_path = Some(val()),
+            "--ledger-out" => ledger_out = Some(val()),
+            "--sample-every" => sample_every = SimDuration::from_micros(parse(&val(), a)),
+            "--oracle-cache" => oracle_cache = true,
+            "--oracle-cache-cap" => oracle_cache_cap = parse(&val(), a),
+            "--no-guard" => no_guard = true,
+            other if other.starts_with('-') => {
+                eprintln!("unknown audit option: {other}\n");
+                usage()
+            }
+            path => {
+                if file.replace(path.to_string()).is_some() {
+                    eprintln!("audit takes one scenario file\n");
+                    usage()
+                }
+            }
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("audit needs a scenario file\n");
+        usage()
+    };
+    let scenario = load(&path).unwrap_or_else(|e| die(e));
+    let compiled = compile(&scenario, &over);
+    if compiled.params.clusters < 2 {
+        die(ElephantError::Scenario {
+            path: path.clone(),
+            line: 0,
+            detail: "audit needs >= 2 clusters (the hybrid side approximates the others)".into(),
+        });
+    }
+    let full_cluster = scenario.oracle.full_cluster;
+    let bounds = compiled.audit_bounds.unwrap_or_default();
+    let flows = filter_touching_cluster(&compiled.flows, full_cluster);
+
+    // Reuse the standard oracle stack assembly (guard, cache) with the
+    // scenario's seed; the handles feed the audit's oracle axis.
+    let mut o = Opts::parse(&[]);
+    o.seed = compiled.seed;
+    o.dctcp = compiled.dctcp;
+    o.oracle_cache = oracle_cache || scenario.oracle.cache;
+    o.oracle_cache_cap = if oracle_cache {
+        oracle_cache_cap
+    } else {
+        scenario.oracle.cache_cap
+    };
+    o.no_guard = no_guard;
+    o.model = model_path.clone();
+    let model = match &model_path {
+        Some(_) => o.load_model(),
+        None => {
+            println!("no --model given; capturing + training a small default model first ...");
+            quick_default_model(&o)
+        }
+    };
+    let (oracle, guard, cache) = o.build_oracle(model, compiled.params);
+    let hooks = AuditHooks { cache, guard };
+
+    println!(
+        "audit `{}` ({path}): {} clusters (cluster {} at packet fidelity), \
+         {} flows after elision, horizon {}, seed {}",
+        compiled.name,
+        compiled.params.clusters,
+        full_cluster,
+        flows.len(),
+        compiled.horizon,
+        compiled.seed
+    );
+    let run = run_audit(
+        compiled.params,
+        full_cluster,
+        oracle,
+        compiled.net_config(),
+        &flows,
+        compiled.horizon,
+        bounds,
+        sample_every,
+        hooks,
+    );
+    println!("\n{}", run.divergence.to_table());
+    println!(
+        "  truth : {} events in {:.2}s wall | hybrid: {} events in {:.2}s wall \
+         ({:.1}x fewer events)",
+        run.truth_meta.events,
+        run.truth_meta.wall.as_secs_f64(),
+        run.hybrid_meta.events,
+        run.hybrid_meta.wall.as_secs_f64(),
+        run.truth_meta.events as f64 / run.hybrid_meta.events.max(1) as f64
+    );
+
+    if let Some(base) = &ledger_out {
+        let truth_path = format!("{}.truth.json", base.trim_end_matches(".json"));
+        let mut hreport = RunReport::new("audit-hybrid", path.clone());
+        hreport.set_run(
+            run.hybrid_meta.wall.as_secs_f64(),
+            run.hybrid_meta.events,
+            compiled.horizon.as_secs_f64(),
+        );
+        write_ledger(
+            base,
+            "audit-hybrid",
+            "paired",
+            compiled.seed,
+            run_fingerprint([&run.hybrid_net]),
+            Vec::new(),
+            Some(run.divergence.clone()),
+            hreport,
+        );
+        let mut treport = RunReport::new("audit-truth", path.clone());
+        treport.set_run(
+            run.truth_meta.wall.as_secs_f64(),
+            run.truth_meta.events,
+            compiled.horizon.as_secs_f64(),
+        );
+        write_ledger(
+            &truth_path,
+            "audit-truth",
+            "paired",
+            compiled.seed,
+            run_fingerprint([&run.truth_net]),
+            Vec::new(),
+            None,
+            treport,
+        );
+    }
+
+    let breaches = run.divergence.breaches();
+    if !breaches.is_empty() {
+        eprintln!("\naudit FAILED: hybrid diverges outside the [audit] bounds");
+        for b in &breaches {
+            eprintln!("  - {b}");
+        }
+        exit(8)
+    }
+    println!(
+        "\naudit OK: drop-rate err {:.4} <= {}, FCT KS {:.3} <= {}, W1/mean {:.3} <= {}",
+        run.divergence.drop_rate_error(),
+        bounds.max_drop_rate_error,
+        run.divergence.fct_ks,
+        bounds.max_ks,
+        run.divergence.w1_ratio(),
+        bounds.max_w1_ratio
+    );
+}
+
+/// `compare A.json B.json`: validate and diff two run-ledger artifacts.
+/// Exit 8 when they drift outside tolerance, 3 when either artifact is
+/// missing or fails schema/checksum validation.
+fn cmd_compare_ledgers(args: &[String]) {
+    let mut files: Vec<String> = Vec::new();
+    let mut tolerance = 0.05f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--tolerance needs a value");
+                    exit(2)
+                });
+                tolerance = parse(v, a);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown compare option: {other}\n");
+                usage()
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("compare takes exactly two ledger files (or --model for the accuracy table)\n");
+        usage()
+    }
+    let load = |p: &String| {
+        RunLedger::load(std::path::Path::new(p)).unwrap_or_else(|e| {
+            die(ElephantError::Io {
+                path: p.clone(),
+                source: e,
+            })
+        })
+    };
+    let a = load(&files[0]);
+    let b = load(&files[1]);
+    println!(
+        "comparing run ledgers (tolerance {tolerance}):\n  \
+         A: {} — driver {}, seed {}, fingerprint {:#018x}\n  \
+         B: {} — driver {}, seed {}, fingerprint {:#018x}",
+        files[0], a.driver, a.seed, a.fingerprint, files[1], b.driver, b.seed, b.fingerprint
+    );
+    let breaches = compare_ledgers(&a, &b, tolerance);
+    if breaches.is_empty() {
+        println!("ledgers agree within tolerance");
+        return;
+    }
+    eprintln!("\n{} drift breach(es):", breaches.len());
+    for l in &breaches {
+        eprintln!("  - {l}");
+    }
+    exit(8)
 }
