@@ -350,6 +350,37 @@ pub fn run_pdes_hybrid(
     faults: Option<FaultPlan>,
     sampler: Option<&mut NetSampler>,
 ) -> Result<PdesRun, PdesError> {
+    let (parts, lookahead, partitions) =
+        build_hybrid_partitions(params, full_cluster, &mut oracle_factory, flows);
+
+    let mut pdes_cfg = PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes)
+        .with_epoch_mode(mode);
+    if let Some(plan) = faults {
+        pdes_cfg = pdes_cfg.with_faults(plan);
+    }
+    let mut runner = PdesRunner::new(parts, pdes_cfg);
+    let (report, wall) = drive_pdes(&mut runner, horizon, sampler)?;
+    let nets = runner
+        .into_partitions()
+        .into_iter()
+        .map(|p| p.into_world().net)
+        .collect();
+    Ok(PdesRun { report, wall, nets })
+}
+
+/// Builds the cluster-partitioned logical processes for a hybrid PDES run
+/// — the full cluster plus core layer as one process, each stub cluster
+/// (with its own oracle replica) as another — and seeds each partition's
+/// scheduler with the flows it owns. Returns the partitions, the min-cut
+/// lookahead, and the partition count. Shared between [`run_pdes_hybrid`]
+/// and the supervised driver ([`crate::run_pdes_hybrid_supervised`]) so
+/// their runs are constructed identically.
+pub(crate) fn build_hybrid_partitions(
+    params: ClosParams,
+    full_cluster: u16,
+    oracle_factory: &mut dyn FnMut(usize) -> Box<dyn ClusterOracle + Send>,
+    flows: &[FlowSpec],
+) -> (Vec<PartitionSim<NetPartition>>, SimDuration, usize) {
     let stubs: Vec<u16> = (0..params.clusters)
         .filter(|&c| c != full_cluster)
         .collect();
@@ -378,20 +409,7 @@ pub fn run_pdes_hybrid(
             .scheduler_mut()
             .schedule_at(f.start, NetEvent::FlowStart(*f));
     }
-
-    let mut pdes_cfg = PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes)
-        .with_epoch_mode(mode);
-    if let Some(plan) = faults {
-        pdes_cfg = pdes_cfg.with_faults(plan);
-    }
-    let mut runner = PdesRunner::new(parts, pdes_cfg);
-    let (report, wall) = drive_pdes(&mut runner, horizon, sampler)?;
-    let nets = runner
-        .into_partitions()
-        .into_iter()
-        .map(|p| p.into_world().net)
-        .collect();
-    Ok(PdesRun { report, wall, nets })
+    (parts, lookahead, partitions)
 }
 
 #[cfg(test)]

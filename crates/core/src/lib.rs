@@ -85,8 +85,9 @@ pub use learned::{
 pub use ledger::{compare_ledgers, fnv1a_64, RunLedger, LEDGER_SCHEMA_VERSION};
 pub use macro_model::{MacroConfig, MacroModel, MacroState};
 pub use supervise::{
-    run_pdes_full_supervised, run_sequential_supervised, RecoveryEvent, RecoveryLog,
-    RecoveryPolicy, Rung, SupervisedRun, DEFAULT_CHECKPOINT_EVERY, DEFAULT_MAX_RETRIES,
+    run_hybrid_supervised, run_pdes_full_supervised, run_pdes_hybrid_supervised,
+    run_sequential_supervised, RecoveryEvent, RecoveryLog, RecoveryPolicy, Rung, SupervisedRun,
+    DEFAULT_CHECKPOINT_EVERY, DEFAULT_MAX_RETRIES,
 };
 pub use train::{
     build_samples, calibrate_macro, evaluate, model_meta, train_cluster_model, DirectionReport,

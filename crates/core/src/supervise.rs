@@ -40,13 +40,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::error::ElephantError;
-use crate::experiment::build_full_partitions;
+use crate::experiment::{build_full_partitions, build_hybrid_partitions};
 
 use elephant_des::{
     EpochMode, FaultPlan, PdesConfig, PdesError, PdesReport, PdesRunner, SimDuration, SimTime,
     Simulator, StopReason,
 };
-use elephant_net::{schedule_flows, ClosParams, FlowSpec, NetConfig, Network, RttScope, Topology};
+use elephant_net::{
+    schedule_flows, ClosParams, ClusterOracle, FlowSpec, NetConfig, Network, RttScope, Topology,
+};
 use elephant_obs::{TraceRecord, PID_RECOVERY};
 
 /// Default checkpoint interval: 10 simulated milliseconds.
@@ -373,6 +375,133 @@ pub fn run_pdes_full_supervised(
     })
 }
 
+/// Runs the hybrid simulator under PDES with checkpointing and the retry
+/// ladder. Constructed identically to [`crate::run_pdes_hybrid`] (same
+/// cluster partitioning, lookahead, per-partition oracles), so a
+/// supervised hybrid run that never fails produces the same fingerprint
+/// as an unsupervised one. The terminal rung restarts the whole scenario
+/// on the sequential hybrid engine with the oracle `sequential_oracle`
+/// builds (per-partition oracles use partition-salted seeds; the
+/// sequential engine needs the unsalted one).
+#[allow(clippy::too_many_arguments)] // an experiment spec, not an API surface
+pub fn run_pdes_hybrid_supervised(
+    params: ClosParams,
+    full_cluster: u16,
+    mut oracle_factory: impl FnMut(usize) -> Box<dyn ClusterOracle + Send>,
+    sequential_oracle: impl FnOnce() -> Box<dyn ClusterOracle + Send>,
+    flows: &[FlowSpec],
+    horizon: SimTime,
+    machines: usize,
+    envelope_bytes: usize,
+    mode: EpochMode,
+    faults: Option<FaultPlan>,
+    policy: &RecoveryPolicy,
+) -> Result<SupervisedRun, ElephantError> {
+    let _span = elephant_obs::span("pdes_hybrid_supervised");
+    let t0 = Instant::now();
+    let (parts, lookahead, partitions) =
+        build_hybrid_partitions(params, full_cluster, &mut oracle_factory, flows);
+    let mut pdes_cfg = PdesConfig::round_robin(partitions, machines, lookahead, envelope_bytes)
+        .with_epoch_mode(mode);
+    if let Some(plan) = faults.clone() {
+        pdes_cfg = pdes_cfg.with_faults(plan);
+    }
+    let mut runner = PdesRunner::new(parts, pdes_cfg);
+
+    let mut rung = match mode {
+        EpochMode::Adaptive => Rung::Adaptive,
+        EpochMode::Fixed => Rung::Fixed,
+    };
+    let mut log = RecoveryLog::new(rung);
+    let mut checkpoint = runner.checkpoint();
+    log.note_checkpoint(SimTime::ZERO);
+
+    let interval = policy.interval();
+    let mut cursor = SimTime::ZERO;
+    let mut retries = 0u32;
+    let mut total: Option<PdesReport> = None;
+
+    loop {
+        let next = (cursor + interval).min(horizon);
+        match runner.run_until(next) {
+            Ok(chunk) => {
+                match &mut total {
+                    None => total = Some(chunk),
+                    Some(t) => t.merge(&chunk),
+                }
+                cursor = next;
+                if cursor >= horizon {
+                    break;
+                }
+                checkpoint = runner.checkpoint();
+                log.note_checkpoint(cursor);
+            }
+            Err(e) => {
+                let at = failure_time(&e);
+                if retries < policy.max_retries {
+                    retries += 1;
+                    runner.restore(&checkpoint);
+                    log.note_restore(at, rung, cause_label(&e));
+                } else {
+                    match rung {
+                        Rung::Adaptive => {
+                            runner.restore(&checkpoint);
+                            runner.set_epoch_mode(EpochMode::Fixed);
+                            log.note_degrade(at, Rung::Adaptive, Rung::Fixed);
+                            rung = Rung::Fixed;
+                            retries = 0;
+                        }
+                        Rung::Fixed => {
+                            // Terminal rung: restart on the sequential
+                            // hybrid engine from time zero with a fresh
+                            // oracle (fingerprint-preserving for
+                            // fault-free dynamics).
+                            log.note_degrade(at, Rung::Fixed, Rung::Sequential);
+                            let mut inner = run_hybrid_supervised(
+                                params,
+                                full_cluster,
+                                sequential_oracle(),
+                                NetConfig::default(),
+                                flows,
+                                horizon,
+                                policy,
+                            )?;
+                            log.absorb(std::mem::replace(
+                                &mut inner.log,
+                                RecoveryLog::new(Rung::Sequential),
+                            ));
+                            return Ok(SupervisedRun {
+                                nets: inner.nets,
+                                events: inner.events,
+                                wall: t0.elapsed(),
+                                report: None,
+                                log,
+                            });
+                        }
+                        Rung::Sequential => unreachable!("sequential runs have no PDES errors"),
+                    }
+                }
+            }
+        }
+    }
+
+    log.final_rung = rung;
+    let report = total.expect("supervised run executes at least one chunk");
+    let events = report.events_executed;
+    let nets = runner
+        .into_partitions()
+        .into_iter()
+        .map(|p| p.into_world().net)
+        .collect();
+    Ok(SupervisedRun {
+        nets,
+        events,
+        wall: t0.elapsed(),
+        report: Some(report),
+        log,
+    })
+}
+
 /// Runs the sequential full-fidelity simulator with checkpointing. The
 /// sequential engine has no barrier to stall and no exchange to corrupt;
 /// the failures it survives are model panics, caught at the chunk
@@ -392,7 +521,52 @@ pub fn run_sequential_supervised(
     let topo = Arc::new(Topology::clos(params));
     let mut sim = Simulator::new(Network::new(topo, cfg));
     schedule_flows(&mut sim, flows);
+    supervise_simulator(sim, horizon, policy, t0)
+}
 
+/// Runs the sequential *hybrid* simulator with checkpointing: constructed
+/// exactly like [`crate::run_hybrid`] (stub topology, forced RTT scope,
+/// oracle installed before the first event), so a supervised hybrid run
+/// that never fails produces the same fingerprint as an unsupervised one.
+/// Checkpoints deep-copy the installed oracle stack via
+/// `ClusterOracle::clone_box`, so guard state and cached verdicts rewind
+/// with the network.
+pub fn run_hybrid_supervised(
+    params: ClosParams,
+    full_cluster: u16,
+    oracle: Box<dyn ClusterOracle + Send>,
+    mut cfg: NetConfig,
+    flows: &[FlowSpec],
+    horizon: SimTime,
+    policy: &RecoveryPolicy,
+) -> Result<SupervisedRun, ElephantError> {
+    assert!(
+        params.clusters >= 2,
+        "hybrid simulation needs clusters to approximate"
+    );
+    let _span = elephant_obs::span("hybrid_supervised");
+    let t0 = Instant::now();
+    let stubs: Vec<u16> = (0..params.clusters)
+        .filter(|&c| c != full_cluster)
+        .collect();
+    cfg.capture_cluster = None;
+    cfg.rtt_scope = RttScope::Cluster(full_cluster);
+    let topo = Arc::new(Topology::clos_with_stubs(params, &stubs));
+    let mut net = Network::new(topo, cfg);
+    net.set_oracle(oracle);
+    let mut sim = Simulator::new(net);
+    schedule_flows(&mut sim, flows);
+    supervise_simulator(sim, horizon, policy, t0)
+}
+
+/// The shared sequential supervision loop: checkpoint every interval,
+/// catch model panics at chunk boundaries, restore and retry.
+fn supervise_simulator(
+    mut sim: Simulator<Network>,
+    horizon: SimTime,
+    policy: &RecoveryPolicy,
+    t0: Instant,
+) -> Result<SupervisedRun, ElephantError> {
     let mut log = RecoveryLog::new(Rung::Sequential);
     let mut checkpoint = sim.checkpoint();
     log.note_checkpoint(SimTime::ZERO);

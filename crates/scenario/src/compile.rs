@@ -18,15 +18,19 @@
 
 use crate::schema::{ProfileSpec, RegimeWindow, Scenario, SizeSpec, TrafficGroup, TrafficKind};
 use elephant_core::{
-    run_ground_truth_observed, run_pdes_full, run_pdes_full_supervised, run_sequential_supervised,
-    ElephantError, PdesRun, RecoveryPolicy, RunMeta, SupervisedRun,
+    run_ground_truth_observed, run_hybrid_observed, run_hybrid_supervised, run_pdes_full,
+    run_pdes_full_supervised, run_pdes_hybrid, run_pdes_hybrid_supervised,
+    run_sequential_supervised, ElephantError, PdesRun, RecoveryPolicy, RunMeta, SupervisedRun,
 };
 use elephant_des::{EpochMode, FaultPlan, PdesError, SimDuration, SimTime};
 use elephant_net::{
-    ClosParams, FlowId, FlowSpec, HostAddr, NetConfig, NetSampler, Network, RttScope, TcpConfig,
+    ClosParams, ClusterOracle, FlowId, FlowSpec, GuardConfig, HostAddr, NetConfig, NetSampler,
+    Network, RttScope, TcpConfig,
 };
 use elephant_obs::DivergenceBounds;
-use elephant_trace::{generate, LoadProfile, Locality, SizeDist, WorkloadConfig};
+use elephant_trace::{
+    filter_touching_cluster, generate, LoadProfile, Locality, SizeDist, WorkloadConfig,
+};
 
 /// Id distance between traffic groups.
 pub const GROUP_STRIDE: u64 = 1_000_000_000;
@@ -77,6 +81,40 @@ pub struct Compiled {
     /// Divergence bounds for `elephant audit`, if `[audit]` is declared
     /// and enabled.
     pub audit_bounds: Option<DivergenceBounds>,
+    /// Lowered hybrid-run settings (`[model]`/`[guard]`/`[oracle]`).
+    pub hybrid: HybridSpec,
+}
+
+/// The hybrid driver's lowered settings: which cluster stays at packet
+/// fidelity, where the model artifact comes from, and the guard/cache
+/// configuration the oracle stack is assembled with.
+///
+/// Lowering is exact — every value round-trips the TOML (no clamping, no
+/// default substitution), the contract the scenario proptests assert.
+#[derive(Clone, Debug)]
+pub struct HybridSpec {
+    /// `[model] path`, if declared (the CLI's `--model` flag overrides).
+    pub model_path: Option<String>,
+    /// Scenario line of the `[model]` path (or section header), for
+    /// `file:line` artifact-load diagnostics. 0 when no `[model]` exists.
+    pub model_line: u32,
+    /// True when the scenario declares a `[model]` section at all — the
+    /// switch that routes `run-scenario` onto the hybrid driver.
+    pub model_declared: bool,
+    /// `[model] train_fallback`: capture + train a small default model
+    /// when no artifact is available.
+    pub train_fallback: bool,
+    /// The cluster kept at packet fidelity: `[model] full_cluster` when
+    /// set, else `[oracle] full_cluster`.
+    pub full_cluster: u16,
+    /// `[oracle] cache`: memoize verdicts for quantized feature keys.
+    pub cache: bool,
+    /// `[oracle] cache_cap` in verdicts.
+    pub cache_cap: usize,
+    /// Lowered `[guard]` settings; `None` when `[guard] enabled = false`.
+    /// `expected_drop_rate` stays `None` here — the CLI fills it from the
+    /// loaded model's training metadata.
+    pub guard: Option<GuardConfig>,
 }
 
 /// Converts scenario-file milliseconds to simulation time.
@@ -118,6 +156,31 @@ pub fn compile(s: &Scenario, overrides: &CompileOverrides) -> Compiled {
             max_retries: r.max_retries,
         });
 
+    // Guard defaults to *on* for hybrid runs (matching the `hybrid`
+    // subcommand); `[guard] enabled = false` is the only way to shed it.
+    let guard_spec = s.guard.clone().unwrap_or_default();
+    let guard = guard_spec.enabled.then(|| GuardConfig {
+        latency_ceiling: SimDuration::from_secs_f64(guard_spec.ceiling_ms / 1e3),
+        expected_drop_rate: None,
+        drop_rate_tolerance: guard_spec.tolerance,
+        trip_limit: guard_spec.trip_limit,
+        ..Default::default()
+    });
+    let hybrid = HybridSpec {
+        model_path: s.model.as_ref().and_then(|m| m.path.clone()),
+        model_line: s.model.as_ref().map_or(0, |m| m.path_line),
+        model_declared: s.model.is_some(),
+        train_fallback: s.model.as_ref().is_some_and(|m| m.train_fallback),
+        full_cluster: s
+            .model
+            .as_ref()
+            .and_then(|m| m.full_cluster)
+            .unwrap_or(s.oracle.full_cluster),
+        cache: s.oracle.cache,
+        cache_cap: s.oracle.cache_cap,
+        guard,
+    };
+
     Compiled {
         name: s.name.clone(),
         params,
@@ -140,6 +203,7 @@ pub fn compile(s: &Scenario, overrides: &CompileOverrides) -> Compiled {
                 max_ks: a.max_ks,
                 max_w1_ratio: a.max_w1_ratio,
             }),
+        hybrid,
     }
 }
 
@@ -454,6 +518,100 @@ impl Compiled {
             &self.flows,
             self.horizon,
             partitions.unwrap_or(self.partitions),
+            self.machines,
+            self.envelope_bytes,
+            mode,
+            self.faults.clone(),
+            policy,
+        )
+    }
+
+    /// The hybrid driver's flow list: the compiled flows elided to
+    /// traffic touching the full-fidelity cluster (the paper's §6.2
+    /// elision — identical to what the `hybrid` subcommand schedules).
+    pub fn hybrid_flows(&self) -> Vec<FlowSpec> {
+        filter_touching_cluster(&self.flows, self.hybrid.full_cluster)
+    }
+
+    /// Runs the scenario on the sequential hybrid driver: the
+    /// `[model]`-selected full cluster at packet fidelity, every other
+    /// cluster served by `oracle`.
+    pub fn run_hybrid(
+        &self,
+        oracle: Box<dyn ClusterOracle + Send>,
+        sampler: Option<&mut NetSampler>,
+    ) -> (Network, RunMeta) {
+        run_hybrid_observed(
+            self.params,
+            self.hybrid.full_cluster,
+            oracle,
+            self.net_config(),
+            &self.hybrid_flows(),
+            self.horizon,
+            None,
+            sampler,
+        )
+    }
+
+    /// Runs the scenario on the cluster-partitioned PDES hybrid driver.
+    /// `oracle_factory` builds partition `p`'s oracle instance.
+    pub fn run_pdes_hybrid(
+        &self,
+        oracle_factory: impl FnMut(usize) -> Box<dyn ClusterOracle + Send>,
+        mode: EpochMode,
+        sampler: Option<&mut NetSampler>,
+    ) -> Result<PdesRun, PdesError> {
+        run_pdes_hybrid(
+            self.params,
+            self.hybrid.full_cluster,
+            oracle_factory,
+            &self.hybrid_flows(),
+            self.horizon,
+            self.machines,
+            self.envelope_bytes,
+            mode,
+            self.faults.clone(),
+            sampler,
+        )
+    }
+
+    /// Runs the scenario on the sequential hybrid driver under
+    /// checkpoint/restore supervision.
+    pub fn run_hybrid_supervised(
+        &self,
+        oracle: Box<dyn ClusterOracle + Send>,
+        policy: &RecoveryPolicy,
+    ) -> Result<SupervisedRun, ElephantError> {
+        run_hybrid_supervised(
+            self.params,
+            self.hybrid.full_cluster,
+            oracle,
+            self.net_config(),
+            &self.hybrid_flows(),
+            self.horizon,
+            policy,
+        )
+    }
+
+    /// Runs the scenario on the PDES hybrid driver under supervision:
+    /// checkpoints, restores, and degrades adaptive → fixed → sequential
+    /// hybrid. `sequential_oracle` builds the oracle for the terminal
+    /// sequential rung (its seed derivation differs from the per-partition
+    /// PDES oracles).
+    pub fn run_pdes_hybrid_supervised(
+        &self,
+        oracle_factory: impl FnMut(usize) -> Box<dyn ClusterOracle + Send>,
+        sequential_oracle: impl FnOnce() -> Box<dyn ClusterOracle + Send>,
+        mode: EpochMode,
+        policy: &RecoveryPolicy,
+    ) -> Result<SupervisedRun, ElephantError> {
+        run_pdes_hybrid_supervised(
+            self.params,
+            self.hybrid.full_cluster,
+            oracle_factory,
+            sequential_oracle,
+            &self.hybrid_flows(),
+            self.horizon,
             self.machines,
             self.envelope_bytes,
             mode,

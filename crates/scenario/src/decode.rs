@@ -8,9 +8,9 @@
 //! are all rejected here, before anything touches the engines.
 
 use crate::schema::{
-    AuditSpec, FaultSpec, GuardSpec, HostSelector, LinkSpecToml, LocalitySpec, OracleSpec,
-    OutputSpec, PdesSpec, ProfileSpec, RecoverySpec, RegimeWindow, RunSpec, Scenario, SizeSpec,
-    TopologySpec, TrafficGroup, TrafficKind, SCHEMA_VERSION,
+    AuditSpec, FaultSpec, GuardSpec, HostSelector, LinkSpecToml, LocalitySpec, ModelSpec,
+    OracleSpec, OutputSpec, PdesSpec, ProfileSpec, RecoverySpec, RegimeWindow, RunSpec, Scenario,
+    SizeSpec, TopologySpec, TrafficGroup, TrafficKind, SCHEMA_VERSION,
 };
 use crate::toml::{self, Spanned, Table, TomlValue};
 use crate::ScenarioError;
@@ -152,7 +152,7 @@ pub fn from_toml_str(src: &str) -> Result<Scenario, ScenarioError> {
         "scenario file",
         &[
             "schema", "scenario", "topology", "run", "traffic", "regime", "faults", "guard",
-            "recovery", "audit", "oracle", "outputs",
+            "recovery", "audit", "model", "oracle", "outputs",
         ],
     )?;
 
@@ -223,6 +223,10 @@ pub fn from_toml_str(src: &str) -> Result<Scenario, ScenarioError> {
         None => None,
         Some(s) => Some(decode_audit(table_of(s, "audit")?)?),
     };
+    let model = match root.get("model") {
+        None => None,
+        Some(s) => Some(decode_model(table_of(s, "model")?, &topology)?),
+    };
     let oracle = match root.get("oracle") {
         None => OracleSpec::default(),
         Some(s) => decode_oracle(table_of(s, "oracle")?, &topology)?,
@@ -243,6 +247,7 @@ pub fn from_toml_str(src: &str) -> Result<Scenario, ScenarioError> {
         guard,
         recovery,
         audit,
+        model,
         oracle,
         outputs,
     })
@@ -1074,6 +1079,39 @@ fn decode_audit(t: &Table) -> Result<AuditSpec, ScenarioError> {
             s.line,
             "audit.max_w1_ratio",
         )?;
+    }
+    Ok(spec)
+}
+
+fn decode_model(t: &Table, topo: &TopologySpec) -> Result<ModelSpec, ScenarioError> {
+    reject_unknown(t, "[model]", &["path", "full_cluster", "train_fallback"])?;
+    let mut spec = ModelSpec::default();
+    if let Some(s) = t.get("path") {
+        let p = str_of(s, "model.path")?;
+        if p.is_empty() {
+            return Err(err(s.line, "model.path: must be non-empty"));
+        }
+        spec.path = Some(p.to_string());
+        spec.path_line = s.line;
+    } else {
+        // No path: artifact-load diagnostics point at the section header.
+        spec.path_line = t.line;
+    }
+    if let Some(s) = t.get("full_cluster") {
+        let v = u16_of(s, "model.full_cluster")?;
+        if v >= topo.clusters {
+            return Err(err(
+                s.line,
+                format!(
+                    "model.full_cluster: cluster {v} out of range (topology.clusters = {})",
+                    topo.clusters
+                ),
+            ));
+        }
+        spec.full_cluster = Some(v);
+    }
+    if let Some(s) = t.get("train_fallback") {
+        spec.train_fallback = bool_of(s, "model.train_fallback")?;
     }
     Ok(spec)
 }

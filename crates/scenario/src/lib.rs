@@ -30,11 +30,11 @@ pub mod toml;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-pub use compile::{compile, ms_to_time, run_fingerprint, CompileOverrides, Compiled};
+pub use compile::{compile, ms_to_time, run_fingerprint, CompileOverrides, Compiled, HybridSpec};
 pub use schema::{
-    AuditSpec, FaultSpec, GuardSpec, HostSelector, LinkSpecToml, LocalitySpec, OracleSpec,
-    OutputSpec, PdesSpec, ProfileSpec, RecoverySpec, RegimeWindow, RunSpec, Scenario, SizeSpec,
-    TopologySpec, TrafficGroup, TrafficKind, SCHEMA_VERSION,
+    AuditSpec, FaultSpec, GuardSpec, HostSelector, LinkSpecToml, LocalitySpec, ModelSpec,
+    OracleSpec, OutputSpec, PdesSpec, ProfileSpec, RecoverySpec, RegimeWindow, RunSpec, Scenario,
+    SizeSpec, TopologySpec, TrafficGroup, TrafficKind, SCHEMA_VERSION,
 };
 
 use elephant_core::ElephantError;
@@ -208,6 +208,11 @@ max_drop_rate_error = 0.02
 max_ks = 0.4
 max_w1_ratio = 0.1
 
+[model]
+path = "models/kitchen-sink.json"
+full_cluster = 0
+train_fallback = true
+
 [oracle]
 cache = true
 cache_cap = 1024
@@ -238,6 +243,11 @@ sample_every_us = 100
         assert_eq!(a.max_drop_rate_error, 0.02);
         assert_eq!(a.max_ks, 0.4);
         assert_eq!(a.max_w1_ratio, 0.1);
+        let m = s.model.as_ref().expect("[model] decoded");
+        assert_eq!(m.path.as_deref(), Some("models/kitchen-sink.json"));
+        assert_eq!(m.full_cluster, Some(0));
+        assert!(m.train_fallback);
+        assert!(m.path_line > 0, "path provenance recorded");
         assert!(s.oracle.cache);
         assert_eq!(s.outputs.sample_every_us, Some(100));
         match &s.traffic[0].kind {
@@ -467,6 +477,58 @@ sample_every_us = 100
             expect_err(&doc, "max_w1_ratio: must be > 0");
             let doc = format!("{}\n[audit]\nmax_kss = 0.2\n", base());
             expect_err(&doc, "unknown key `max_kss`");
+        }
+
+        #[test]
+        fn model_rejections() {
+            let doc = format!("{}\n[model]\nfull_cluster = 4\n", base());
+            expect_err(&doc, "model.full_cluster: cluster 4 out of range");
+            let doc = format!("{}\n[model]\npath = 7\n", base());
+            expect_err(&doc, "model.path: expected a string");
+            let doc = format!("{}\n[model]\npath = \"\"\n", base());
+            expect_err(&doc, "model.path: must be non-empty");
+            let doc = format!("{}\n[model]\npaths = \"m.json\"\n", base());
+            expect_err(&doc, "unknown key `paths`");
+            let doc = format!("{}\n[model]\ntrain_fallback = 1\n", base());
+            expect_err(&doc, "model.train_fallback: expected a boolean");
+        }
+
+        #[test]
+        fn model_section_lowers_into_hybrid_spec() {
+            // No [model]: the hybrid spec still lowers [oracle]/[guard]
+            // defaults but is not marked declared.
+            let s = Scenario::from_toml_str(&base()).expect("valid scenario");
+            let c = compile(&s, &CompileOverrides::default());
+            assert!(!c.hybrid.model_declared);
+            assert!(c.hybrid.model_path.is_none());
+            assert_eq!(c.hybrid.full_cluster, 0);
+            assert!(!c.hybrid.cache);
+            let g = c.hybrid.guard.expect("guard defaults on");
+            assert_eq!(g.latency_ceiling.as_nanos(), 100_000_000);
+
+            // [model] full_cluster overrides [oracle] full_cluster; the
+            // model path line points into the document.
+            let doc = format!(
+                "{}\n[model]\npath = \"m.json\"\nfull_cluster = 1\n\
+                 [oracle]\nfull_cluster = 0\ncache = true\ncache_cap = 9\n",
+                base().replace("clusters = 1", "clusters = 2")
+            );
+            let s = Scenario::from_toml_str(&doc).expect("valid scenario");
+            let c = compile(&s, &CompileOverrides::default());
+            assert!(c.hybrid.model_declared);
+            assert_eq!(c.hybrid.model_path.as_deref(), Some("m.json"));
+            assert!(c.hybrid.model_line > 0);
+            assert_eq!(c.hybrid.full_cluster, 1, "[model] wins over [oracle]");
+            assert!(c.hybrid.cache);
+            assert_eq!(c.hybrid.cache_cap, 9);
+        }
+
+        #[test]
+        fn disabled_guard_lowers_to_none() {
+            let doc = format!("{}\n[guard]\nenabled = false\n", base());
+            let s = Scenario::from_toml_str(&doc).expect("valid scenario");
+            let c = compile(&s, &CompileOverrides::default());
+            assert!(c.hybrid.guard.is_none(), "disabled [guard] lowers to None");
         }
 
         #[test]

@@ -40,6 +40,8 @@ pub struct Scenario {
     pub recovery: Option<RecoverySpec>,
     /// Optional paired-run divergence bounds (`elephant audit`).
     pub audit: Option<AuditSpec>,
+    /// Optional learned-model artifact binding (hybrid runs).
+    pub model: Option<ModelSpec>,
     /// Oracle-cache configuration (hybrid runs).
     pub oracle: OracleSpec,
     /// Sampler / artifact outputs.
@@ -539,6 +541,41 @@ impl Default for OracleSpec {
     }
 }
 
+/// Learned-model artifact binding for hybrid runs (`[model]`).
+///
+/// A scenario with this section runs on the hybrid driver: `path` names a
+/// versioned model artifact (the CLI's `--model` flag overrides it),
+/// `full_cluster` overrides `[oracle] full_cluster` when present, and
+/// `train_fallback` mirrors the `hybrid` subcommand's behavior of
+/// capturing + training a small default model when no artifact exists.
+#[derive(Clone, Debug, Default)]
+pub struct ModelSpec {
+    /// Path to the versioned model artifact (JSON), relative to the
+    /// process working directory. `None` requires either the CLI's
+    /// `--model` flag or `train_fallback = true`.
+    pub path: Option<String>,
+    /// Source line of the `path` key (0 when built programmatically) —
+    /// lets artifact-load failures report `file:line` scenario context.
+    pub path_line: u32,
+    /// The cluster kept at packet fidelity; overrides
+    /// `[oracle] full_cluster` when set.
+    pub full_cluster: Option<u16>,
+    /// Capture + train a small default model when `path` is absent or
+    /// names a missing file (mirrors the `hybrid` subcommand).
+    pub train_fallback: bool,
+}
+
+// `path_line` is provenance, not meaning: two specs naming the same
+// artifact are equal regardless of where the key sat in the file, which
+// is what keeps the emit → re-parse round trip an equality.
+impl PartialEq for ModelSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.path == other.path
+            && self.full_cluster == other.full_cluster
+            && self.train_fallback == other.train_fallback
+    }
+}
+
 /// Sampler / timeline outputs.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct OutputSpec {
@@ -751,6 +788,19 @@ impl Scenario {
             ));
             out.push_str(&format!("max_ks = {}\n", toml_f64(a.max_ks)));
             out.push_str(&format!("max_w1_ratio = {}\n", toml_f64(a.max_w1_ratio)));
+        }
+
+        if let Some(m) = &self.model {
+            out.push_str("\n[model]\n");
+            if let Some(p) = &m.path {
+                out.push_str(&format!("path = {p:?}\n"));
+            }
+            if let Some(c) = m.full_cluster {
+                out.push_str(&format!("full_cluster = {c}\n"));
+            }
+            if m.train_fallback {
+                out.push_str("train_fallback = true\n");
+            }
         }
 
         let o = &self.oracle;

@@ -102,6 +102,11 @@ fn usage() -> ! {
          --seed N          override the scenario's run.seed\n\
          --horizon-ms N    override the scenario's run.horizon_ms\n\
          --repeat N        override every traffic group's repeat count\n\
+         --model PATH      model artifact for hybrid runs; overrides the\n\
+         \u{20}                scenario's [model] path (a [model] section alone\n\
+         \u{20}                also routes the run through the hybrid drivers)\n\
+         --audit           paired truth+hybrid run gated on the scenario's\n\
+         \u{20}                [audit] bounds; exit 8 on divergence\n\
          --pdes            run under PDES with the scenario's [topology.pdes]\n\
          --partitions N    override the partition count (implies --pdes)\n\
          --checkpoint-every-ms F  checkpoint interval; enables supervision and\n\
@@ -465,6 +470,32 @@ fn report_cache(handle: &Option<CacheStatsHandle>) {
         s.hit_rate() * 100.0,
         s.evictions,
         s.invalidations
+    );
+}
+
+/// Per-partition verdict caches (PDES hybrid): publishes each handle's
+/// metrics and prints the fleet total.
+fn report_cache_fleet(handles: &[CacheStatsHandle]) {
+    if handles.is_empty() {
+        return;
+    }
+    let mut total = CacheStats::default();
+    for h in handles {
+        h.publish_metrics();
+        let s = h.snapshot();
+        total.hits += s.hits;
+        total.misses += s.misses;
+        total.evictions += s.evictions;
+        total.invalidations += s.invalidations;
+    }
+    println!(
+        "  cache     : {} lookups across {} partitions, {:.1}% hit rate \
+         ({} evictions, {} invalidations)",
+        total.lookups(),
+        handles.len(),
+        total.hit_rate() * 100.0,
+        total.evictions,
+        total.invalidations
     );
 }
 
@@ -906,6 +937,8 @@ fn cmd_run_scenario(args: &[String]) {
     let mut max_retries: Option<u32> = None;
     let mut profile = false;
     let mut metrics_out: Option<String> = None;
+    let mut model_flag: Option<String> = None;
+    let mut audit = false;
 
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -947,6 +980,8 @@ fn cmd_run_scenario(args: &[String]) {
             }
             "--profile" => profile = true,
             "--metrics-out" => metrics_out = Some(val()),
+            "--model" => model_flag = Some(val()),
+            "--audit" => audit = true,
             "--list-scenarios" => {
                 // DIR is optional; the next token is a directory unless it
                 // looks like a flag. `val` is unused on this path, so its
@@ -996,6 +1031,11 @@ fn cmd_run_scenario(args: &[String]) {
     };
     let scenario = load(&path).unwrap_or_else(|e| die(e));
     let compiled = compile(&scenario, &over);
+    // A [model] section (or --model / --audit) routes the scenario
+    // through the hybrid drivers: the selected cluster stays at packet
+    // fidelity while the learned oracle serves every other fabric,
+    // guarded and cached per the [guard]/[oracle] sections.
+    let hybrid_mode = audit || model_flag.is_some() || compiled.hybrid.model_declared;
 
     if validate {
         println!(
@@ -1008,6 +1048,23 @@ fn cmd_run_scenario(args: &[String]) {
             compiled.horizon,
             compiled.partitions,
         );
+        if compiled.hybrid.model_declared {
+            println!(
+                "  [model]: {} — full cluster {}, cache {}, guard {}",
+                compiled
+                    .hybrid
+                    .model_path
+                    .as_deref()
+                    .unwrap_or("(train_fallback)"),
+                compiled.hybrid.full_cluster,
+                if compiled.hybrid.cache { "on" } else { "off" },
+                if compiled.hybrid.guard.is_some() {
+                    "on"
+                } else {
+                    "off"
+                },
+            );
+        }
         return;
     }
 
@@ -1020,7 +1077,13 @@ fn cmd_run_scenario(args: &[String]) {
         compiled.horizon,
         compiled.seed,
         if pdes {
-            format!(", PDES x{}", partitions.unwrap_or(compiled.partitions))
+            // Hybrid PDES always partitions one cluster per partition.
+            let n = if hybrid_mode {
+                compiled.params.clusters as usize
+            } else {
+                partitions.unwrap_or(compiled.partitions)
+            };
+            format!(", PDES x{n}")
         } else {
             String::new()
         }
@@ -1045,6 +1108,24 @@ fn cmd_run_scenario(args: &[String]) {
             p.max_retries = n;
         }
         recovery = Some(p);
+    }
+
+    if hybrid_mode {
+        run_scenario_hybrid(HybridRunArgs {
+            path: &path,
+            compiled: &compiled,
+            model_flag: model_flag.as_deref(),
+            audit,
+            pdes,
+            partitions_flag: partitions.is_some(),
+            epoch_mode,
+            recovery,
+            sample_every,
+            samples_out,
+            profile,
+            metrics_out,
+        });
+        return;
     }
 
     let mut sampler = sample_every
@@ -1106,6 +1187,447 @@ fn cmd_run_scenario(args: &[String]) {
             "sequential",
         )
     };
+    let mode = if pdes {
+        format!("{epoch_mode:?}").to_lowercase()
+    } else {
+        String::new()
+    };
+    finish_scenario_run(
+        &compiled,
+        profile,
+        metrics_out.as_ref(),
+        samples_out,
+        sampler.as_ref(),
+        fingerprint,
+        wall,
+        events,
+        recovery_lines,
+        driver,
+        &mode,
+    );
+}
+
+/// Arguments for the run-scenario hybrid path, bundled so the dispatch
+/// site stays readable.
+struct HybridRunArgs<'a> {
+    path: &'a str,
+    compiled: &'a elephant::scenario::Compiled,
+    model_flag: Option<&'a str>,
+    audit: bool,
+    pdes: bool,
+    partitions_flag: bool,
+    epoch_mode: EpochMode,
+    recovery: Option<elephant::core::RecoveryPolicy>,
+    sample_every: Option<SimDuration>,
+    samples_out: Option<String>,
+    profile: bool,
+    metrics_out: Option<String>,
+}
+
+/// Resolves the model artifact for a hybrid scenario run. Precedence:
+/// the `--model` flag (plain CLI semantics: exit 3/4 on failure), then
+/// the scenario's `[model] path` (scenario semantics: exit 6 naming the
+/// binding's `file:line`), then — when `train_fallback = true`, or under
+/// `--audit` with no binding at all — a quick-trained default model, the
+/// same fallback the `hybrid` subcommand uses without `--model`.
+fn resolve_scenario_model(
+    scenario_path: &str,
+    spec: &elephant::scenario::HybridSpec,
+    cli_model: Option<&str>,
+    seed: u64,
+    dctcp: bool,
+    allow_fallback: bool,
+) -> ClusterModel {
+    let scenario_err = |artifact: &str, e: &dyn std::fmt::Display| ElephantError::Scenario {
+        path: scenario_path.to_string(),
+        line: spec.model_line,
+        detail: format!("model artifact `{artifact}`: {e}"),
+    };
+    if let Some(p) = cli_model {
+        let json = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            die(ElephantError::Io {
+                path: p.to_string(),
+                source: e,
+            })
+        });
+        return ClusterModel::load_json(&json).unwrap_or_else(|e| die(e));
+    }
+    if let Some(p) = &spec.model_path {
+        match std::fs::read_to_string(p) {
+            Ok(json) => {
+                return ClusterModel::load_json(&json).unwrap_or_else(|e| die(scenario_err(p, &e)));
+            }
+            Err(e) if allow_fallback && e.kind() == std::io::ErrorKind::NotFound => {
+                println!(
+                    "model artifact `{p}` does not exist; capturing + training a small \
+                     default model (train_fallback) ..."
+                );
+            }
+            Err(e) => die(scenario_err(p, &e)),
+        }
+    } else if allow_fallback {
+        println!("no model artifact bound; capturing + training a small default model first ...");
+    } else {
+        die(ElephantError::Scenario {
+            path: scenario_path.to_string(),
+            line: spec.model_line,
+            detail: "[model] names no `path` and `train_fallback` is false; \
+                     pass --model or bind an artifact"
+                .into(),
+        })
+    }
+    let mut o = Opts::parse(&[]);
+    o.seed = seed;
+    o.dctcp = dctcp;
+    quick_default_model(&o)
+}
+
+/// The scenario-path twin of [`Opts::build_oracle`]: assembles the
+/// learned oracle — with the `[oracle]` verdict cache *under* the
+/// `[guard]` wrapper, so guard validation sees every served verdict —
+/// from the compiled hybrid spec. The guard's drift band centers on the
+/// artifact's training drop rate exactly as the `hybrid` subcommand's
+/// does, and the fallback delivers at the training-time median latency.
+fn scenario_oracle(
+    model: ClusterModel,
+    spec: &elephant::scenario::HybridSpec,
+    params: ClosParams,
+    seed: u64,
+) -> (
+    Box<dyn ClusterOracle + Send>,
+    Option<GuardStatsHandle>,
+    Option<CacheStatsHandle>,
+) {
+    let meta = model.meta;
+    let mut cache = None;
+    let primary: Box<dyn ClusterOracle + Send> = if spec.cache {
+        let oracle = LearnedOracle::with_cache(
+            model,
+            params,
+            DropPolicy::Sample,
+            seed ^ 0xE1E,
+            spec.cache_cap,
+        );
+        cache = oracle.cache_stats_handle();
+        Box::new(oracle)
+    } else {
+        Box::new(LearnedOracle::new(
+            model,
+            params,
+            DropPolicy::Sample,
+            seed ^ 0xE1E,
+        ))
+    };
+    let Some(guard_cfg) = &spec.guard else {
+        return (primary, None, cache);
+    };
+    let mut guard_cfg = guard_cfg.clone();
+    guard_cfg.expected_drop_rate = (meta.train_records > 0).then_some(meta.train_drop_rate);
+    let fallback_latency = if meta.train_latency_p50 > 0.0 {
+        SimDuration::from_secs_f64(meta.train_latency_p50)
+    } else {
+        SimDuration::from_micros(50)
+    };
+    let guarded = GuardedOracle::new(
+        primary,
+        Box::new(FixedLatencyOracle(fallback_latency)),
+        guard_cfg,
+    );
+    let handle = guarded.stats_handle();
+    (Box::new(guarded), Some(handle), cache)
+}
+
+/// Partition `p`'s oracle for PDES hybrid scenario runs: the same
+/// per-partition seed salting as `hybrid --pdes`, unguarded (per-
+/// partition guard stats are not aggregated), honoring the `[oracle]`
+/// cache settings. Collects cache handles into `handles` when given.
+fn scenario_partition_oracle(
+    model: &ClusterModel,
+    spec: &elephant::scenario::HybridSpec,
+    params: ClosParams,
+    seed: u64,
+    p: usize,
+    handles: Option<&std::sync::Mutex<Vec<CacheStatsHandle>>>,
+) -> Box<dyn ClusterOracle + Send> {
+    let s = (seed ^ 0xE1E).wrapping_add(p as u64);
+    if spec.cache {
+        let oracle =
+            LearnedOracle::with_cache(model.clone(), params, DropPolicy::Sample, s, spec.cache_cap);
+        if let Some(hs) = handles {
+            if let Some(h) = oracle.cache_stats_handle() {
+                hs.lock().unwrap().push(h);
+            }
+        }
+        Box::new(oracle)
+    } else {
+        Box::new(LearnedOracle::new(
+            model.clone(),
+            params,
+            DropPolicy::Sample,
+            s,
+        ))
+    }
+}
+
+/// The hybrid half of `run-scenario`: resolves the model artifact, elides
+/// the flow list to traffic touching the full-fidelity cluster, and runs
+/// the guarded/cached hybrid on the driver the flags select (sequential,
+/// PDES, supervised, or — under `--audit` — paired against ground truth
+/// and gated on the `[audit]` bounds).
+fn run_scenario_hybrid(a: HybridRunArgs) {
+    let compiled = a.compiled;
+    let spec = &compiled.hybrid;
+    if compiled.params.clusters < 2 {
+        die(ElephantError::Scenario {
+            path: a.path.to_string(),
+            line: spec.model_line,
+            detail: "hybrid simulation needs >= 2 clusters (the oracle approximates \
+                     every cluster but the full-fidelity one)"
+                .into(),
+        });
+    }
+    let model = resolve_scenario_model(
+        a.path,
+        spec,
+        a.model_flag,
+        compiled.seed,
+        compiled.dctcp,
+        a.audit || spec.train_fallback,
+    );
+    let flows = compiled.hybrid_flows();
+    println!(
+        "  hybrid: cluster {} at packet fidelity ({} approximated), {} flows after elision",
+        spec.full_cluster,
+        compiled.params.clusters - 1,
+        flows.len()
+    );
+
+    if a.audit {
+        if a.recovery.is_some() {
+            println!(
+                "note: --audit runs both sides unsupervised; the [recovery] ladder is ignored"
+            );
+        }
+        if a.pdes {
+            println!("note: --audit runs both sides sequentially; --pdes is ignored");
+        }
+        let bounds = compiled.audit_bounds.unwrap_or_default();
+        let (oracle, guard, cache) = scenario_oracle(model, spec, compiled.params, compiled.seed);
+        let hooks = AuditHooks { cache, guard };
+        let run = run_audit(
+            compiled.params,
+            spec.full_cluster,
+            oracle,
+            compiled.net_config(),
+            &flows,
+            compiled.horizon,
+            bounds,
+            a.sample_every
+                .or(compiled.sample_every)
+                .unwrap_or_else(|| SimDuration::from_micros(200)),
+            hooks,
+        );
+        println!("\n{}", run.divergence.to_table());
+        println!(
+            "  truth : {} events in {:.2}s wall | hybrid: {} events in {:.2}s wall \
+             ({:.1}x fewer events)",
+            run.truth_meta.events,
+            run.truth_meta.wall.as_secs_f64(),
+            run.hybrid_meta.events,
+            run.hybrid_meta.wall.as_secs_f64(),
+            run.truth_meta.events as f64 / run.hybrid_meta.events.max(1) as f64
+        );
+        let fingerprint = run_fingerprint([&run.hybrid_net]);
+        println!("  fingerprint: {fingerprint:#018x}");
+        if let Some(base) = &a.metrics_out {
+            let truth_path = format!("{}.truth.json", base.trim_end_matches(".json"));
+            let mut hreport = RunReport::new("audit-hybrid", a.path.to_string());
+            hreport.set_run(
+                run.hybrid_meta.wall.as_secs_f64(),
+                run.hybrid_meta.events,
+                compiled.horizon.as_secs_f64(),
+            );
+            write_ledger(
+                base,
+                "audit-hybrid",
+                "paired",
+                compiled.seed,
+                fingerprint,
+                Vec::new(),
+                Some(run.divergence.clone()),
+                hreport,
+            );
+            let mut treport = RunReport::new("audit-truth", a.path.to_string());
+            treport.set_run(
+                run.truth_meta.wall.as_secs_f64(),
+                run.truth_meta.events,
+                compiled.horizon.as_secs_f64(),
+            );
+            write_ledger(
+                &truth_path,
+                "audit-truth",
+                "paired",
+                compiled.seed,
+                run_fingerprint([&run.truth_net]),
+                Vec::new(),
+                None,
+                treport,
+            );
+        }
+        let breaches = run.divergence.breaches();
+        if !breaches.is_empty() {
+            eprintln!("\naudit FAILED: hybrid diverges outside the [audit] bounds");
+            for b in &breaches {
+                eprintln!("  - {b}");
+            }
+            exit(8)
+        }
+        println!(
+            "\naudit OK: drop-rate err {:.4} <= {}, FCT KS {:.3} <= {}, W1/mean {:.3} <= {}",
+            run.divergence.drop_rate_error(),
+            bounds.max_drop_rate_error,
+            run.divergence.fct_ks,
+            bounds.max_ks,
+            run.divergence.w1_ratio(),
+            bounds.max_w1_ratio
+        );
+        return;
+    }
+
+    let mut sampler = a
+        .sample_every
+        .or(compiled.sample_every)
+        .map(|d| NetSampler::new(d, &flows));
+    if a.recovery.is_some() && sampler.is_some() {
+        println!(
+            "note: samplers observe a single timeline and cannot follow checkpoint \
+             restores; sampling is disabled under [recovery] supervision"
+        );
+        sampler = None;
+    }
+    if a.pdes && a.partitions_flag {
+        println!("note: hybrid PDES partitions one cluster per partition; --partitions is ignored");
+    }
+
+    let fleet_handles = std::sync::Mutex::new(Vec::new());
+    let (fingerprint, wall, events, recovery_lines, driver, mode) = if let Some(policy) =
+        &a.recovery
+    {
+        let run = if a.pdes {
+            let seq_model = model.clone();
+            compiled.run_pdes_hybrid_supervised(
+                |p| {
+                    scenario_partition_oracle(&model, spec, compiled.params, compiled.seed, p, None)
+                },
+                move || scenario_oracle(seq_model, spec, compiled.params, compiled.seed).0,
+                a.epoch_mode,
+                policy,
+            )
+        } else {
+            // Handles would outlive checkpoint restores (the restored
+            // net carries a deep-copied oracle stack), so supervised
+            // runs report recovery state instead of guard/cache stats.
+            let (oracle, _, _) = scenario_oracle(model, spec, compiled.params, compiled.seed);
+            compiled.run_hybrid_supervised(oracle, policy)
+        }
+        .unwrap_or_else(|e| die(e));
+        print_supervised_summary(&run, compiled.horizon);
+        report_fault_counts(
+            compiled.faults.as_ref().filter(|_| a.pdes),
+            run.report.as_ref().map(|r| r.faults),
+        );
+        let mut lines = vec![run.log.summary()];
+        lines.extend(run.log.transitions.iter().map(|t| format!("{t:?}")));
+        let mode = if a.pdes {
+            format!("{:?}", a.epoch_mode).to_lowercase()
+        } else {
+            String::new()
+        };
+        (
+            run_fingerprint(run.nets.iter()),
+            run.wall,
+            run.events,
+            lines,
+            "hybrid-supervised",
+            mode,
+        )
+    } else if a.pdes {
+        let run = compiled
+            .run_pdes_hybrid(
+                |p| {
+                    scenario_partition_oracle(
+                        &model,
+                        spec,
+                        compiled.params,
+                        compiled.seed,
+                        p,
+                        Some(&fleet_handles),
+                    )
+                },
+                a.epoch_mode,
+                sampler.as_mut(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("elephant: PDES run failed: {e}");
+                exit(5)
+            });
+        print_pdes_summary(&run, compiled.horizon);
+        report_cache_fleet(&fleet_handles.lock().unwrap());
+        report_fault_counts(compiled.faults.as_ref(), Some(run.report.faults));
+        (
+            run_fingerprint(run.nets.iter()),
+            run.wall,
+            run.events(),
+            Vec::new(),
+            "hybrid-pdes",
+            format!("{:?}", a.epoch_mode).to_lowercase(),
+        )
+    } else {
+        let (oracle, guard, cache) = scenario_oracle(model, spec, compiled.params, compiled.seed);
+        let (net, meta) = compiled.run_hybrid(oracle, sampler.as_mut());
+        print_summary(&net, &meta);
+        report_guard(&guard);
+        report_cache(&cache);
+        (
+            run_fingerprint([&net]),
+            meta.wall,
+            meta.events,
+            Vec::new(),
+            "hybrid",
+            "sequential".to_string(),
+        )
+    };
+    finish_scenario_run(
+        compiled,
+        a.profile,
+        a.metrics_out.as_ref(),
+        a.samples_out,
+        sampler.as_ref(),
+        fingerprint,
+        wall,
+        events,
+        recovery_lines,
+        driver,
+        &mode,
+    );
+}
+
+/// The shared run-scenario epilogue: the fingerprint line, the profile
+/// table, the sealed run ledger, and the samples CSV.
+#[allow(clippy::too_many_arguments)] // a CLI epilogue, not an API surface
+fn finish_scenario_run(
+    compiled: &elephant::scenario::Compiled,
+    profile: bool,
+    metrics_out: Option<&String>,
+    samples_out: Option<String>,
+    sampler: Option<&NetSampler>,
+    fingerprint: u64,
+    wall: std::time::Duration,
+    events: u64,
+    recovery_lines: Vec<String>,
+    driver: &str,
+    mode: &str,
+) {
     println!("  fingerprint: {fingerprint:#018x}");
 
     if profile || metrics_out.is_some() {
@@ -1118,16 +1640,11 @@ fn cmd_run_scenario(args: &[String]) {
         if profile {
             println!("\n{}", report.to_table());
         }
-        if let Some(path) = &metrics_out {
-            let mode = if pdes {
-                format!("{epoch_mode:?}").to_lowercase()
-            } else {
-                String::new()
-            };
+        if let Some(path) = metrics_out {
             write_ledger(
                 path,
                 driver,
-                &mode,
+                mode,
                 compiled.seed,
                 fingerprint,
                 recovery_lines,
@@ -1137,7 +1654,7 @@ fn cmd_run_scenario(args: &[String]) {
         }
     }
 
-    if let Some(s) = &sampler {
+    if let Some(s) = sampler {
         let out = samples_out.unwrap_or_else(|| "samples.csv".into());
         match write_csv(&out, &SAMPLE_CSV_HEADER, s.rows()) {
             Ok(()) => println!("wrote {out} ({} samples)", s.rows().len()),
@@ -1320,28 +1837,8 @@ fn cmd_hybrid(o: &Opts) {
             exit(5)
         });
         print_pdes_summary(&run, o.horizon);
-        // Per-partition caches: publish each and print the fleet total.
-        let handles = cache_handles.into_inner().unwrap();
-        if !handles.is_empty() {
-            let mut total = CacheStats::default();
-            for h in &handles {
-                h.publish_metrics();
-                let s = h.snapshot();
-                total.hits += s.hits;
-                total.misses += s.misses;
-                total.evictions += s.evictions;
-                total.invalidations += s.invalidations;
-            }
-            println!(
-                "  cache     : {} lookups across {} partitions, {:.1}% hit rate \
-                 ({} evictions, {} invalidations)",
-                total.lookups(),
-                handles.len(),
-                total.hit_rate() * 100.0,
-                total.evictions,
-                total.invalidations
-            );
-        }
+        report_cache_fleet(&cache_handles.into_inner().unwrap());
+        println!("  fingerprint: {:#018x}", run_fingerprint(run.nets.iter()));
         let nets: Vec<&Network> = run.nets.iter().collect();
         finish_observability(o, &nets, &None, sampler.as_ref());
         let meta = elephant::core::RunMeta {
@@ -1381,6 +1878,7 @@ fn cmd_hybrid(o: &Opts) {
     }
     report_guard(&guard);
     report_cache(&cache);
+    println!("  fingerprint: {:#018x}", run_fingerprint([&net]));
     finish_observability(o, &[&net], &guard, sampler.as_ref());
     emit_metrics(
         o,
