@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use elephant_core::{FeatureExtractor, LatencyCodec, MacroState, FEATURE_DIM};
-use elephant_des::{EmpiricalCdf, Scheduler, SimDuration, SimTime, Simulator};
+use elephant_des::{splitmix64, EmpiricalCdf, Scheduler, SimDuration, SimTime, Simulator};
 use elephant_net::{
     schedule_flows, ClosParams, Direction, FlowId, HostAddr, NetConfig, Network, RttScope, Topology,
 };
@@ -32,6 +32,28 @@ fn bench_event_queue(c: &mut Criterion) {
             let (time, _) = s.pop().expect("non-empty");
             s.schedule_at(time + SimDuration::from_micros(100), t);
         });
+    });
+    // The same hold-model cycle against both FEL backends at a density
+    // where the bucketed scan pays off (100k pending events). This pair
+    // is the per-operation view of `pdes_scaling`'s density-sweep gate.
+    fn hold_cycle<F: elephant_des::Fel<u64>>(b: &mut criterion::Bencher, n: u64) {
+        let mut s: Scheduler<u64, F> = Scheduler::new();
+        let mut t = 0u64;
+        for i in 0..n {
+            s.schedule_at(SimTime::from_nanos(splitmix64(i) % 4_000_000), i);
+        }
+        b.iter(|| {
+            t += 1;
+            let (time, _) = s.pop().expect("non-empty");
+            let off = splitmix64(t) % 4_000_000 + 1;
+            s.schedule_at(time + SimDuration::from_nanos(off), t);
+        });
+    }
+    g.bench_function("hold_100k_pending_heap", |b| {
+        hold_cycle::<elephant_des::BinaryHeapFel<u64>>(b, 100_000)
+    });
+    g.bench_function("hold_100k_pending_calendar", |b| {
+        hold_cycle::<elephant_des::CalendarFel<u64>>(b, 100_000)
     });
     g.finish();
 }

@@ -135,6 +135,22 @@ fn main() {
          columns: the hybrid never materializes remote-only connections."
     );
 
+    // FEL memory substrate: the kernel records a high-water mark of the
+    // event list's resident bytes into a global gauge. Surface it (and a
+    // per-host figure at the largest network) so scaling runs track queue
+    // memory alongside wall time.
+    let fel_peak = elephant_obs::gauge("des/kernel/fel_bytes_peak", "").get();
+    let top_hosts =
+        ClosParams::paper_cluster(*cluster_counts.last().expect("nonempty")).total_hosts() as f64;
+    report.scalar("fel_bytes_peak", fel_peak as f64);
+    report.scalar("fel_bytes_per_host", fel_peak as f64 / top_hosts.max(1.0));
+    println!(
+        "FEL high-water mark across the sweep: {fel_peak} bytes \
+         ({:.1} B/host at {} hosts)",
+        fel_peak as f64 / top_hosts.max(1.0),
+        top_hosts as u64,
+    );
+
     report.gather();
     emit_report(&report, &args);
 }

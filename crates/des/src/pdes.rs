@@ -496,6 +496,9 @@ impl PdesReport {
             a.marshal_seconds += b.marshal_seconds;
             a.remote_events_sent += b.remote_events_sent;
             a.remote_bytes_sent += b.remote_bytes_sent;
+            // A high-water mark, not a count: the run-total peak is the max
+            // over chunks.
+            a.fel_bytes_peak = a.fel_bytes_peak.max(b.fel_bytes_peak);
             a.next_time = b.next_time;
         }
     }
@@ -522,6 +525,10 @@ pub struct PartitionStats {
     pub remote_events_sent: u64,
     /// Bytes this partition pushed through the marshalling path.
     pub remote_bytes_sent: u64,
+    /// High-water mark of the partition scheduler's FEL resident bytes
+    /// (queue structure plus bookkeeping sets, sampled once per epoch) —
+    /// the per-partition share of the `bytes/host` memory budget.
+    pub fel_bytes_peak: u64,
     /// Earliest event still pending when the partition thread exited —
     /// the key stall diagnostic: a stuck partition's clock freezes here.
     pub next_time: Option<SimTime>,
@@ -908,7 +915,10 @@ fn publish_metrics(report: &PdesReport) {
         elephant_obs::counter("pdes/partition/events", label.clone()).add(p.events);
         elephant_obs::counter("pdes/partition/remote_messages", label.clone())
             .add(p.remote_events_sent);
-        elephant_obs::counter("pdes/partition/remote_bytes", label).add(p.remote_bytes_sent);
+        elephant_obs::counter("pdes/partition/remote_bytes", label.clone())
+            .add(p.remote_bytes_sent);
+        elephant_obs::gauge("pdes/partition/fel_bytes_peak", label)
+            .record_max(p.fel_bytes_peak as i64);
         // Barrier wait is no longer mirrored as an end-of-run counter: the
         // timeline records it per epoch (see `PartitionTimeline`), and the
         // aggregate lives in `PartitionStats::barrier_wait_seconds`.
@@ -1280,6 +1290,9 @@ fn partition_main<W: PartitionWorld>(
         if executed > 0 {
             shared.events.fetch_add(executed, Ordering::Relaxed);
         }
+        // Sample the FEL's resident bytes once per epoch: a read-only probe
+        // of container capacities, so it cannot perturb the simulation.
+        stats.fel_bytes_peak = stats.fel_bytes_peak.max(part.sched.fel_bytes() as u64);
 
         // Post phase: outbound remote events into the next buffer,
         // marshalling across machines. No locks: each (sender, dst) cell is
@@ -1419,9 +1432,14 @@ fn marshal_round_trip<E: Transportable>(
     let mut buf = BytesMut::with_capacity(64 + envelope_bytes);
     buf.put_bytes(0xA5, envelope_bytes); // MPI-style envelope / copy cost
     ev.encode(&mut buf);
-    if corrupt && buf.len() > envelope_bytes {
-        buf[envelope_bytes] ^= 0x40; // flip a bit in the first payload byte
-        buf.truncate(buf.len() - 1); // and tear off the last one
+    if corrupt {
+        if buf.len() > envelope_bytes {
+            buf[envelope_bytes] ^= 0x40; // flip a bit in the first payload byte
+        }
+        // Tear off the last byte. `saturating_sub` so a zero-byte encoding
+        // with no envelope cannot underflow; when only the envelope is
+        // present the tear hits it and the decode below rejects the frame.
+        buf.truncate(buf.len().saturating_sub(1));
     }
     let frozen = buf.freeze();
     // Touch every byte, as a real transport would while copying to a socket.
@@ -1433,6 +1451,9 @@ fn marshal_round_trip<E: Transportable>(
     let mut out = Vec::with_capacity(copies);
     for _ in 0..copies {
         let mut rd = frozen.clone();
+        if rd.len() < envelope_bytes {
+            break; // torn inside the envelope: undecodable, report corrupt
+        }
         rd.advance(envelope_bytes);
         match E::decode(&mut rd) {
             Some(ev) => out.push(ev),
@@ -1474,6 +1495,55 @@ mod tests {
                 value: buf.get_u64(),
             })
         }
+    }
+
+    /// An event whose wire encoding is zero bytes — the degenerate case the
+    /// corrupt path must survive.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Empty;
+
+    impl Transportable for Empty {
+        fn encode(&self, _buf: &mut BytesMut) {}
+        fn decode(_buf: &mut Bytes) -> Option<Self> {
+            Some(Empty)
+        }
+    }
+
+    /// Regression: corrupting a message whose buffer holds no payload bytes
+    /// used to be able to underflow the tear (`truncate(len - 1)`); with no
+    /// envelope either, the buffer is completely empty. Both degenerate
+    /// shapes must come back as a clean decode failure (or a harmless
+    /// no-op), never a panic.
+    #[test]
+    fn marshal_corrupt_survives_empty_payload() {
+        // No payload, no envelope: nothing to tear, nothing to decode —
+        // the zero-byte frame still "decodes" as the unit event.
+        let (evs, nbytes) = marshal_round_trip(Empty, 0, 1, true);
+        assert_eq!(nbytes, 0);
+        assert_eq!(evs, vec![Empty]);
+
+        // No payload but an envelope: the tear lands inside the envelope,
+        // so the frame is undecodable and surfaces as a corrupt transport
+        // failure — not an `advance` past the end of the buffer.
+        let (evs, nbytes) = marshal_round_trip(Empty, 8, 2, true);
+        assert_eq!(nbytes, 14); // 7 surviving bytes x 2 copies
+        assert!(evs.is_empty(), "torn envelope must fail the decode");
+    }
+
+    /// The corrupt path's behavior on real payloads is unchanged: flip a
+    /// bit, tear the final byte, and the decode rejects the frame.
+    #[test]
+    fn marshal_corrupt_nonempty_payload_fails_decode() {
+        let tok = Token {
+            hops_left: 3,
+            value: 42,
+        };
+        let (evs, _) = marshal_round_trip(tok.clone(), 16, 2, true);
+        assert!(evs.is_empty(), "torn payload must fail the decode");
+        // And without corruption every copy round-trips intact.
+        let (evs, nbytes) = marshal_round_trip(tok.clone(), 16, 2, false);
+        assert_eq!(evs, vec![tok.clone(), tok]);
+        assert_eq!(nbytes, (16 + 12) * 2);
     }
 
     #[derive(Clone)]

@@ -44,6 +44,7 @@ pub enum StopReason {
 struct KernelMetrics {
     events: Counter,
     heap_depth: Gauge,
+    fel_bytes: Gauge,
     batched_events: u64,
     batched_depth: i64,
 }
@@ -55,21 +56,36 @@ impl KernelMetrics {
         KernelMetrics {
             events: elephant_obs::counter("des/kernel/events_executed", ""),
             heap_depth: elephant_obs::gauge("des/kernel/heap_depth_peak", ""),
+            fel_bytes: elephant_obs::gauge("des/kernel/fel_bytes_peak", ""),
             batched_events: 0,
             batched_depth: 0,
         }
     }
 
-    /// Notes one executed event and the heap depth at the moment it popped.
+    /// Notes one executed event and the queue depth at the moment it
+    /// popped. Returns `true` when the batch flushed to the registry —
+    /// the caller's cue to sample expensive gauges (FEL bytes) at the
+    /// same cadence.
     #[inline]
-    fn note(&mut self, depth_at_pop: usize) {
+    fn note(&mut self, depth_at_pop: usize) -> bool {
         if !elephant_obs::enabled() {
-            return;
+            return false;
         }
         self.batched_events += 1;
         self.batched_depth = self.batched_depth.max(depth_at_pop as i64);
         if self.batched_events >= METRICS_FLUSH_EVERY {
             self.flush();
+            return true;
+        }
+        false
+    }
+
+    /// Records a high-water mark of the FEL's resident bytes (the
+    /// `bytes/host` memory-accounting substrate; see
+    /// [`crate::Scheduler::fel_bytes`]).
+    fn record_fel_bytes(&mut self, bytes: usize) {
+        if elephant_obs::enabled() {
+            self.fel_bytes.record_max(bytes as i64);
         }
     }
 
@@ -132,7 +148,9 @@ impl<W: World> Simulator<W> {
     pub fn step(&mut self) -> bool {
         match self.sched.pop() {
             Some((_, ev)) => {
-                self.metrics.note(self.sched.pending() + 1);
+                if self.metrics.note(self.sched.pending() + 1) {
+                    self.metrics.record_fel_bytes(self.sched.fel_bytes());
+                }
                 self.world.handle(ev, &mut self.sched);
                 true
             }
@@ -144,6 +162,7 @@ impl<W: World> Simulator<W> {
     pub fn run(&mut self) -> StopReason {
         while self.step() {}
         self.metrics.flush();
+        self.metrics.record_fel_bytes(self.sched.fel_bytes());
         StopReason::Exhausted
     }
 
@@ -157,16 +176,20 @@ impl<W: World> Simulator<W> {
             match self.sched.peek_time() {
                 None => {
                     self.metrics.flush();
+                    self.metrics.record_fel_bytes(self.sched.fel_bytes());
                     return StopReason::Exhausted;
                 }
                 Some(t) if t > horizon => {
                     self.sched.advance_clock(horizon.max(self.sched.now()));
                     self.metrics.flush();
+                    self.metrics.record_fel_bytes(self.sched.fel_bytes());
                     return StopReason::HorizonReached;
                 }
                 Some(_) => {
                     let (_, ev) = self.sched.pop().expect("peeked event vanished");
-                    self.metrics.note(self.sched.pending() + 1);
+                    if self.metrics.note(self.sched.pending() + 1) {
+                        self.metrics.record_fel_bytes(self.sched.fel_bytes());
+                    }
                     self.world.handle(ev, &mut self.sched);
                 }
             }
@@ -180,10 +203,12 @@ impl<W: World> Simulator<W> {
         for _ in 0..budget {
             if !self.step() {
                 self.metrics.flush();
+                self.metrics.record_fel_bytes(self.sched.fel_bytes());
                 return StopReason::Exhausted;
             }
         }
         self.metrics.flush();
+        self.metrics.record_fel_bytes(self.sched.fel_bytes());
         StopReason::BudgetSpent
     }
 

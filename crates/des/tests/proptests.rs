@@ -4,7 +4,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use elephant_des::{EmpiricalCdf, Scheduler, SimDuration, SimTime, Summary};
+use elephant_des::{EmpiricalCdf, HeapScheduler, Scheduler, SimDuration, SimTime, Summary};
 use proptest::prelude::*;
 
 /// A random scheduler workload: interleaved schedules (with arbitrary
@@ -24,6 +24,41 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
             Just(Op::Pop),
         ],
         1..200,
+    )
+}
+
+/// The differential-test alphabet: everything the `Scheduler` API can do to
+/// the FEL, including the remote lane and zero-offset bursts. Offsets mix
+/// sub-bucket, multi-bucket, and multi-year magnitudes so the calendar
+/// queue's year scan, direct-search jump, and resize paths all trigger.
+#[derive(Clone, Debug)]
+enum FelOp {
+    Schedule(u64),
+    ScheduleNow,
+    Remote { sender: usize, offset: u64 },
+    CancelNth(usize),
+    Peek,
+    Pop,
+}
+
+fn arb_fel_ops() -> impl Strategy<Value = Vec<FelOp>> {
+    let offset = prop_oneof![
+        0u64..100,        // intra-bucket ties and near-ties
+        0u64..50_000,     // a few buckets ahead
+        0u64..50_000_000, // many years ahead: direct-search jumps
+    ];
+    let remote_offset = prop_oneof![0u64..100, 0u64..50_000, 0u64..50_000_000];
+    proptest::collection::vec(
+        prop_oneof![
+            offset.prop_map(FelOp::Schedule),
+            Just(FelOp::ScheduleNow),
+            (0usize..4, remote_offset)
+                .prop_map(|(sender, offset)| FelOp::Remote { sender, offset }),
+            (0usize..96).prop_map(FelOp::CancelNth),
+            Just(FelOp::Peek),
+            Just(FelOp::Pop),
+        ],
+        1..300,
     )
 }
 
@@ -102,6 +137,118 @@ proptest! {
             sched.scheduled_total(),
             sched.executed_total() + sched.cancelled_total()
         );
+    }
+
+    /// Differential test of the calendar-queue FEL against the legacy
+    /// binary heap: identical op sequences — local schedules at mixed
+    /// offsets (including zero-offset `schedule_now` bursts), remote-lane
+    /// deliveries from several senders, cancellations, pops, and peeks —
+    /// must produce bit-identical pop streams, peeks, pending counts, and
+    /// lifetime counters. This is the drop-in proof that swapping the FEL
+    /// backend cannot change a simulation.
+    #[test]
+    fn calendar_queue_matches_binary_heap(ops in arb_fel_ops()) {
+        let mut cal: Scheduler<u64> = Scheduler::new();
+        let mut heap: HeapScheduler<u64> = Scheduler::new();
+        let mut keys = Vec::new(); // parallel (cal_key, heap_key)
+        let mut send_seqs = [0u64; 4]; // per-sender remote counters
+        let mut payload = 0u64;
+
+        for op in ops {
+            match op {
+                FelOp::Schedule(offset) => {
+                    payload += 1;
+                    let t = cal.now() + SimDuration::from_nanos(offset);
+                    keys.push((
+                        cal.schedule_at(t, payload),
+                        heap.schedule_at(t, payload),
+                    ));
+                }
+                FelOp::ScheduleNow => {
+                    payload += 1;
+                    keys.push((cal.schedule_now(payload), heap.schedule_now(payload)));
+                }
+                FelOp::Remote { sender, offset } => {
+                    payload += 1;
+                    let t = cal.now() + SimDuration::from_nanos(offset);
+                    let seq = send_seqs[sender];
+                    send_seqs[sender] += 1;
+                    cal.schedule_remote(t, sender, seq, payload);
+                    heap.schedule_remote(t, sender, seq, payload);
+                }
+                FelOp::CancelNth(n) => {
+                    if let Some(&(ck, hk)) = keys.get(n % keys.len().max(1)) {
+                        prop_assert_eq!(cal.cancel(ck), heap.cancel(hk));
+                    }
+                }
+                FelOp::Peek => {
+                    prop_assert_eq!(cal.peek_time(), heap.peek_time());
+                }
+                FelOp::Pop => {
+                    prop_assert_eq!(cal.pop(), heap.pop());
+                }
+            }
+            prop_assert_eq!(cal.pending(), heap.pending());
+        }
+        // Drain both and compare the tails plus every lifetime counter.
+        loop {
+            let (c, h) = (cal.pop(), heap.pop());
+            prop_assert_eq!(c, h);
+            if c.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(cal.scheduled_total(), heap.scheduled_total());
+        prop_assert_eq!(cal.executed_total(), heap.executed_total());
+        prop_assert_eq!(cal.cancelled_total(), heap.cancelled_total());
+        prop_assert_eq!(cal.now(), heap.now());
+    }
+
+    /// A cloned (checkpointed) calendar queue drains identically to the
+    /// original from any mid-workload state the ops reached, and the
+    /// original is unaffected by draining the clone first.
+    #[test]
+    fn calendar_queue_checkpoint_round_trips(ops in arb_fel_ops()) {
+        let mut s: Scheduler<u64> = Scheduler::new();
+        let mut keys = Vec::new();
+        let mut send_seqs = [0u64; 4];
+        let mut payload = 0u64;
+        for op in ops {
+            match op {
+                FelOp::Schedule(offset) => {
+                    payload += 1;
+                    let t = s.now() + SimDuration::from_nanos(offset);
+                    keys.push(s.schedule_at(t, payload));
+                }
+                FelOp::ScheduleNow => {
+                    payload += 1;
+                    keys.push(s.schedule_now(payload));
+                }
+                FelOp::Remote { sender, offset } => {
+                    payload += 1;
+                    let t = s.now() + SimDuration::from_nanos(offset);
+                    let seq = send_seqs[sender];
+                    send_seqs[sender] += 1;
+                    s.schedule_remote(t, sender, seq, payload);
+                }
+                FelOp::CancelNth(n) => {
+                    if let Some(&k) = keys.get(n % keys.len().max(1)) {
+                        s.cancel(k);
+                    }
+                }
+                FelOp::Peek => {
+                    s.peek_time();
+                }
+                FelOp::Pop => {
+                    s.pop();
+                }
+            }
+        }
+        let mut snapshot = s.clone();
+        let from_snapshot: Vec<_> = std::iter::from_fn(|| snapshot.pop()).collect();
+        let from_original: Vec<_> = std::iter::from_fn(|| s.pop()).collect();
+        prop_assert_eq!(from_snapshot, from_original);
+        prop_assert_eq!(snapshot.executed_total(), s.executed_total());
     }
 
     /// Pops are globally time-ordered regardless of insertion order.
